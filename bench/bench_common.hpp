@@ -1,0 +1,102 @@
+// Helpers shared by the benchmark binaries: the per-row Table-I pipeline
+// (build network -> random spec -> criticality analysis -> SPEA-2 ->
+// solution extraction) and environment-variable knobs.
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "benchgen/registry.hpp"
+#include "crit/analyzer.hpp"
+#include "harden/hardening.hpp"
+#include "moo/baselines.hpp"
+#include "moo/spea2.hpp"
+#include "support/timer.hpp"
+
+namespace rrsn::bench {
+
+inline std::string envOr(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::string(v) : fallback;
+}
+
+inline double envOrDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
+}
+
+inline std::uint64_t envOrU64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0'
+             ? static_cast<std::uint64_t>(std::atoll(v))
+             : fallback;
+}
+
+/// Everything one Table-I row produces.
+struct RowResult {
+  const benchgen::BenchmarkSpec* spec = nullptr;
+  std::uint64_t maxCost = 0;
+  std::uint64_t maxDamage = 0;
+  std::size_t generationsUsed = 0;
+  std::optional<moo::Objectives> minCost;    ///< min cost @ damage <= 10 %
+  std::optional<moo::Objectives> minDamage;  ///< min damage @ cost <= 10 %
+  double seconds = 0.0;
+  std::size_t criticalExposuresMinCost = 0;  ///< must be 0 (paper claim)
+};
+
+/// Runs the full pipeline for one benchmark row.
+/// `generationScale` scales the paper's generation count (1.0 = full
+/// fidelity); the scaled count is floored at 50 generations.
+inline RowResult runTable1Row(const benchgen::BenchmarkSpec& spec,
+                              double generationScale, std::uint64_t seed) {
+  Stopwatch total;
+  RowResult row;
+  row.spec = &spec;
+
+  const rsn::Network net = benchgen::buildBenchmark(spec);
+  Rng rng(seed ^ (std::hash<std::string>{}(spec.name)));
+  const rsn::CriticalitySpec cspec = rsn::randomSpec(net, {}, rng);
+  const crit::CriticalityResult analysis =
+      crit::CriticalityAnalyzer(net, cspec).run();
+  const harden::HardeningProblem problem =
+      harden::HardeningProblem::assemble(net, analysis);
+  row.maxCost = problem.maxCost;
+  row.maxDamage = problem.maxDamage;
+
+  moo::EvolutionOptions options;
+  options.populationSize = spec.populationSize();
+  options.generations = std::max<std::size_t>(
+      50, static_cast<std::size_t>(
+              static_cast<double>(spec.generations) * generationScale));
+  options.seed = seed;
+  // Bound the per-genome memory on the million-bit instances
+  // (~4 MB/genome at the cap; the machine budget allows dense genomes).
+  options.maxInitOnes = 1'000'000;
+  row.generationsUsed = options.generations;
+
+  // Diversified initialization: a handful of greedy-ratio prefixes from
+  // across the front (see EvolutionOptions::seedGenomes for why).
+  {
+    const moo::RunResult greedy =
+        moo::greedyFront(problem.linear, options.populationSize / 4);
+    const auto& members = greedy.archive.members();
+    const std::size_t want = std::min<std::size_t>(
+        members.size(), options.populationSize / 4);
+    for (std::size_t k = 0; k < want; ++k) {
+      const std::size_t idx = k * (members.size() - 1) / std::max<std::size_t>(1, want - 1);
+      options.seedGenomes.push_back(members[idx].genome);
+    }
+  }
+
+  const moo::RunResult result = moo::runSpea2(problem.linear, options);
+  const harden::PaperSolutions sols =
+      harden::extractPaperSolutions(result.archive, problem);
+  if (sols.minCost) row.minCost = sols.minCost->obj;
+  if (sols.minDamage) row.minDamage = sols.minDamage->obj;
+
+  row.seconds = total.seconds();
+  return row;
+}
+
+}  // namespace rrsn::bench

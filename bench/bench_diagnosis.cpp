@@ -1,0 +1,69 @@
+// Diagnosability study.
+//
+// Fault-tolerant RSN schemes [4] must first *locate* a defect before
+// access can be re-routed — the paper lists the required "diagnostic
+// support [5]" among their drawbacks.  This bench quantifies that
+// diagnosis problem on our benchmark networks using the fault
+// dictionary: how many single faults are detectable at all, how many
+// syndrome-equivalence classes exist, and the expected candidate-set
+// size (ambiguity).  It then shows the flip side of selective hardening:
+// hardened primitives cannot fail, so the dictionary shrinks and the
+// remaining faults become easier to tell apart.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "diag/diagnosis.hpp"
+#include "rsn/example_networks.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace rrsn;
+  const std::uint64_t seed = bench::envOrU64("RRSN_SEED", 2022);
+
+  TextTable table({"Design", "universe", "faults", "detectable", "classes",
+                   "avg ambiguity"});
+  table.setAlign(0, TextTable::Align::Left);
+  table.setAlign(1, TextTable::Align::Left);
+
+  for (const char* name : {"fig1", "TreeFlat", "TreeUnbalanced", "q12710"}) {
+    const rsn::Network net = std::string(name) == "fig1"
+                                 ? rsn::makeFig1Network()
+                                 : benchgen::buildBenchmark(name);
+    const diag::FaultDictionary dict = diag::FaultDictionary::build(net);
+
+    // Hardening plan: the min-cost @ damage<=10% solution.
+    Rng rng(seed);
+    const auto cspec = rsn::randomSpec(net, {}, rng);
+    const auto analysis = crit::CriticalityAnalyzer(net, cspec).run();
+    const auto problem = harden::HardeningProblem::assemble(net, analysis);
+    const auto knee = moo::greedyMinCost(
+        problem.linear, static_cast<std::uint64_t>(
+                            0.10 * static_cast<double>(problem.maxDamage)));
+    std::vector<bool> hardened(net.primitiveCount(), false);
+    if (knee) {
+      for (std::uint32_t idx : knee->genome.indices()) hardened[idx] = true;
+    }
+
+    const auto addRow = [&](const char* label,
+                            const diag::FaultDictionary::Resolution& r) {
+      char amb[32];
+      std::snprintf(amb, sizeof amb, "%.2f", r.avgAmbiguity);
+      table.addRow({name, label, std::to_string(r.faults),
+                    std::to_string(r.detectable), std::to_string(r.classes),
+                    amb});
+    };
+    addRow("all single faults", dict.resolution());
+    addRow("after hardening", dict.resolutionExcluding(hardened));
+    table.addSeparator();
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\nFault diagnosability via the access-outcome dictionary\n"
+            << table
+            << "\n(detectable faults produce a syndrome different from the "
+               "fault-free RSN; 'avg ambiguity' is the expected number of "
+               "candidate faults per diagnosis.  Selective hardening "
+               "removes the most damaging faults from the universe "
+               "entirely — no re-routing and hence no diagnosis is needed "
+               "for them, unlike fault-tolerant RSN schemes)\n";
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Microbenchmarks (google-benchmark) of the performance-critical kernels:
+// decomposition-tree construction, weight annotation, per-primitive
+// damage computation, the graph-oracle fault effect (the O(N) path we
+// avoid), genome variation operators and one SPEA-2 generation.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "benchgen/registry.hpp"
+#include "crit/analyzer.hpp"
+#include "fault/effects.hpp"
+#include "harden/hardening.hpp"
+#include "moo/spea2.hpp"
+#include "rsn/graph_view.hpp"
+
+namespace {
+
+using namespace rrsn;
+
+const rsn::Network& netOf(const std::string& name) {
+  static std::map<std::string, rsn::Network> cache;
+  auto it = cache.find(name);
+  if (it == cache.end())
+    it = cache.emplace(name, benchgen::buildBenchmark(name)).first;
+  return it->second;
+}
+
+const rsn::CriticalitySpec& specOf(const std::string& name) {
+  static std::map<std::string, rsn::CriticalitySpec> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    Rng rng(7);
+    it = cache.emplace(name, rsn::randomSpec(netOf(name), {}, rng)).first;
+  }
+  return it->second;
+}
+
+void BM_DecompositionBuild(benchmark::State& state,
+                           const std::string& name) {
+  const rsn::Network& net = netOf(name);
+  for (auto _ : state) {
+    auto tree = sp::DecompositionTree::build(net);
+    benchmark::DoNotOptimize(tree.nodeCount());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.primitiveCount()));
+}
+
+void BM_Annotate(benchmark::State& state, const std::string& name) {
+  const rsn::Network& net = netOf(name);
+  auto tree = sp::DecompositionTree::build(net);
+  const auto& spec = specOf(name);
+  for (auto _ : state) {
+    tree.annotate(spec);
+    benchmark::DoNotOptimize(tree.node(tree.root()).sumObs);
+  }
+}
+
+void BM_CriticalityAnalysis(benchmark::State& state,
+                            const std::string& name) {
+  const rsn::Network& net = netOf(name);
+  const auto& spec = specOf(name);
+  const crit::CriticalityAnalyzer analyzer(net, spec);
+  for (auto _ : state) {
+    const auto result = analyzer.run();
+    benchmark::DoNotOptimize(result.totalDamage());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.primitiveCount()));
+}
+
+void BM_GraphOracleSingleFault(benchmark::State& state,
+                               const std::string& name) {
+  const rsn::Network& net = netOf(name);
+  const rsn::GraphView gv = rsn::buildGraphView(net);
+  const fault::Fault f = fault::Fault::segmentBreak(
+      static_cast<rsn::SegmentId>(net.segments().size() / 2));
+  for (auto _ : state) {
+    const auto loss = fault::lossUnderFaultGraph(net, gv, f);
+    benchmark::DoNotOptimize(loss.unobservable.count());
+  }
+}
+
+void BM_GenomeCrossover(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  const auto a = moo::Genome::random(bits, 0.05, rng);
+  const auto b = moo::Genome::random(bits, 0.05, rng);
+  std::size_t point = 0;
+  for (auto _ : state) {
+    auto child = moo::Genome::crossover(a, b, point);
+    benchmark::DoNotOptimize(child.ones());
+    point = (point + bits / 7 + 1) % (bits + 1);
+  }
+}
+
+void BM_GenomeMutate(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  auto g = moo::Genome::random(bits, 0.05, rng);
+  for (auto _ : state) {
+    g.mutatePerBit(0.01, rng);
+    benchmark::DoNotOptimize(g.ones());
+  }
+}
+
+void BM_Spea2Generation(benchmark::State& state, const std::string& name) {
+  const rsn::Network& net = netOf(name);
+  const auto analysis =
+      crit::CriticalityAnalyzer(net, specOf(name)).run();
+  const auto problem = harden::HardeningProblem::assemble(net, analysis);
+  moo::EvolutionOptions options;
+  options.populationSize = 100;
+  options.seed = 3;
+  options.generations = 1;
+  for (auto _ : state) {
+    const auto result = moo::runSpea2(problem.linear, options);
+    benchmark::DoNotOptimize(result.archive.size());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // This google-benchmark version registers by C-string name + callable;
+  // bind the benchmark argument through a small lambda.
+  const auto registerNamed = [](const std::string& title,
+                                void (*fn)(benchmark::State&,
+                                           const std::string&),
+                                const std::string& arg) {
+    benchmark::RegisterBenchmark(
+        title.c_str(), [fn, arg](benchmark::State& st) { fn(st, arg); });
+  };
+  for (const char* name : {"q12710", "p93791", "MBIST_2_20_20"}) {
+    registerNamed("DecompositionBuild/" + std::string(name),
+                  BM_DecompositionBuild, name);
+    registerNamed("Annotate/" + std::string(name), BM_Annotate, name);
+    registerNamed("CriticalityAnalysis/" + std::string(name),
+                  BM_CriticalityAnalysis, name);
+  }
+  registerNamed("GraphOracleSingleFault/q12710", BM_GraphOracleSingleFault,
+                "q12710");
+  registerNamed("GraphOracleSingleFault/p93791", BM_GraphOracleSingleFault,
+                "p93791");
+  benchmark::RegisterBenchmark("GenomeCrossover", BM_GenomeCrossover)
+      ->Arg(1 << 10)
+      ->Arg(1 << 16)
+      ->Arg(1 << 20);
+  benchmark::RegisterBenchmark("GenomeMutate", BM_GenomeMutate)
+      ->Arg(1 << 10)
+      ->Arg(1 << 16)
+      ->Arg(1 << 20);
+  registerNamed("Spea2Generation/q12710", BM_Spea2Generation, "q12710");
+  registerNamed("Spea2Generation/p93791", BM_Spea2Generation, "p93791");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation C: sensitivity of the hardening cost to the *placement* of
+// critical instruments.
+//
+// The paper draws the 10 % observation-/control-critical instruments
+// uniformly at random (Sec. VI).  Because a critical weight is as large
+// as the sum of all uncritical weights, almost all of the accumulated
+// damage comes from the faults that can hit a critical instrument — so
+// the achievable cost of the "damage <= 10 %" solution depends strongly
+// on how many primitives can hit one.  A critical register at the
+// scan-out end of its chain is immune to upstream observability loss;
+// one in the middle of a long unprotected chain needs the whole chain
+// hardened.  This bench measures whether placing criticals at the scan
+// ends (RobustEnds) lowers the hardening cost compared to the paper's
+// uniform placement, with the knee computed greedily so the result is
+// optimizer-independent.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "moo/baselines.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace rrsn;
+  const std::uint64_t seed = bench::envOrU64("RRSN_SEED", 2022);
+
+  TextTable table({"Design", "placement", "max damage",
+                   "min cost @ damage<=10%", "cost fraction",
+                   "hardened primitives"});
+  table.setAlign(0, TextTable::Align::Left);
+  table.setAlign(1, TextTable::Align::Left);
+
+  for (const char* name : {"TreeFlat_Ex", "q12710", "p34392", "MBIST_1_5_20",
+                           "MBIST_2_20_20"}) {
+    const benchgen::BenchmarkSpec& spec = benchgen::findBenchmark(name);
+    const rsn::Network net = benchgen::buildBenchmark(spec);
+    for (const auto placement : {rsn::CriticalPlacement::Random,
+                                 rsn::CriticalPlacement::RobustEnds}) {
+      rsn::SpecOptions specOptions;
+      specOptions.placement = placement;
+      Rng rng(seed ^ std::hash<std::string>{}(spec.name));
+      const rsn::CriticalitySpec cspec =
+          rsn::randomSpec(net, specOptions, rng);
+      const auto analysis = crit::CriticalityAnalyzer(net, cspec).run();
+      const auto problem = harden::HardeningProblem::assemble(net, analysis);
+      const auto knee = moo::greedyMinCost(
+          problem.linear,
+          static_cast<std::uint64_t>(
+              0.10 * static_cast<double>(problem.maxDamage)));
+      char frac[32];
+      std::snprintf(frac, sizeof frac, "%.1f%%",
+                    knee ? 100.0 * static_cast<double>(knee->obj.cost) /
+                               static_cast<double>(problem.maxCost)
+                         : 0.0);
+      table.addRow({spec.name,
+                    placement == rsn::CriticalPlacement::Random
+                        ? "random (paper)"
+                        : "robust ends",
+                    withThousands(problem.maxDamage),
+                    knee ? withThousands(knee->obj.cost) : "-",
+                    knee ? frac : "-",
+                    knee ? withThousands(std::uint64_t{knee->genome.ones()})
+                         : "-"});
+    }
+    table.addSeparator();
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\nAblation C — critical-instrument placement vs hardening "
+               "cost (greedy knee)\n"
+            << table
+            << "\n(finding: with the paper's symmetric weight recipe the "
+               "placement barely matters — moving a critical register "
+               "toward scan-out removes its observability exposure to "
+               "chain breaks but adds the mirror-image settability "
+               "exposure.  Placement only pays off for instruments that "
+               "are critical in a single direction, as in the "
+               "runtime_monitoring example; the wide spread of published "
+               "cost fractions must instead come from how *bypassable* "
+               "the critical instruments' chains are)\n";
+  return 0;
+}

@@ -1,0 +1,262 @@
+#include "benchgen/generators.hpp"
+
+#include <algorithm>
+
+#include "rsn/builder.hpp"
+
+namespace rrsn::benchgen {
+
+using rsn::NetworkBuilder;
+
+namespace {
+
+/// Tracks the remaining primitive budget while a builder assembles the
+/// network, and provides the standard filler units.
+class Budget {
+ public:
+  Budget(NetworkBuilder& b, std::size_t segments, std::size_t muxes)
+      : b_(&b), segLeft_(segments), muxLeft_(muxes) {}
+
+  std::size_t segLeft() const { return segLeft_; }
+  std::size_t muxLeft() const { return muxLeft_; }
+
+  void takeSeg(std::size_t n = 1) {
+    RRSN_CHECK(segLeft_ >= n, "generator exceeded its segment budget");
+    segLeft_ -= n;
+  }
+  void takeMux(std::size_t n = 1) {
+    RRSN_CHECK(muxLeft_ >= n, "generator exceeded its mux budget");
+    muxLeft_ -= n;
+  }
+
+  /// Plain instrument segment.
+  NetworkBuilder::Handle instrumentSeg(const std::string& base,
+                                       std::uint32_t length) {
+    takeSeg();
+    const std::string id = base + std::to_string(counter_++);
+    return b_->segment("seg_" + id, length, "i_" + id);
+  }
+
+  /// Plain scan segment without an instrument (e.g. a deep MBIST data
+  /// register that is only a pipeline stage of the interface).
+  NetworkBuilder::Handle plainSeg(const std::string& base,
+                                  std::uint32_t length) {
+    takeSeg();
+    const std::string id = base + std::to_string(counter_++);
+    return b_->segment("seg_" + id, length);
+  }
+
+  /// Bypassable instrument segment: mux{seg | wire} — 1 seg + 1 mux.
+  NetworkBuilder::Handle muxUnit(std::uint32_t length) {
+    takeMux();
+    const auto seg = instrumentSeg("u", length);
+    const std::string id = std::to_string(counter_++);
+    return b_->mux("mx_" + id, {seg, b_->wire()});
+  }
+
+  /// SIB around `content` — 1 seg + 1 mux.
+  NetworkBuilder::Handle sib(NetworkBuilder::Handle content) {
+    takeSeg();
+    takeMux();
+    return b_->sib("sib_" + std::to_string(counter_++), content);
+  }
+
+  /// Exhausts the remaining budget: muxLeft bypass units followed by the
+  /// remaining plain segments.  Appends to `parts`.
+  void fill(std::vector<NetworkBuilder::Handle>& parts, std::uint32_t length) {
+    RRSN_CHECK(segLeft_ >= muxLeft_,
+               "budget cannot be filled: more muxes than segments left");
+    while (muxLeft_ > 0) parts.push_back(muxUnit(length));
+    while (segLeft_ > 0) parts.push_back(instrumentSeg("f", length));
+  }
+
+ private:
+  NetworkBuilder* b_;
+  std::size_t segLeft_;
+  std::size_t muxLeft_;
+  std::size_t counter_ = 0;
+};
+
+rsn::Network finish(NetworkBuilder& b, Budget& budget,
+                    std::vector<NetworkBuilder::Handle> parts,
+                    std::uint32_t fillLength = 8) {
+  budget.fill(parts, fillLength);
+  RRSN_CHECK(!parts.empty(), "benchmark generator produced an empty network");
+  b.setTop(b.chain(std::move(parts)));
+  return b.build();
+}
+
+}  // namespace
+
+rsn::Network makeTreeFlat(const std::string& name, std::size_t segments,
+                          std::size_t muxes) {
+  NetworkBuilder b(name);
+  Budget budget(b, segments, muxes);
+  std::vector<NetworkBuilder::Handle> parts;
+  // The whole network is filler by design: S bypassable segments when
+  // S == M, plus plain segments otherwise.
+  return finish(b, budget, std::move(parts));
+}
+
+rsn::Network makeTreeNested(const std::string& name, std::size_t segments,
+                            std::size_t muxes) {
+  NetworkBuilder b(name);
+  Budget budget(b, segments, muxes);
+  // Innermost first: each SIB holds [instrument segment, inner SIB].
+  // Uses all muxes; leaves segments - 2*muxes for padding.
+  RRSN_CHECK(segments >= 2 * muxes, "TreeNested needs S >= 2M");
+  NetworkBuilder::Handle inner = budget.instrumentSeg("leaf", 8);
+  for (std::size_t level = 0; level < muxes; ++level) {
+    std::vector<NetworkBuilder::Handle> content{inner};
+    if (level + 1 < muxes) {
+      // One instrument segment per level keeps the chain "unbalanced"
+      // rather than a pure bypass ladder.
+      content.insert(content.begin(), budget.instrumentSeg("lvl", 8));
+    }
+    inner = budget.sib(content.size() == 1 ? content[0]
+                                           : b.chain(std::move(content)));
+  }
+  return finish(b, budget, {inner});
+}
+
+namespace {
+
+/// Recursive balanced SIB tree over `count` SIBs; leaves gate one
+/// instrument segment each.
+NetworkBuilder::Handle balancedSibTree(NetworkBuilder& b, Budget& budget,
+                                       std::size_t count) {
+  if (count == 1) return budget.sib(budget.instrumentSeg("leaf", 8));
+  const std::size_t left = count / 2;
+  const std::size_t right = count - 1 - left;
+  std::vector<NetworkBuilder::Handle> content;
+  if (left > 0) content.push_back(balancedSibTree(b, budget, left));
+  if (right > 0) content.push_back(balancedSibTree(b, budget, right));
+  return budget.sib(content.size() == 1 ? content[0]
+                                        : b.chain(std::move(content)));
+}
+
+}  // namespace
+
+rsn::Network makeTreeBalanced(const std::string& name, std::size_t segments,
+                              std::size_t muxes) {
+  NetworkBuilder b(name);
+  Budget budget(b, segments, muxes);
+  // Use ~2/3 of the muxes for the balanced SIB tree, pad the rest.
+  const std::size_t treeSibs = std::max<std::size_t>(1, (2 * muxes) / 3);
+  std::vector<NetworkBuilder::Handle> parts{
+      balancedSibTree(b, budget, treeSibs)};
+  return finish(b, budget, std::move(parts));
+}
+
+rsn::Network makeTreeFlatSib(const std::string& name, std::size_t segments,
+                             std::size_t muxes) {
+  NetworkBuilder b(name);
+  Budget budget(b, segments, muxes);
+  RRSN_CHECK(segments >= 2 * muxes, "TreeFlatSib needs S >= 2M");
+  std::vector<NetworkBuilder::Handle> parts;
+  for (std::size_t k = 0; k < muxes; ++k)
+    parts.push_back(budget.sib(budget.instrumentSeg("tdr", 8)));
+  return finish(b, budget, std::move(parts));
+}
+
+rsn::Network makeSoc(const std::string& name, std::size_t segments,
+                     std::size_t muxes) {
+  NetworkBuilder b(name);
+  Budget budget(b, segments, muxes);
+  RRSN_CHECK(segments >= muxes, "Soc needs S >= M");
+
+  // Distribute all segments over M cores; every third core nests inside
+  // its predecessor, giving two hierarchy levels.
+  const std::size_t cores = muxes;
+  const std::size_t base = segments / cores;
+  const std::size_t extra = segments % cores;
+  const auto coreWidth = [&](std::size_t k) {
+    return base + (k < extra ? 1 : 0);
+  };
+  // Deterministic wrapper-chain lengths: 4..32 cells cycling.
+  const auto segLen = [](std::size_t k) {
+    return static_cast<std::uint32_t>(4 + 7 * (k % 5));
+  };
+
+  std::vector<NetworkBuilder::Handle> parts;
+  std::size_t k = 0;
+  std::size_t segIdx = 0;
+  while (k < cores) {
+    // Build a group: core k, optionally with core k+1 nested inside.
+    const auto buildCore = [&](std::size_t idx,
+                               NetworkBuilder::Handle nested,
+                               bool hasNested) {
+      std::vector<NetworkBuilder::Handle> chain;
+      for (std::size_t s = 0; s < coreWidth(idx); ++s)
+        chain.push_back(budget.instrumentSeg("w", segLen(segIdx++)));
+      if (hasNested) chain.push_back(nested);
+      budget.takeMux();
+      NetworkBuilder::Handle body =
+          chain.empty() ? b.wire()
+                        : (chain.size() == 1 ? chain[0]
+                                             : b.chain(std::move(chain)));
+      return b.mux("core_" + std::to_string(idx),
+                   {body, b.wire()});
+    };
+    if (k + 1 < cores && k % 3 == 0) {
+      const auto innerCore = buildCore(k + 1, {}, false);
+      parts.push_back(buildCore(k, innerCore, true));
+      k += 2;
+    } else {
+      parts.push_back(buildCore(k, {}, false));
+      k += 1;
+    }
+  }
+  return finish(b, budget, std::move(parts), 4);
+}
+
+rsn::Network makeMbist(const std::string& name, std::size_t segments,
+                       std::size_t muxes, std::size_t controllers) {
+  NetworkBuilder b(name);
+  Budget budget(b, segments, muxes);
+  controllers = std::min(controllers == 0 ? 1 : controllers, muxes);
+  const std::size_t memories = muxes - controllers;
+  const std::size_t data = segments - muxes;  // SIB regs take one seg each
+  RRSN_CHECK(segments >= muxes, "Mbist needs S >= M");
+  RRSN_CHECK(memories == 0 || data >= memories,
+             "Mbist needs at least one data register per memory");
+
+  // Memory SIB m holds dataOf(m) length-8 data registers.
+  const std::size_t memBase = memories == 0 ? 0 : data / memories;
+  const std::size_t memExtra = memories == 0 ? 0 : data % memories;
+  const auto dataOf = [&](std::size_t m) {
+    return memBase + (m < memExtra ? 1 : 0);
+  };
+
+  std::vector<NetworkBuilder::Handle> parts;
+  std::size_t mem = 0;
+  for (std::size_t c = 0; c < controllers; ++c) {
+    const std::size_t memCount =
+        memories / controllers + (c < memories % controllers ? 1 : 0);
+    std::vector<NetworkBuilder::Handle> content;
+    for (std::size_t j = 0; j < memCount; ++j, ++mem) {
+      // A memory exposes its MBIST interface as one instrument (the
+      // status/result register); the remaining registers of the chain
+      // are plain pipeline stages of the interface.  This matches the
+      // instrument-per-memory granularity of the ITC'16 MBIST networks.
+      std::vector<NetworkBuilder::Handle> regs;
+      const std::size_t interfaceRegs = std::min<std::size_t>(1, dataOf(mem));
+      for (std::size_t d = 0; d < dataOf(mem); ++d) {
+        regs.push_back(d < interfaceRegs ? budget.instrumentSeg("d", 8)
+                                         : budget.plainSeg("r", 8));
+      }
+      content.push_back(budget.sib(
+          regs.size() == 1 ? regs[0] : b.chain(std::move(regs))));
+    }
+    if (content.empty()) {
+      // Controller without memories: gate one status register so the SIB
+      // is not wire-only.
+      content.push_back(budget.instrumentSeg("st", 8));
+    }
+    parts.push_back(budget.sib(
+        content.size() == 1 ? content[0] : b.chain(std::move(content))));
+  }
+  return finish(b, budget, std::move(parts));
+}
+
+}  // namespace rrsn::benchgen

@@ -1,0 +1,47 @@
+// Topology-style network builders used by the benchmark registry.
+//
+// Every builder receives the exact (segments, muxes) target and
+// guarantees to hit it: a characteristic "core" is built first, then the
+// remaining budget is filled with bypassable instrument segments (1 seg +
+// 1 mux each) and plain instrument segments appended to the top-level
+// chain.  All instrument-bearing segments get an auto-named instrument.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "rsn/network.hpp"
+
+namespace rrsn::benchgen {
+
+/// Flat chain of bypassable instrument segments (TreeFlat: S == M).
+rsn::Network makeTreeFlat(const std::string& name, std::size_t segments,
+                          std::size_t muxes);
+
+/// Deeply nested SIB chain: SIB_k's content holds an instrument segment
+/// and SIB_{k+1} (TreeUnbalanced).
+rsn::Network makeTreeNested(const std::string& name, std::size_t segments,
+                            std::size_t muxes);
+
+/// Balanced binary SIB tree: internal SIBs hold two child SIBs, leaf SIBs
+/// hold one instrument segment (TreeBalanced).
+rsn::Network makeTreeBalanced(const std::string& name, std::size_t segments,
+                              std::size_t muxes);
+
+/// Flat chain of SIBs, each gating one instrument segment (TreeFlat_Ex).
+rsn::Network makeTreeFlatSib(const std::string& name, std::size_t segments,
+                             std::size_t muxes);
+
+/// ITC'02-SoC style: one bypass mux per core wrapping a chain of
+/// instrument segments; every third core is nested inside its
+/// predecessor (two hierarchy levels).
+rsn::Network makeSoc(const std::string& name, std::size_t segments,
+                     std::size_t muxes);
+
+/// MBIST style: `controllers` top-level SIBs, the remaining muxes are
+/// memory SIBs distributed round-robin below them; data registers
+/// (length-8 instrument segments) are spread evenly over the memories.
+rsn::Network makeMbist(const std::string& name, std::size_t segments,
+                       std::size_t muxes, std::size_t controllers);
+
+}  // namespace rrsn::benchgen

@@ -1,0 +1,120 @@
+#include "benchgen/registry.hpp"
+
+#include "benchgen/generators.hpp"
+
+namespace rrsn::benchgen {
+
+namespace {
+
+std::vector<BenchmarkSpec> makeTable() {
+  std::vector<BenchmarkSpec> t;
+  const auto add = [&](std::string name, std::size_t segs, std::size_t muxes,
+                       std::size_t gens, Style style, std::size_t controllers,
+                       PaperRow paper) {
+    BenchmarkSpec s;
+    s.name = std::move(name);
+    s.segments = segs;
+    s.muxes = muxes;
+    s.generations = gens;
+    s.style = style;
+    s.controllers = controllers;
+    s.paper = paper;
+    t.push_back(std::move(s));
+  };
+
+  // Table I, in row order:           maxCost  maxDamage  c7 c8 c9 c10  time
+  add("TreeFlat", 24, 24, 300, Style::TreeFlat, 0,
+      {350, 502, 7, 42, 8, 26, "00:07"});
+  add("TreeUnbalanced", 63, 28, 300, Style::TreeNested, 0,
+      {142, 1656, 10, 155, 14, 31, "00:02"});
+  add("TreeBalanced", 90, 46, 1000, Style::TreeBalanced, 0,
+      {211, 4206, 18, 362, 21, 216, "00:03"});
+  add("TreeFlat_Ex", 123, 60, 2000, Style::TreeFlatSib, 0,
+      {289, 597, 29, 57, 28, 60, "00:04"});
+  add("q12710", 47, 25, 300, Style::Soc, 0,
+      {127, 576, 8, 27, 12, 19, "00:03"});
+  add("a586710", 79, 47, 2000, Style::Soc, 0,
+      {155, 1010, 5, 90, 15, 24, "00:15"});
+  add("p34392", 245, 142, 700, Style::Soc, 0,
+      {482, 7932, 8, 683, 48, 68, "00:34"});
+  add("t512505", 288, 160, 1000, Style::Soc, 0,
+      {713, 7146, 21, 699, 71, 121, "00:16"});
+  add("p22810", 537, 283, 1000, Style::Soc, 0,
+      {1298, 22911, 33, 2215, 28, 3712, "01:01"});
+  add("p93791", 1241, 653, 3500, Style::Soc, 0,
+      {2946, 293771, 38, 28681, 286, 561, "06:10"});
+  add("MBIST_1_5_5", 113, 15, 300, Style::Mbist, 1,
+      {137, 74004, 32, 7176, 13, 20799, "00:26"});
+  add("MBIST_1_5_20", 1523, 15, 400, Style::Mbist, 1,
+      {362, 632421, 35, 62264, 36, 60344, "02:21"});
+  add("MBIST_1_20_20", 6068, 45, 500, Style::Mbist, 1,
+      {1412, 8252305, 129, 801889, 137, 752261, "10:01"});
+  add("MBIST_2_5_5", 1091, 28, 500, Style::Mbist, 2,
+      {137, 83509, 19, 8141, 13, 12081, "03:45"});
+  add("MBIST_2_5_20", 3041, 28, 700, Style::Mbist, 2,
+      {362, 560484, 34, 54314, 36, 50060, "04:17"});
+  add("MBIST_2_20_20", 12131, 88, 700, Style::Mbist, 2,
+      {1412, 8174778, 129, 788085, 138, 722191, "08:18"});
+  add("MBIST_5_5_5", 2720, 67, 500, Style::Mbist, 5,
+      {411, 148811, 8, 14213, 41, 163, "01:10"});
+  add("MBIST_5_20_20", 30320, 217, 900, Style::Mbist, 5,
+      {385, 6175005, 127, 614605, 36, 1343502, "15:02"});
+  add("MBIST_5_100_20", 151520, 1017, 200, Style::Mbist, 5,
+      {7012, 203302366, 1983, 20555328, 701, 48147171, "35:17"});
+  add("MBIST_5_100_100", 671520, 1017, 1500, Style::Mbist, 5,
+      {93447, 2138755955ULL, 17066, 213650290, 8625, 405742391, "92:01"});
+  add("MBIST_20_20_20", 121265, 862, 900, Style::Mbist, 20,
+      {1412, 6175005, 131, 605065, 141, 537474, "23:40"});
+  add("MBIST_55_20_5", 216305, 8102, 500, Style::Mbist, 55,
+      {512, 814369, 112, 78595, 51, 208782, "05:43"});
+  add("MBIST_100_20_5", 118970, 2367, 1800, Style::Mbist, 100,
+      {512, 639278, 87, 63268, 51, 144057, "07:15"});
+  add("MBIST_100_100_5", 1080305, 20102, 1200, Style::Mbist, 100,
+      {2512, 20977832, 273, 2096139, 248, 2396324, "59:32"});
+  return t;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkSpec>& table1Benchmarks() {
+  static const std::vector<BenchmarkSpec> table = makeTable();
+  return table;
+}
+
+const BenchmarkSpec& findBenchmark(const std::string& name) {
+  for (const BenchmarkSpec& s : table1Benchmarks())
+    if (s.name == name) return s;
+  throw ParseError("unknown benchmark '" + name + "'");
+}
+
+rsn::Network buildBenchmark(const BenchmarkSpec& spec) {
+  rsn::Network net = [&] {
+    switch (spec.style) {
+      case Style::TreeFlat:
+        return makeTreeFlat(spec.name, spec.segments, spec.muxes);
+      case Style::TreeNested:
+        return makeTreeNested(spec.name, spec.segments, spec.muxes);
+      case Style::TreeBalanced:
+        return makeTreeBalanced(spec.name, spec.segments, spec.muxes);
+      case Style::TreeFlatSib:
+        return makeTreeFlatSib(spec.name, spec.segments, spec.muxes);
+      case Style::Soc:
+        return makeSoc(spec.name, spec.segments, spec.muxes);
+      case Style::Mbist:
+        return makeMbist(spec.name, spec.segments, spec.muxes,
+                         spec.controllers);
+    }
+    throw Error("unreachable benchmark style");
+  }();
+  RRSN_CHECK(net.segments().size() == spec.segments,
+             "generator missed the segment target for " + spec.name);
+  RRSN_CHECK(net.muxes().size() == spec.muxes,
+             "generator missed the mux target for " + spec.name);
+  return net;
+}
+
+rsn::Network buildBenchmark(const std::string& name) {
+  return buildBenchmark(findBenchmark(name));
+}
+
+}  // namespace rrsn::benchgen

@@ -1,0 +1,73 @@
+// Registry of the 24 Table-I benchmark networks.
+//
+// The original ITC'16 [22] / DATE'19 [23] IEEE-1687 benchmark files are
+// not redistributable, so this module *generates* networks with exactly
+// the segment and multiplexer counts Table I reports (columns 1-2), in
+// the topology style each family implies:
+//  * Tree*    — SIB-based trees (flat chain, deeply nested, balanced);
+//  * q/a/p/t* — ITC'02-SoC-style networks: per-core bypassable wrapper
+//    chains, partially nested two levels deep;
+//  * MBIST_*  — SIB-gated controller -> memory -> data-register
+//    hierarchies.
+// Every spec also carries the paper's reported numbers (max cost/damage,
+// EA generations, the two extracted solutions and runtime) so the bench
+// harness can print paper-vs-measured side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rsn/network.hpp"
+
+namespace rrsn::benchgen {
+
+enum class Style : std::uint8_t {
+  TreeFlat,        ///< flat chain of bypassable instrument segments
+  TreeNested,      ///< deeply nested SIB chain (unbalanced)
+  TreeBalanced,    ///< balanced binary SIB tree
+  TreeFlatSib,     ///< flat chain of SIBs, one instrument each
+  Soc,             ///< per-core mux-bypassable wrapper chains
+  Mbist,           ///< controller/memory SIB hierarchy
+};
+
+/// Values the paper reports for one Table-I row.
+struct PaperRow {
+  std::uint64_t maxCost = 0;        ///< col 4 (all hardened)
+  std::uint64_t maxDamage = 0;      ///< col 5 (none hardened)
+  std::uint64_t minCostCost = 0;    ///< col 7 (min cost, damage <= 10 %)
+  std::uint64_t minCostDamage = 0;  ///< col 8
+  std::uint64_t minDamageCost = 0;  ///< col 9 (min damage, cost <= 10 %)
+  std::uint64_t minDamageDamage = 0;///< col 10
+  const char* time = "";            ///< col 11 [m:s]
+};
+
+/// One benchmark: identity, target size, style and EA budget.
+struct BenchmarkSpec {
+  std::string name;
+  std::size_t segments = 0;    ///< Table I col 1
+  std::size_t muxes = 0;       ///< Table I col 2
+  std::size_t generations = 0; ///< Table I col 6
+  Style style = Style::TreeFlat;
+  /// First MBIST name component (controller count); 0 otherwise.
+  std::size_t controllers = 0;
+  PaperRow paper;
+
+  /// Sec. VI population rule: 300 when the network has more than 100
+  /// muxes, 100 otherwise.
+  std::size_t populationSize() const { return muxes > 100 ? 300 : 100; }
+};
+
+/// All 24 Table-I benchmarks, in the paper's row order.
+const std::vector<BenchmarkSpec>& table1Benchmarks();
+
+/// Looks a spec up by name; throws ParseError if unknown.
+const BenchmarkSpec& findBenchmark(const std::string& name);
+
+/// Builds the network for a spec.  Deterministic; the result has exactly
+/// spec.segments segments and spec.muxes multiplexers.
+rsn::Network buildBenchmark(const BenchmarkSpec& spec);
+
+/// Convenience: findBenchmark + buildBenchmark.
+rsn::Network buildBenchmark(const std::string& name);
+
+}  // namespace rrsn::benchgen

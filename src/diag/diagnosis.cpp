@@ -1,0 +1,159 @@
+#include "diag/diagnosis.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/retarget.hpp"
+
+namespace rrsn::diag {
+
+std::size_t Syndrome::distanceTo(const Syndrome& other) const {
+  RRSN_CHECK(passed.size() == other.passed.size(),
+             "syndromes of different access sets are not comparable");
+  DynamicBitset diff = passed;
+  diff ^= other.passed;
+  return diff.count();
+}
+
+Syndrome FaultDictionary::measure(const rsn::Network& net,
+                                  const fault::Fault* f) {
+  const std::size_t n = net.instruments().size();
+  Syndrome syn;
+  syn.passed = DynamicBitset(2 * n);
+  for (rsn::InstrumentId i = 0; i < n; ++i) {
+    const auto len = net.segment(net.instrument(i).segment).length;
+    {
+      sim::ScanSimulator simulator(net);
+      if (f != nullptr) simulator.injectFault(*f);
+      sim::Retargeter rt(simulator);
+      if (rt.readInstrument(i).success) syn.passed.set(2 * i);
+    }
+    {
+      sim::ScanSimulator simulator(net);
+      if (f != nullptr) simulator.injectFault(*f);
+      sim::Retargeter rt(simulator);
+      if (rt.writeInstrument(i, sim::accessMarker(len)).success)
+        syn.passed.set(2 * i + 1);
+    }
+  }
+  return syn;
+}
+
+FaultDictionary FaultDictionary::build(const rsn::Network& net) {
+  FaultDictionary dict;
+  dict.net_ = &net;
+  dict.faultFree_ = measure(net, nullptr);
+  const fault::FaultUniverse universe(net);
+  dict.faults_ = universe.faults();
+  dict.syndromes_.reserve(dict.faults_.size());
+  for (const fault::Fault& f : dict.faults_)
+    dict.syndromes_.push_back(measure(net, &f));
+  return dict;
+}
+
+const Syndrome& FaultDictionary::syndromeOf(std::size_t faultIndex) const {
+  RRSN_CHECK(faultIndex < syndromes_.size(), "fault index out of range");
+  return syndromes_[faultIndex];
+}
+
+Diagnosis FaultDictionary::diagnose(const Syndrome& observed) const {
+  Diagnosis d;
+  if (observed == faultFree_) {
+    d.faultFree = true;
+    return d;
+  }
+  for (std::size_t k = 0; k < faults_.size(); ++k) {
+    if (syndromes_[k] == observed) d.exactMatches.push_back(faults_[k]);
+  }
+  if (!d.exactMatches.empty()) return d;
+
+  std::size_t best = ~std::size_t{0};
+  for (std::size_t k = 0; k < faults_.size(); ++k) {
+    const std::size_t dist = syndromes_[k].distanceTo(observed);
+    if (dist < best) {
+      best = dist;
+      d.nearestMatches.clear();
+    }
+    if (dist == best) d.nearestMatches.push_back(faults_[k]);
+  }
+  d.nearestDistance = best;
+  return d;
+}
+
+namespace {
+
+/// Canonical key of a syndrome for class grouping.
+std::vector<std::size_t> keyOf(const Syndrome& s) { return s.passed.toIndices(); }
+
+}  // namespace
+
+FaultDictionary::Resolution FaultDictionary::resolution() const {
+  std::vector<bool> none(net_->primitiveCount(), false);
+  return resolutionExcluding(none);
+}
+
+FaultDictionary::Resolution FaultDictionary::resolutionExcluding(
+    const std::vector<bool>& hardenedLinear) const {
+  RRSN_CHECK(hardenedLinear.size() == net_->primitiveCount(),
+             "hardening mask does not match the network");
+  Resolution r;
+  std::map<std::vector<std::size_t>, std::size_t> classSizes;
+  for (std::size_t k = 0; k < faults_.size(); ++k) {
+    const fault::Fault& f = faults_[k];
+    const rsn::PrimitiveRef ref{f.kind == fault::FaultKind::SegmentBreak
+                                    ? rsn::PrimitiveRef::Kind::Segment
+                                    : rsn::PrimitiveRef::Kind::Mux,
+                                f.prim};
+    if (hardenedLinear[net_->linearId(ref)]) continue;  // fault avoided
+    ++r.faults;
+    if (syndromes_[k] == faultFree_) continue;  // undetectable
+    ++r.detectable;
+    ++classSizes[keyOf(syndromes_[k])];
+  }
+  r.classes = classSizes.size();
+  if (r.detectable > 0) {
+    double total = 0.0;
+    for (const auto& [key, size] : classSizes)
+      total += static_cast<double>(size) * static_cast<double>(size);
+    // Mean ambiguity, fault-weighted: E[|class of f|].
+    r.avgAmbiguity = total / static_cast<double>(r.detectable);
+  }
+  return r;
+}
+
+TextTable FaultDictionary::classTable(std::size_t maxRows) const {
+  std::map<std::vector<std::size_t>, std::vector<std::size_t>> classes;
+  for (std::size_t k = 0; k < faults_.size(); ++k)
+    classes[keyOf(syndromes_[k])].push_back(k);
+
+  TextTable table({"class size", "failing accesses", "example faults"});
+  table.setAlign(2, TextTable::Align::Left);
+  std::vector<const std::vector<std::size_t>*> members;
+  std::vector<const std::vector<std::size_t>*> keys;
+  for (const auto& [key, faultIdx] : classes) {
+    keys.push_back(&key);
+    members.push_back(&faultIdx);
+  }
+  // Largest (most ambiguous) classes first.
+  std::vector<std::size_t> order(members.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return members[a]->size() > members[b]->size();
+  });
+  for (std::size_t r = 0; r < std::min(maxRows, order.size()); ++r) {
+    const auto& faultIdx = *members[order[r]];
+    std::string examples;
+    for (std::size_t j = 0; j < std::min<std::size_t>(3, faultIdx.size()); ++j) {
+      if (j != 0) examples += ", ";
+      examples += fault::describe(*net_, faults_[faultIdx[j]]);
+    }
+    if (faultIdx.size() > 3) examples += ", ...";
+    const std::size_t failing =
+        faultFree_.passed.count() - keys[order[r]]->size();
+    table.addRow({std::to_string(faultIdx.size()), std::to_string(failing),
+                  examples});
+  }
+  return table;
+}
+
+}  // namespace rrsn::diag

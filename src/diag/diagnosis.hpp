@@ -1,0 +1,98 @@
+// Fault diagnosis for RSNs.
+//
+// The paper positions selective hardening against fault-*tolerant* RSNs
+// [4], which "require diagnostic support [5]" to locate a defect before
+// access can be re-routed around it.  This module provides that
+// substrate: a fault dictionary built from end-to-end simulated access
+// outcomes.  For every instrument the engine attempts one retargeted
+// read and one retargeted write; the pass/fail vector over all attempts
+// is the network's *syndrome*.  Comparing an observed syndrome against
+// the precomputed dictionary yields the candidate fault set.
+//
+// The dictionary doubles as an analysis tool: its equivalence-class
+// structure tells how *diagnosable* a network is (how many faults are
+// distinguishable from each other and from the fault-free RSN), and how
+// a hardening plan — which removes faults from the universe — improves
+// both numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "rsn/network.hpp"
+#include "support/bitset.hpp"
+#include "support/table.hpp"
+
+namespace rrsn::diag {
+
+/// Pass/fail outcome of the standard test-access set: bit 2i is the
+/// read of instrument i, bit 2i+1 the write.
+struct Syndrome {
+  DynamicBitset passed;
+
+  bool operator==(const Syndrome&) const = default;
+
+  /// Number of differing outcomes.
+  std::size_t distanceTo(const Syndrome& other) const;
+};
+
+/// Result of diagnosing one observed syndrome.
+struct Diagnosis {
+  /// Faults whose dictionary syndrome matches exactly (empty if the
+  /// syndrome equals the fault-free one or is unknown).
+  std::vector<fault::Fault> exactMatches;
+  /// True if the observed syndrome equals the fault-free syndrome.
+  bool faultFree = false;
+  /// When there is no exact match: the dictionary entries at minimum
+  /// Hamming distance (defect outside the single-fault model, or a
+  /// multi-fault situation).
+  std::vector<fault::Fault> nearestMatches;
+  std::size_t nearestDistance = 0;
+};
+
+/// Precomputed syndrome dictionary over the single-fault universe.
+class FaultDictionary {
+ public:
+  /// Simulates the complete fault universe of `net` (2 retargeted
+  /// accesses per instrument per fault).  O(|faults| * |instruments|)
+  /// simulations — intended for small and medium networks.
+  static FaultDictionary build(const rsn::Network& net);
+
+  const rsn::Network& network() const { return *net_; }
+  const Syndrome& faultFreeSyndrome() const { return faultFree_; }
+  const std::vector<fault::Fault>& faults() const { return faults_; }
+  const Syndrome& syndromeOf(std::size_t faultIndex) const;
+
+  /// Measures the syndrome of a (possibly fault-injected) network by
+  /// running the standard access set on a fresh simulator.
+  static Syndrome measure(const rsn::Network& net, const fault::Fault* f);
+
+  /// Looks the observed syndrome up in the dictionary.
+  Diagnosis diagnose(const Syndrome& observed) const;
+
+  /// Diagnosability statistics.
+  struct Resolution {
+    std::size_t faults = 0;        ///< size of the fault universe
+    std::size_t detectable = 0;    ///< syndrome differs from fault-free
+    std::size_t classes = 0;       ///< distinct syndromes among detectable
+    double avgAmbiguity = 0.0;     ///< mean candidates per detectable fault
+  };
+  Resolution resolution() const;
+
+  /// Resolution restricted to faults at unhardened primitives (a
+  /// hardening plan removes the others from the universe).
+  Resolution resolutionExcluding(
+      const std::vector<bool>& hardenedLinear) const;
+
+  /// Per-class summary table (size-capped) for reports.
+  TextTable classTable(std::size_t maxRows) const;
+
+ private:
+  const rsn::Network* net_ = nullptr;
+  std::vector<fault::Fault> faults_;
+  std::vector<Syndrome> syndromes_;
+  Syndrome faultFree_;
+};
+
+}  // namespace rrsn::diag

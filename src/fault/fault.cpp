@@ -1,0 +1,38 @@
+#include "fault/fault.hpp"
+
+namespace rrsn::fault {
+
+std::string describe(const rsn::Network& net, const Fault& f) {
+  if (f.kind == FaultKind::SegmentBreak)
+    return "break(" + net.segment(f.prim).name + ")";
+  return "stuck(" + net.mux(f.prim).name + "=" +
+         std::to_string(f.stuckBranch) + ")";
+}
+
+FaultUniverse::FaultUniverse(const rsn::Network& net) : net_(&net) {
+  muxArity_.assign(net.muxes().size(), 0);
+  net.structure().preOrder([&](rsn::NodeId id) {
+    const auto& n = net.structure().node(id);
+    if (n.kind == rsn::NodeKind::MuxJoin)
+      muxArity_[n.prim] = static_cast<std::uint32_t>(n.children.size());
+  });
+  for (rsn::SegmentId s = 0; s < net.segments().size(); ++s)
+    faults_.push_back(Fault::segmentBreak(s));
+  for (rsn::MuxId m = 0; m < net.muxes().size(); ++m)
+    for (std::uint32_t b = 0; b < muxArity_[m]; ++b)
+      faults_.push_back(Fault::muxStuck(m, b));
+}
+
+std::vector<Fault> FaultUniverse::faultsAt(rsn::PrimitiveRef ref) const {
+  std::vector<Fault> out;
+  if (ref.kind == rsn::PrimitiveRef::Kind::Segment) {
+    out.push_back(Fault::segmentBreak(ref.index));
+  } else {
+    RRSN_CHECK(ref.index < muxArity_.size(), "mux index out of range");
+    for (std::uint32_t b = 0; b < muxArity_[ref.index]; ++b)
+      out.push_back(Fault::muxStuck(ref.index, b));
+  }
+  return out;
+}
+
+}  // namespace rrsn::fault

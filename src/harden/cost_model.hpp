@@ -1,0 +1,42 @@
+// Hardening cost model (the c_i of Eq. 3).
+//
+// The paper leaves the per-primitive cost abstract ("the scheme is
+// independent of the actual hardening technique").  We use an
+// area-motivated default: hardening a scan multiplexer (e.g. local TMR of
+// the mux and its address latch, [11]) costs a fixed number of units;
+// hardening a segment scales with its cell count, since every scan
+// flip-flop needs a hardened variant.  All thresholds in the experiments
+// are *relative* (10% of the all-hardened cost), so results are
+// well-defined under any positive model; see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rsn/network.hpp"
+
+namespace rrsn::harden {
+
+struct CostModel {
+  std::uint64_t muxCost = 5;           ///< per multiplexer
+  std::uint64_t segmentBaseCost = 1;   ///< per segment
+  std::uint32_t cellsPerExtraUnit = 8; ///< +1 unit per 8 scan cells
+
+  /// Cost of hardening one primitive.
+  std::uint64_t costOf(const rsn::Network& net, rsn::PrimitiveRef ref) const {
+    if (ref.kind == rsn::PrimitiveRef::Kind::Mux) return muxCost;
+    const auto& seg = net.segment(ref.index);
+    return segmentBaseCost + (seg.length + cellsPerExtraUnit - 1) /
+                                 cellsPerExtraUnit;
+  }
+
+  /// Per-linear-id cost vector.
+  std::vector<std::uint64_t> costs(const rsn::Network& net) const {
+    std::vector<std::uint64_t> out(net.primitiveCount());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] = costOf(net, net.refOf(i));
+    return out;
+  }
+};
+
+}  // namespace rrsn::harden

@@ -1,0 +1,89 @@
+#include "harden/fault_tolerant.hpp"
+
+#include "rsn/builder.hpp"
+
+namespace rrsn::harden {
+
+namespace {
+
+using rsn::NetworkBuilder;
+using rsn::NodeId;
+using rsn::NodeKind;
+
+class Augmenter {
+ public:
+  Augmenter(const rsn::Network& src, NetworkBuilder& b) : src_(&src), b_(&b) {}
+
+  std::size_t addedMuxes() const { return addedMuxes_; }
+
+  /// Clones the subtree at `id`; when `bypassAlone` is false the clone is
+  /// additionally wrapped into a skip multiplexer so a defect inside it
+  /// can be routed around.  `bypassAlone` is true when the parent context
+  /// already allows skipping exactly this element.
+  NetworkBuilder::Handle clone(NodeId id, bool alreadySkippable) {
+    const auto& n = src_->structure().node(id);
+    switch (n.kind) {
+      case NodeKind::Wire:
+        return b_->wire();
+      case NodeKind::Segment: {
+        const rsn::Segment& seg = src_->segment(n.prim);
+        const std::string instrument =
+            seg.instrument == rsn::kNone
+                ? std::string{}
+                : src_->instrument(seg.instrument).name;
+        const auto handle = b_->segment(seg.name, seg.length, instrument);
+        return alreadySkippable ? handle : wrap(handle);
+      }
+      case NodeKind::Serial: {
+        // Each part is individually skippable through its own wrapper, so
+        // the chain itself needs no extra mux.
+        std::vector<NetworkBuilder::Handle> parts;
+        parts.reserve(n.children.size());
+        for (NodeId c : n.children) parts.push_back(clone(c, false));
+        return parts.size() == 1 ? parts[0] : b_->chain(std::move(parts));
+      }
+      case NodeKind::MuxJoin: {
+        // Clone the branch alternatives.  A branch that is a single
+        // segment is already skippable by selecting another branch iff a
+        // wire alternative exists; to keep the scheme simple and uniform,
+        // branch contents keep their own wrappers unless the branch is a
+        // plain wire.  The whole group gets one skip mux so a defect in
+        // the cloned multiplexer itself can be bypassed.
+        std::vector<NetworkBuilder::Handle> branches;
+        branches.reserve(n.children.size());
+        for (NodeId c : n.children) branches.push_back(clone(c, false));
+        // Control wiring is dropped: the original control segment may be
+        // cloned after this mux in scan order; the augmented network is
+        // analyzed structurally (see header).
+        const auto group =
+            b_->mux(src_->mux(n.prim).name, std::move(branches));
+        return alreadySkippable ? group : wrap(group);
+      }
+    }
+    throw Error("unreachable structure node kind");
+  }
+
+ private:
+  NetworkBuilder::Handle wrap(NetworkBuilder::Handle inner) {
+    ++addedMuxes_;
+    return b_->mux("ftmx_" + std::to_string(addedMuxes_), {inner, b_->wire()});
+  }
+
+  const rsn::Network* src_;
+  NetworkBuilder* b_;
+  std::size_t addedMuxes_ = 0;
+};
+
+}  // namespace
+
+FaultTolerantRsn augmentFaultTolerant(const rsn::Network& net,
+                                      const CostModel& model) {
+  NetworkBuilder b(net.name() + "_ft");
+  Augmenter augmenter(net, b);
+  b.setTop(augmenter.clone(net.structure().root(), /*alreadySkippable=*/true));
+  FaultTolerantRsn result{b.build(), augmenter.addedMuxes(),
+                          augmenter.addedMuxes() * model.muxCost};
+  return result;
+}
+
+}  // namespace rrsn::harden

@@ -1,0 +1,41 @@
+// Simplified fault-*tolerant* RSN augmentation — the state of the art the
+// paper argues against (Sec. I, [4] Brandhofer/Kochte/Wunderlich,
+// DATE'20): instead of hardening cells, augment the network with
+// additional connectivities so that access can be re-routed around a
+// defect.  We implement the skip-connectivity variant: every scan
+// segment that is not already individually bypassable gets a private
+// bypass multiplexer, and every existing multiplexer group can be
+// skipped as a whole.
+//
+// Properties (verified by tests):
+//  * every single segment *break* is tolerated — all other instruments
+//    remain observable and settable by routing around the defect;
+//  * mux stuck-at faults are isolated: everything outside the stuck
+//    multiplexer's branches stays accessible (full tolerance of stuck
+//    faults needs redundant branch entries, which [4] synthesizes with
+//    an elaborate ILP; out of scope here);
+//  * the topology CHANGES — recorded access patterns of the original
+//    network do not replay (the paper's compatibility argument), and the
+//    added multiplexers cost hardware proportional to the segment count,
+//    which is what selective hardening avoids.
+#pragma once
+
+#include "harden/cost_model.hpp"
+#include "rsn/network.hpp"
+
+namespace rrsn::harden {
+
+/// Result of the augmentation.
+struct FaultTolerantRsn {
+  rsn::Network network;       ///< the augmented (topology-changed) RSN
+  std::size_t addedMuxes = 0; ///< skip multiplexers inserted
+  std::uint64_t addedCost = 0;///< their hardware cost under the model
+};
+
+/// Builds the skip-connectivity augmentation of `net`.  Instrument names
+/// and segment names are preserved; added muxes are named "ftmx_<n>" and
+/// are TAP-controlled (their addresses do not travel through the RSN).
+FaultTolerantRsn augmentFaultTolerant(const rsn::Network& net,
+                                      const CostModel& model = {});
+
+}  // namespace rrsn::harden

@@ -1,0 +1,162 @@
+#include "moo/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <numeric>
+
+namespace rrsn::moo {
+
+RunResult randomSearch(const LinearBiProblem& problem,
+                       std::size_t evaluations, std::uint64_t seed) {
+  problem.checkConsistent();
+  Rng rng(seed);
+  const std::uint64_t damageTotal = problem.damageTotal();
+  const std::size_t bits = problem.size();
+  RunResult result;
+  for (std::size_t i = 0; i < evaluations; ++i) {
+    Genome g(bits);
+    if (i != 0 && bits > 0) {
+      const double lo = 1.0 / static_cast<double>(bits);
+      const double density = std::exp(rng.uniform(std::log(lo), 0.0));
+      g = Genome::random(bits, density, rng);
+    }
+    Individual ind;
+    ind.obj = evaluate(problem, g, damageTotal);
+    ind.genome = std::move(g);
+    result.archive.add(std::move(ind));
+    ++result.stats.evaluations;
+  }
+  return result;
+}
+
+namespace {
+
+/// Primitive order of the greedy sweep: decreasing gain/cost ratio;
+/// zero-cost positive-gain items first, zero-gain items last.
+std::vector<std::uint32_t> greedyOrder(const LinearBiProblem& problem) {
+  std::vector<std::uint32_t> order(problem.size());
+  std::iota(order.begin(), order.end(), 0U);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const auto ratio = [&](std::uint32_t i) {
+      if (problem.gain[i] == 0) return -1.0;
+      if (problem.cost[i] == 0) return std::numeric_limits<double>::infinity();
+      return static_cast<double>(problem.gain[i]) /
+             static_cast<double>(problem.cost[i]);
+    };
+    const double ra = ratio(a), rb = ratio(b);
+    if (ra != rb) return ra > rb;
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace
+
+RunResult greedyFront(const LinearBiProblem& problem, std::size_t maxPoints) {
+  problem.checkConsistent();
+  const std::size_t n = problem.size();
+  const std::uint64_t damageTotal = problem.damageTotal();
+  const std::vector<std::uint32_t> order = greedyOrder(problem);
+
+  // Number of prefixes that still improve damage.
+  std::size_t useful = 0;
+  while (useful < n && problem.gain[order[useful]] > 0) ++useful;
+
+  // Keep every prefix when small, otherwise ~maxPoints evenly spaced
+  // ones (always including the empty and the full useful prefix).  Each
+  // stored prefix materializes a genome of up to n indices, so the point
+  // budget shrinks on very large instances to bound memory at ~200 MB.
+  if (n > 0) {
+    maxPoints = std::min(maxPoints,
+                         std::max<std::size_t>(64, 100'000'000 / n));
+  }
+  const std::size_t stride =
+      useful <= maxPoints ? 1 : (useful + maxPoints - 1) / maxPoints;
+
+  RunResult result;
+  std::vector<Individual> members;
+  std::vector<std::uint32_t> prefix;
+  prefix.reserve(useful);
+  Objectives obj{0, damageTotal};
+  members.push_back({Genome(n), obj});
+  for (std::size_t k = 0; k < useful; ++k) {
+    const std::uint32_t idx = order[k];
+    prefix.push_back(idx);
+    obj.cost += problem.cost[idx];
+    obj.damage -= problem.gain[idx];
+    if ((k + 1) % stride == 0 || k + 1 == useful)
+      members.push_back({Genome(n, prefix), obj});
+  }
+  result.stats.evaluations = useful + 1;
+  // Prefix objectives are strictly improving in damage; costs can repeat
+  // only through zero-cost items, where the later (better) prefix wins.
+  // A single nondominated cleanup keeps the archive invariant intact.
+  std::vector<Individual> clean;
+  for (Individual& m : members) {
+    while (!clean.empty() && m.obj.cost == clean.back().obj.cost &&
+           m.obj.damage <= clean.back().obj.damage)
+      clean.pop_back();
+    clean.push_back(std::move(m));
+  }
+  for (Individual& m : clean) result.archive.add(std::move(m));
+  return result;
+}
+
+std::optional<Individual> greedyMinCost(const LinearBiProblem& problem,
+                                        std::uint64_t damageBound) {
+  problem.checkConsistent();
+  const std::vector<std::uint32_t> order = greedyOrder(problem);
+  std::vector<std::uint32_t> prefix;
+  Objectives obj{0, problem.damageTotal()};
+  for (std::uint32_t idx : order) {
+    if (obj.damage <= damageBound) break;
+    if (problem.gain[idx] == 0) break;
+    prefix.push_back(idx);
+    obj.cost += problem.cost[idx];
+    obj.damage -= problem.gain[idx];
+  }
+  if (obj.damage > damageBound) return std::nullopt;
+  Individual ind;
+  ind.genome = Genome(problem.size(), std::move(prefix));
+  ind.obj = obj;
+  return ind;
+}
+
+std::vector<Objectives> exactParetoFront(const LinearBiProblem& problem,
+                                         std::size_t opBudget) {
+  problem.checkConsistent();
+  const std::uint64_t costTotal = problem.costTotal();
+  const std::uint64_t damageTotal = problem.damageTotal();
+  const std::size_t n = problem.size();
+  RRSN_CHECK(n * (costTotal + 1) <= opBudget,
+             "exactParetoFront: instance too large for the DP budget");
+
+  // bestGain[c] = max damage avoidable with cost exactly <= c.
+  std::vector<std::uint64_t> bestGain(costTotal + 1, 0);
+  std::uint64_t freeGain = 0;  // zero-cost items are always worth taking
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t c = problem.cost[i];
+    const std::uint64_t g = problem.gain[i];
+    if (g == 0) continue;
+    if (c == 0) {
+      freeGain += g;
+      continue;
+    }
+    for (std::uint64_t budget = costTotal; budget + 1 > c; --budget) {
+      bestGain[budget] = std::max(bestGain[budget], bestGain[budget - c] + g);
+    }
+  }
+  std::vector<Objectives> front;
+  std::uint64_t lastGain = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint64_t c = 0; c <= costTotal; ++c) {
+    if (bestGain[c] != lastGain) {
+      front.push_back({c, damageTotal - (bestGain[c] + freeGain)});
+      lastGain = bestGain[c];
+    }
+  }
+  return nondominatedFront(std::move(front));
+}
+
+}  // namespace rrsn::moo

@@ -1,0 +1,44 @@
+// Non-evolutionary reference optimizers for the hardening problem.
+//
+// Because both objectives are linear (see problem.hpp), the hardening
+// task is a bi-objective 0/1 knapsack.  That gives us:
+//  * randomSearch  — same evaluation budget as the EA, no learning;
+//  * greedyFront   — sweep primitives by gain/cost ratio; each prefix is
+//    a candidate solution (the classic knapsack heuristic);
+//  * exactParetoFront — dynamic program over the cost dimension, exact
+//    Pareto front for instances with a modest total cost.  The EA can
+//    never dominate it, which the tests exploit as a correctness bound.
+#pragma once
+
+#include "moo/pareto.hpp"
+#include "moo/spea2.hpp"
+
+namespace rrsn::moo {
+
+/// Uniform random sampling with `evaluations` draws at log-uniform
+/// densities; returns the nondominated archive.
+RunResult randomSearch(const LinearBiProblem& problem,
+                       std::size_t evaluations, std::uint64_t seed);
+
+/// Greedy ratio sweep.  Primitives with zero cost and positive gain are
+/// always taken first.  Returns the archive of the prefix solutions; on
+/// instances with more than `maxPoints` useful primitives the stored
+/// front is thinned to ~maxPoints evenly spaced prefixes (materializing
+/// every prefix genome would need O(n^2) memory).
+RunResult greedyFront(const LinearBiProblem& problem,
+                      std::size_t maxPoints = 4096);
+
+/// The cheapest greedy prefix whose damage is <= damageBound (exact, no
+/// thinning; O(n log n) time and O(n) memory).  nullopt if even the full
+/// sweep cannot reach the bound.
+std::optional<Individual> greedyMinCost(const LinearBiProblem& problem,
+                                        std::uint64_t damageBound);
+
+/// Exact Pareto front via DP over cost (0/1 knapsack).  Throws
+/// ValidationError when size() * costTotal() exceeds `opBudget`
+/// (defaults to 2e8 elementary steps) to protect against misuse on the
+/// large benchmarks.
+std::vector<Objectives> exactParetoFront(const LinearBiProblem& problem,
+                                         std::size_t opBudget = 200'000'000);
+
+}  // namespace rrsn::moo

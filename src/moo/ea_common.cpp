@@ -1,0 +1,65 @@
+#include "moo/ea_common.hpp"
+
+#include <cmath>
+
+namespace rrsn::moo::detail {
+
+std::vector<Individual> initialPopulation(const LinearBiProblem& problem,
+                                          std::uint64_t damageTotal,
+                                          const EvolutionOptions& options,
+                                          Rng& rng) {
+  RRSN_CHECK(options.populationSize >= 2, "population needs >= 2 individuals");
+  const std::size_t bits = problem.size();
+  std::vector<Individual> pop;
+  pop.reserve(options.populationSize);
+  for (std::size_t i = 0; i < options.populationSize; ++i) {
+    Genome g(bits);
+    if (i >= 2 && i - 2 < options.seedGenomes.size()) {
+      g = options.seedGenomes[i - 2];
+      RRSN_CHECK(g.bits() == bits, "seed genome length mismatch");
+    } else if (i == 1 && bits > 0) {
+      // Individual 1: everything hardened — the expensive Pareto endpoint.
+      // Together with the all-zero individual 0 both anchors exist from
+      // generation 0, and one-point crossover against the dense anchor
+      // lets the search descend from the low-damage end.
+      std::vector<std::uint32_t> all(bits);
+      for (std::uint32_t k = 0; k < bits; ++k) all[k] = k;
+      g = Genome(bits, std::move(all));
+    } else if (i != 0 && bits > 0) {
+      const double u = rng.uniform();
+      double density = std::min(u * u, options.maxInitDensity);
+      if (options.maxInitOnes > 0) {
+        density = std::min(density, static_cast<double>(options.maxInitOnes) /
+                                        static_cast<double>(bits));
+      }
+      g = Genome::random(bits, density, rng);
+    }
+    Individual ind;
+    ind.obj = evaluate(problem, g, damageTotal);
+    ind.genome = std::move(g);
+    pop.push_back(std::move(ind));
+  }
+  return pop;
+}
+
+Individual makeOffspring(const LinearBiProblem& problem,
+                         std::uint64_t damageTotal, const Individual& a,
+                         const Individual& b, const EvolutionOptions& options,
+                         Rng& rng) {
+  const std::size_t bits = problem.size();
+  Genome child(bits);
+  if (rng.chance(options.crossoverProb)) {
+    const std::size_t point =
+        bits == 0 ? 0 : static_cast<std::size_t>(rng.below(bits + 1));
+    child = Genome::crossover(a.genome, b.genome, point);
+  } else {
+    child = a.genome;
+  }
+  child.mutatePerBit(options.mutationProbPerBit, rng);
+  Individual ind;
+  ind.obj = evaluate(problem, child, damageTotal);
+  ind.genome = std::move(child);
+  return ind;
+}
+
+}  // namespace rrsn::moo::detail

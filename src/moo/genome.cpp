@@ -1,0 +1,88 @@
+#include "moo/genome.hpp"
+
+#include <algorithm>
+
+namespace rrsn::moo {
+
+Genome::Genome(std::size_t bits, std::vector<std::uint32_t> ones)
+    : bits_(bits), ones_(std::move(ones)) {
+  std::sort(ones_.begin(), ones_.end());
+  ones_.erase(std::unique(ones_.begin(), ones_.end()), ones_.end());
+  RRSN_CHECK(ones_.empty() || ones_.back() < bits_,
+             "genome one-position out of range");
+}
+
+Genome Genome::random(std::size_t bits, double density, Rng& rng) {
+  Genome g(bits);
+  if (bits == 0 || density <= 0.0) return g;
+  const std::uint64_t k = rng.binomial(bits, std::min(density, 1.0));
+  for (std::size_t idx : rng.sampleIndices(bits, std::min<std::size_t>(k, bits)))
+    g.ones_.push_back(static_cast<std::uint32_t>(idx));
+  return g;
+}
+
+bool Genome::test(std::uint32_t idx) const {
+  RRSN_CHECK(idx < bits_, "genome index out of range");
+  return std::binary_search(ones_.begin(), ones_.end(), idx);
+}
+
+void Genome::flip(std::uint32_t idx) {
+  RRSN_CHECK(idx < bits_, "genome index out of range");
+  const auto it = std::lower_bound(ones_.begin(), ones_.end(), idx);
+  if (it != ones_.end() && *it == idx)
+    ones_.erase(it);
+  else
+    ones_.insert(it, idx);
+}
+
+Genome Genome::crossover(const Genome& a, const Genome& b, std::size_t point) {
+  RRSN_CHECK(a.bits_ == b.bits_, "crossover operands must have equal length");
+  RRSN_CHECK(point <= a.bits_, "crossover point out of range");
+  Genome child(a.bits_);
+  const auto aEnd = std::lower_bound(a.ones_.begin(), a.ones_.end(),
+                                     static_cast<std::uint32_t>(point));
+  const auto bBegin = std::lower_bound(b.ones_.begin(), b.ones_.end(),
+                                       static_cast<std::uint32_t>(point));
+  child.ones_.assign(a.ones_.begin(), aEnd);
+  child.ones_.insert(child.ones_.end(), bBegin, b.ones_.end());
+  return child;
+}
+
+void Genome::mutatePerBit(double pBit, Rng& rng) {
+  if (bits_ == 0 || pBit <= 0.0) return;
+  const std::uint64_t flips = rng.binomial(bits_, std::min(pBit, 1.0));
+  if (flips == 0) return;
+  const auto positions =
+      rng.sampleIndices(bits_, std::min<std::size_t>(flips, bits_));
+  // Symmetric difference of two sorted ranges — O(ones + flips).
+  std::vector<std::uint32_t> merged;
+  merged.reserve(ones_.size() + positions.size());
+  auto it = ones_.begin();
+  for (std::size_t pos : positions) {
+    const auto p = static_cast<std::uint32_t>(pos);
+    while (it != ones_.end() && *it < p) merged.push_back(*it++);
+    if (it != ones_.end() && *it == p)
+      ++it;  // was set -> cleared
+    else
+      merged.push_back(p);  // was clear -> set
+  }
+  merged.insert(merged.end(), it, ones_.end());
+  ones_ = std::move(merged);
+}
+
+Objectives evaluate(const LinearBiProblem& problem, const Genome& g,
+                    std::uint64_t damageTotal) {
+  RRSN_CHECK(g.bits() == problem.size(),
+             "genome length does not match the problem");
+  Objectives obj;
+  std::uint64_t avoided = 0;
+  for (std::uint32_t idx : g.indices()) {
+    obj.cost += problem.cost[idx];
+    avoided += problem.gain[idx];
+  }
+  RRSN_CHECK(avoided <= damageTotal, "gain sum exceeds total damage");
+  obj.damage = damageTotal - avoided;
+  return obj;
+}
+
+}  // namespace rrsn::moo

@@ -1,0 +1,59 @@
+// Sparse binary genome.
+//
+// Good hardening solutions set only a small fraction of the up-to-670k
+// decision bits, so genomes are stored as sorted index vectors; one-point
+// crossover and per-bit mutation then run in O(ones) instead of O(bits).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "moo/problem.hpp"
+#include "support/rng.hpp"
+
+namespace rrsn::moo {
+
+/// A fixed-universe binary string stored as the sorted set of one-bits.
+class Genome {
+ public:
+  Genome() = default;
+
+  /// Empty genome (all zero) over `bits` positions.
+  explicit Genome(std::size_t bits) : bits_(bits) {}
+
+  /// Genome with the given one-positions (must be < bits; duplicates and
+  /// unsorted input are normalized).
+  Genome(std::size_t bits, std::vector<std::uint32_t> ones);
+
+  /// Random genome: each bit set independently with probability density.
+  static Genome random(std::size_t bits, double density, Rng& rng);
+
+  std::size_t bits() const { return bits_; }
+  std::size_t ones() const { return ones_.size(); }
+  const std::vector<std::uint32_t>& indices() const { return ones_; }
+
+  bool test(std::uint32_t idx) const;
+
+  /// Flips one bit in place.
+  void flip(std::uint32_t idx);
+
+  /// One-point crossover (Sec. V step 6): bits [0, point) from `a`,
+  /// bits [point, n) from `b`.
+  static Genome crossover(const Genome& a, const Genome& b, std::size_t point);
+
+  /// Independent per-bit mutation with probability `pBit`: the number of
+  /// flips is drawn binomially, positions uniformly without replacement.
+  void mutatePerBit(double pBit, Rng& rng);
+
+  bool operator==(const Genome&) const = default;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint32_t> ones_;
+};
+
+/// Exact objective evaluation in O(ones).
+Objectives evaluate(const LinearBiProblem& problem, const Genome& g,
+                    std::uint64_t damageTotal);
+
+}  // namespace rrsn::moo

@@ -1,0 +1,165 @@
+#include "moo/nsga2.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rrsn::moo {
+
+namespace {
+
+/// Fast non-dominated sort; returns front index per individual.
+std::vector<std::size_t> nonDominatedSort(
+    const std::vector<Individual>& all) {
+  const std::size_t m = all.size();
+  std::vector<std::size_t> front(m, 0);
+  std::vector<std::vector<std::size_t>> dominatesList(m);
+  std::vector<std::size_t> dominatedBy(m, 0);
+  std::vector<std::size_t> current;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i == j) continue;
+      if (dominates(all[i].obj, all[j].obj)) dominatesList[i].push_back(j);
+      else if (dominates(all[j].obj, all[i].obj)) ++dominatedBy[i];
+    }
+    if (dominatedBy[i] == 0) {
+      front[i] = 0;
+      current.push_back(i);
+    }
+  }
+  std::size_t level = 0;
+  while (!current.empty()) {
+    std::vector<std::size_t> next;
+    for (std::size_t i : current) {
+      for (std::size_t j : dominatesList[i]) {
+        if (--dominatedBy[j] == 0) {
+          front[j] = level + 1;
+          next.push_back(j);
+        }
+      }
+    }
+    current = std::move(next);
+    ++level;
+  }
+  return front;
+}
+
+/// Crowding distance within one front (indices into `all`).
+std::vector<double> crowdingDistance(const std::vector<Individual>& all,
+                                     const std::vector<std::size_t>& front) {
+  std::vector<double> crowd(front.size(), 0.0);
+  const std::size_t n = front.size();
+  if (n <= 2) {
+    std::fill(crowd.begin(), crowd.end(),
+              std::numeric_limits<double>::infinity());
+    return crowd;
+  }
+  // With two strictly conflicting objectives, sorting by cost sorts by
+  // damage in reverse; one pass covers both objectives.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return all[front[a]].obj.cost < all[front[b]].obj.cost;
+  });
+  const auto span = [&](auto get) {
+    const double lo = static_cast<double>(get(all[front[order.front()]].obj));
+    const double hi = static_cast<double>(get(all[front[order.back()]].obj));
+    return std::max(std::abs(hi - lo), 1.0);
+  };
+  const double spanCost = span([](const Objectives& o) { return o.cost; });
+  const double spanDamage = span([](const Objectives& o) { return o.damage; });
+  crowd[order.front()] = std::numeric_limits<double>::infinity();
+  crowd[order.back()] = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const Objectives& prev = all[front[order[i - 1]]].obj;
+    const Objectives& next = all[front[order[i + 1]]].obj;
+    const double dc = static_cast<double>(next.cost) -
+                      static_cast<double>(prev.cost);
+    const double dd = static_cast<double>(prev.damage) -
+                      static_cast<double>(next.damage);
+    crowd[order[i]] += dc / spanCost + std::abs(dd) / spanDamage;
+  }
+  return crowd;
+}
+
+}  // namespace
+
+RunResult runNsga2(const LinearBiProblem& problem,
+                   const EvolutionOptions& options,
+                   const ProgressFn& progress) {
+  problem.checkConsistent();
+  Rng rng(options.seed);
+  const std::uint64_t damageTotal = problem.damageTotal();
+
+  RunResult result;
+  std::vector<Individual> population =
+      detail::initialPopulation(problem, damageTotal, options, rng);
+  result.stats.evaluations += population.size();
+
+  // Rank + crowding of the current population (for tournament selection).
+  std::vector<std::size_t> rank(population.size(), 0);
+  std::vector<double> crowd(population.size(), 0.0);
+  const auto rescore = [&](const std::vector<Individual>& pop,
+                           std::vector<std::size_t>& rankOut,
+                           std::vector<double>& crowdOut) {
+    rankOut = nonDominatedSort(pop);
+    crowdOut.assign(pop.size(), 0.0);
+    const std::size_t levels =
+        pop.empty() ? 0 : *std::max_element(rankOut.begin(), rankOut.end()) + 1;
+    for (std::size_t level = 0; level < levels; ++level) {
+      std::vector<std::size_t> front;
+      for (std::size_t i = 0; i < pop.size(); ++i)
+        if (rankOut[i] == level) front.push_back(i);
+      const auto cd = crowdingDistance(pop, front);
+      for (std::size_t i = 0; i < front.size(); ++i) crowdOut[front[i]] = cd[i];
+    }
+  };
+  rescore(population, rank, crowd);
+
+  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    // Variation: binary tournament on (rank, crowding).
+    const auto tournament = [&]() -> const Individual& {
+      const auto a = static_cast<std::size_t>(rng.below(population.size()));
+      const auto b = static_cast<std::size_t>(rng.below(population.size()));
+      if (rank[a] != rank[b]) return population[rank[a] < rank[b] ? a : b];
+      return population[crowd[a] >= crowd[b] ? a : b];
+    };
+    std::vector<Individual> combined = population;
+    for (std::size_t i = 0; i < options.populationSize; ++i) {
+      combined.push_back(detail::makeOffspring(
+          problem, damageTotal, tournament(), tournament(), options, rng));
+    }
+    result.stats.evaluations += options.populationSize;
+
+    // Environmental selection: best fronts, crowding to split the last.
+    std::vector<std::size_t> combinedRank;
+    std::vector<double> combinedCrowd;
+    rescore(combined, combinedRank, combinedCrowd);
+    std::vector<std::size_t> order(combined.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (combinedRank[a] != combinedRank[b])
+        return combinedRank[a] < combinedRank[b];
+      return combinedCrowd[a] > combinedCrowd[b];
+    });
+    std::vector<Individual> next;
+    std::vector<std::size_t> nextRank;
+    std::vector<double> nextCrowd;
+    next.reserve(options.populationSize);
+    for (std::size_t i = 0; i < options.populationSize; ++i) {
+      next.push_back(std::move(combined[order[i]]));
+      nextRank.push_back(combinedRank[order[i]]);
+      nextCrowd.push_back(combinedCrowd[order[i]]);
+    }
+    population = std::move(next);
+    rank = std::move(nextRank);
+    crowd = std::move(nextCrowd);
+    ++result.stats.generations;
+
+    if (progress) progress(gen, population);
+  }
+
+  for (Individual& ind : population) result.archive.add(std::move(ind));
+  return result;
+}
+
+}  // namespace rrsn::moo

@@ -1,0 +1,18 @@
+// NSGA-II — fast elitist non-dominated sorting GA (Deb et al., 2002).
+//
+// The paper cites NSGA-II as the standard alternative to SPEA-2 [15]; we
+// ship it as a baseline so the EA-ablation bench can compare front
+// quality under identical variation operators and budgets.
+#pragma once
+
+#include "moo/ea_common.hpp"
+#include "moo/spea2.hpp"  // RunResult / RunStats
+
+namespace rrsn::moo {
+
+/// Runs NSGA-II on a linear bi-objective problem.
+RunResult runNsga2(const LinearBiProblem& problem,
+                   const EvolutionOptions& options,
+                   const ProgressFn& progress = {});
+
+}  // namespace rrsn::moo

@@ -1,0 +1,104 @@
+#include "moo/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rrsn::moo {
+
+bool ParetoArchive::add(Individual ind) {
+  for (const Individual& m : members_) {
+    if (dominates(m.obj, ind.obj) || m.obj == ind.obj) return false;
+  }
+  std::erase_if(members_,
+                [&](const Individual& m) { return dominates(ind.obj, m.obj); });
+  const auto pos = std::lower_bound(
+      members_.begin(), members_.end(), ind,
+      [](const Individual& a, const Individual& b) {
+        return a.obj.cost < b.obj.cost;
+      });
+  members_.insert(pos, std::move(ind));
+  return true;
+}
+
+std::optional<Individual> ParetoArchive::minCostWithDamageAtMost(
+    std::uint64_t bound) const {
+  // Members are sorted by ascending cost; the first one meeting the
+  // damage bound is the cheapest.
+  for (const Individual& m : members_)
+    if (m.obj.damage <= bound) return m;
+  return std::nullopt;
+}
+
+std::optional<Individual> ParetoArchive::minDamageWithCostAtMost(
+    std::uint64_t bound) const {
+  // Damage decreases with cost along the front; the last affordable
+  // member has the least damage.
+  std::optional<Individual> best;
+  for (const Individual& m : members_) {
+    if (m.obj.cost <= bound &&
+        (!best || m.obj.damage < best->obj.damage))
+      best = m;
+  }
+  return best;
+}
+
+std::vector<Objectives> ParetoArchive::front() const {
+  std::vector<Objectives> out;
+  out.reserve(members_.size());
+  for (const Individual& m : members_) out.push_back(m.obj);
+  return out;
+}
+
+std::vector<Objectives> nondominatedFront(std::vector<Objectives> points) {
+  std::sort(points.begin(), points.end(),
+            [](const Objectives& a, const Objectives& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              return a.damage < b.damage;
+            });
+  std::vector<Objectives> front;
+  std::uint64_t bestDamage = std::numeric_limits<std::uint64_t>::max();
+  for (const Objectives& p : points) {
+    if (p.damage < bestDamage) {
+      front.push_back(p);
+      bestDamage = p.damage;
+    }
+  }
+  return front;
+}
+
+double hypervolume2D(const std::vector<Objectives>& front,
+                     const Objectives& ref) {
+  const auto clean = nondominatedFront(front);
+  double area = 0.0;
+  std::uint64_t prevDamage = ref.damage;
+  for (const Objectives& p : clean) {
+    if (p.cost >= ref.cost || p.damage >= prevDamage) continue;
+    const double width = static_cast<double>(ref.cost - p.cost);
+    const double height = static_cast<double>(prevDamage - p.damage);
+    area += width * height;
+    prevDamage = p.damage;
+  }
+  return area;
+}
+
+double additiveEpsilon(const std::vector<Objectives>& a,
+                       const std::vector<Objectives>& b) {
+  RRSN_CHECK(!a.empty() && !b.empty(),
+             "epsilon indicator needs non-empty fronts");
+  double eps = 0.0;
+  for (const Objectives& q : b) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const Objectives& p : a) {
+      const double needCost =
+          static_cast<double>(p.cost) - static_cast<double>(q.cost);
+      const double needDamage =
+          static_cast<double>(p.damage) - static_cast<double>(q.damage);
+      best = std::min(best, std::max({needCost, needDamage, 0.0}));
+    }
+    eps = std::max(eps, best);
+  }
+  return eps;
+}
+
+}  // namespace rrsn::moo

@@ -1,0 +1,61 @@
+// Pareto archive and front utilities.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "moo/genome.hpp"
+#include "moo/problem.hpp"
+
+namespace rrsn::moo {
+
+/// One evaluated candidate.
+struct Individual {
+  Genome genome;
+  Objectives obj;
+};
+
+/// Archive of mutually nondominated individuals, kept sorted by
+/// ascending cost (hence descending damage).
+class ParetoArchive {
+ public:
+  /// Inserts if not dominated; evicts members the newcomer dominates.
+  /// Returns true if the individual was added.
+  bool add(Individual ind);
+
+  const std::vector<Individual>& members() const { return members_; }
+  std::size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+  /// The member with the lowest cost among those with damage <= bound
+  /// (the paper's "minimize cost, damage <= 10%" solution).
+  std::optional<Individual> minCostWithDamageAtMost(std::uint64_t bound) const;
+
+  /// The member with the lowest damage among those with cost <= bound
+  /// (the paper's "minimize damage, cost <= 10%" solution).
+  std::optional<Individual> minDamageWithCostAtMost(std::uint64_t bound) const;
+
+  /// Objective vectors of the front, sorted by ascending cost.
+  std::vector<Objectives> front() const;
+
+ private:
+  std::vector<Individual> members_;
+};
+
+/// Removes dominated and duplicate points; result sorted by ascending
+/// cost.  Pure function used by the metrics below.
+std::vector<Objectives> nondominatedFront(std::vector<Objectives> points);
+
+/// 2-D hypervolume (area dominated by `front` up to `ref`); points not
+/// strictly below the reference point contribute nothing.  `front` need
+/// not be sorted or minimal.
+double hypervolume2D(const std::vector<Objectives>& front,
+                     const Objectives& ref);
+
+/// Additive epsilon indicator eps(A, B): the smallest eps such that every
+/// point of B is weakly dominated by some point of A shifted by +eps in
+/// both objectives.  0 when A covers B; larger means A is worse.
+double additiveEpsilon(const std::vector<Objectives>& a,
+                       const std::vector<Objectives>& b);
+
+}  // namespace rrsn::moo

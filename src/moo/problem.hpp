@@ -1,0 +1,65 @@
+// The bi-objective pseudo-boolean problem class the selective-hardening
+// task belongs to (Sec. V, Eq. 2-3).
+//
+// Under the single-fault assumption the total damage separates per
+// primitive: hardening primitive j avoids its faults entirely, so
+//
+//   damage(x) = sum_j (1 - x_j) * d_j = damageTotal - sum_{j: x_j=1} d_j
+//   cost(x)   = sum_j x_j * c_j
+//
+// Both objectives are linear in the decision bits, which the optimizer
+// exploits for O(|ones|) evaluation.  The EA itself (SPEA-2 / NSGA-II)
+// does not rely on linearity and treats candidates as opaque bit vectors,
+// exactly like the paper's Opt4J setup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace rrsn::moo {
+
+/// Objective vector; both components are minimized.
+struct Objectives {
+  std::uint64_t cost = 0;
+  std::uint64_t damage = 0;
+
+  bool operator==(const Objectives&) const = default;
+};
+
+/// Weak Pareto dominance: a is no worse in both and strictly better in
+/// at least one objective.
+inline bool dominates(const Objectives& a, const Objectives& b) {
+  return a.cost <= b.cost && a.damage <= b.damage &&
+         (a.cost < b.cost || a.damage < b.damage);
+}
+
+/// A linear bi-objective minimization instance.
+struct LinearBiProblem {
+  std::vector<std::uint64_t> cost;  ///< c_j: hardening cost of primitive j
+  std::vector<std::uint64_t> gain;  ///< d_j: damage avoided by hardening j
+
+  std::size_t size() const { return cost.size(); }
+
+  /// sum_j d_j — the damage when nothing is hardened.
+  std::uint64_t damageTotal() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t g : gain) t += g;
+    return t;
+  }
+
+  /// sum_j c_j — the cost when everything is hardened.
+  std::uint64_t costTotal() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t c : cost) t += c;
+    return t;
+  }
+
+  void checkConsistent() const {
+    RRSN_CHECK(cost.size() == gain.size(),
+               "cost and gain vectors must have equal length");
+  }
+};
+
+}  // namespace rrsn::moo

@@ -1,0 +1,209 @@
+#include "moo/spea2.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace rrsn::moo {
+
+namespace {
+
+/// Scratch per individual of the combined population P+A.
+struct Scored {
+  Individual ind;
+  double fitness = 0.0;
+};
+
+/// Normalized objective-space coordinates of the combined population.
+std::vector<std::pair<double, double>> normalizedPoints(
+    const std::vector<Scored>& all) {
+  std::uint64_t minC = std::numeric_limits<std::uint64_t>::max(), maxC = 0;
+  std::uint64_t minD = std::numeric_limits<std::uint64_t>::max(), maxD = 0;
+  for (const Scored& s : all) {
+    minC = std::min(minC, s.ind.obj.cost);
+    maxC = std::max(maxC, s.ind.obj.cost);
+    minD = std::min(minD, s.ind.obj.damage);
+    maxD = std::max(maxD, s.ind.obj.damage);
+  }
+  const double spanC = maxC > minC ? static_cast<double>(maxC - minC) : 1.0;
+  const double spanD = maxD > minD ? static_cast<double>(maxD - minD) : 1.0;
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(all.size());
+  for (const Scored& s : all) {
+    pts.emplace_back(
+        static_cast<double>(s.ind.obj.cost - minC) / spanC,
+        static_cast<double>(s.ind.obj.damage - minD) / spanD);
+  }
+  return pts;
+}
+
+double sqDist(const std::pair<double, double>& a,
+              const std::pair<double, double>& b) {
+  const double dx = a.first - b.first;
+  const double dy = a.second - b.second;
+  return dx * dx + dy * dy;
+}
+
+/// Computes SPEA-2 fitness F = R + D for every member of `all`.
+void computeFitness(std::vector<Scored>& all) {
+  const std::size_t m = all.size();
+  // Strength and raw fitness by pairwise dominance.
+  std::vector<std::uint32_t> strength(m, 0);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < m; ++j)
+      if (i != j && dominates(all[i].ind.obj, all[j].ind.obj)) ++strength[i];
+  std::vector<double> raw(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < m; ++j)
+      if (i != j && dominates(all[j].ind.obj, all[i].ind.obj))
+        raw[i] += strength[j];
+
+  // k-th nearest neighbor density.
+  const auto pts = normalizedPoints(all);
+  const auto k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::sqrt(static_cast<double>(m))));
+  std::vector<double> dist;
+  dist.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    dist.clear();
+    for (std::size_t j = 0; j < m; ++j)
+      if (j != i) dist.push_back(sqDist(pts[i], pts[j]));
+    const std::size_t kk = std::min(k, dist.size()) - 1;
+    std::nth_element(dist.begin(),
+                     dist.begin() + static_cast<std::ptrdiff_t>(kk),
+                     dist.end());
+    const double sigma = std::sqrt(dist[kk]);
+    all[i].fitness = raw[i] + 1.0 / (sigma + 2.0);
+  }
+}
+
+/// Environmental selection: indices of `all` forming the next archive.
+std::vector<std::size_t> environmentalSelection(const std::vector<Scored>& all,
+                                                std::size_t archiveSize) {
+  std::vector<std::size_t> nondominated;
+  std::vector<std::size_t> dominated;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    (all[i].fitness < 1.0 ? nondominated : dominated).push_back(i);
+  }
+  if (nondominated.size() <= archiveSize) {
+    // Fill with the best dominated individuals.
+    std::sort(dominated.begin(), dominated.end(),
+              [&](std::size_t a, std::size_t b) {
+                return all[a].fitness < all[b].fitness;
+              });
+    for (std::size_t i : dominated) {
+      if (nondominated.size() >= archiveSize) break;
+      nondominated.push_back(i);
+    }
+    return nondominated;
+  }
+
+  // Truncation: iteratively remove the individual with the smallest
+  // nearest-neighbor distance (TR-103 uses a full lexicographic distance
+  // signature; the nearest-neighbor criterion with incremental updates
+  // is the standard fast variant and preserves boundary points).
+  const auto pts = normalizedPoints(all);
+  std::vector<bool> active(all.size(), false);
+  for (std::size_t i : nondominated) active[i] = true;
+
+  std::vector<double> nnDist(all.size(),
+                             std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> nnOf(all.size(), SIZE_MAX);
+  const auto recomputeNn = [&](std::size_t i) {
+    nnDist[i] = std::numeric_limits<double>::infinity();
+    nnOf[i] = SIZE_MAX;
+    for (std::size_t j : nondominated) {
+      if (j == i || !active[j]) continue;
+      const double d = sqDist(pts[i], pts[j]);
+      if (d < nnDist[i]) {
+        nnDist[i] = d;
+        nnOf[i] = j;
+      }
+    }
+  };
+  for (std::size_t i : nondominated) recomputeNn(i);
+
+  std::size_t remaining = nondominated.size();
+  while (remaining > archiveSize) {
+    std::size_t victim = SIZE_MAX;
+    for (std::size_t i : nondominated) {
+      if (!active[i]) continue;
+      if (victim == SIZE_MAX || nnDist[i] < nnDist[victim]) victim = i;
+    }
+    active[victim] = false;
+    --remaining;
+    for (std::size_t i : nondominated) {
+      if (active[i] && nnOf[i] == victim) recomputeNn(i);
+    }
+  }
+  std::vector<std::size_t> result;
+  for (std::size_t i : nondominated)
+    if (active[i]) result.push_back(i);
+  return result;
+}
+
+}  // namespace
+
+RunResult runSpea2(const LinearBiProblem& problem,
+                   const EvolutionOptions& options,
+                   const ProgressFn& progress) {
+  problem.checkConsistent();
+  Rng rng(options.seed);
+  const std::uint64_t damageTotal = problem.damageTotal();
+  const std::size_t archiveSize =
+      options.archiveSize == 0 ? options.populationSize : options.archiveSize;
+
+  RunResult result;
+  std::vector<Individual> population =
+      detail::initialPopulation(problem, damageTotal, options, rng);
+  result.stats.evaluations += population.size();
+  std::vector<Individual> archive;
+
+  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    // Fitness assignment over P + A.
+    std::vector<Scored> all;
+    all.reserve(population.size() + archive.size());
+    for (Individual& ind : population) all.push_back({std::move(ind), 0.0});
+    for (Individual& ind : archive) all.push_back({std::move(ind), 0.0});
+    computeFitness(all);
+
+    // Environmental selection -> next archive.
+    const auto keep = environmentalSelection(all, archiveSize);
+    std::vector<Individual> nextArchive;
+    std::vector<double> archiveFitness;
+    nextArchive.reserve(keep.size());
+    for (std::size_t i : keep) {
+      nextArchive.push_back(std::move(all[i].ind));
+      archiveFitness.push_back(all[i].fitness);
+    }
+
+    if (progress) progress(gen, nextArchive);
+
+    // Mating selection (binary tournament on fitness) + variation.
+    std::vector<Individual> offspring;
+    offspring.reserve(options.populationSize);
+    const auto tournament = [&]() -> const Individual& {
+      const std::size_t a =
+          static_cast<std::size_t>(rng.below(nextArchive.size()));
+      const std::size_t b =
+          static_cast<std::size_t>(rng.below(nextArchive.size()));
+      return archiveFitness[a] <= archiveFitness[b] ? nextArchive[a]
+                                                    : nextArchive[b];
+    };
+    for (std::size_t i = 0; i < options.populationSize; ++i) {
+      offspring.push_back(detail::makeOffspring(
+          problem, damageTotal, tournament(), tournament(), options, rng));
+    }
+    result.stats.evaluations += offspring.size();
+    population = std::move(offspring);
+    archive = std::move(nextArchive);
+    ++result.stats.generations;
+  }
+
+  for (Individual& ind : archive) result.archive.add(std::move(ind));
+  for (Individual& ind : population) result.archive.add(std::move(ind));
+  return result;
+}
+
+}  // namespace rrsn::moo

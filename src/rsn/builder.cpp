@@ -1,0 +1,81 @@
+#include "rsn/builder.hpp"
+
+namespace rrsn::rsn {
+
+NetworkBuilder::Handle NetworkBuilder::wire() { return structure_.makeWire(); }
+
+NetworkBuilder::Handle NetworkBuilder::segment(
+    const std::string& name, std::uint32_t length,
+    const std::string& instrumentName) {
+  RRSN_CHECK(length > 0, "segment '" + name + "' needs length >= 1");
+  const auto segId = static_cast<SegmentId>(segments_.size());
+  Segment seg;
+  seg.name = name;
+  seg.length = length;
+  if (!instrumentName.empty()) {
+    const auto instId = static_cast<InstrumentId>(instruments_.size());
+    instruments_.push_back(Instrument{instrumentName, segId});
+    seg.instrument = instId;
+  }
+  segments_.push_back(std::move(seg));
+  return structure_.makeSegment(segId);
+}
+
+NetworkBuilder::Handle NetworkBuilder::chain(std::vector<Handle> parts) {
+  return structure_.makeSerial(std::move(parts));
+}
+
+NetworkBuilder::Handle NetworkBuilder::mux(const std::string& name,
+                                           std::vector<Handle> branches,
+                                           const std::string& controlSegment) {
+  const auto muxId = static_cast<MuxId>(muxes_.size());
+  Mux m;
+  m.name = name;
+  if (!controlSegment.empty()) {
+    SegmentId ctrl = kNone;
+    for (std::size_t i = 0; i < segments_.size(); ++i)
+      if (segments_[i].name == controlSegment)
+        ctrl = static_cast<SegmentId>(i);
+    RRSN_CHECK(ctrl != kNone,
+               "mux '" + name + "': unknown control segment '" +
+                   controlSegment + "'");
+    m.controlSegment = ctrl;
+  }
+  muxes_.push_back(std::move(m));
+  return structure_.makeMuxJoin(muxId, std::move(branches));
+}
+
+NetworkBuilder::Handle NetworkBuilder::sib(const std::string& name,
+                                           Handle content) {
+  // SIB register: a 1-bit segment that is always on the scan path and
+  // drives the mux address.  Branch 0 = bypass (deasserted), branch 1 =
+  // content (asserted), matching "stuck-at-deasserted denies access".
+  const auto regId = static_cast<SegmentId>(segments_.size());
+  Segment reg;
+  reg.name = name;
+  reg.length = 1;
+  reg.isSibRegister = true;
+  segments_.push_back(std::move(reg));
+  const Handle regNode = structure_.makeSegment(regId);
+
+  const auto muxId = static_cast<MuxId>(muxes_.size());
+  Mux m;
+  m.name = name + "_mux";
+  m.controlSegment = regId;
+  muxes_.push_back(std::move(m));
+  const Handle join = structure_.makeMuxJoin(muxId, {structure_.makeWire(), content});
+  return structure_.makeSerial({join, regNode});
+}
+
+void NetworkBuilder::setTop(Handle top) {
+  structure_.setRoot(top);
+  topSet_ = true;
+}
+
+Network NetworkBuilder::build() {
+  RRSN_CHECK(topSet_, "NetworkBuilder::setTop was never called");
+  return Network(std::move(name_), std::move(segments_), std::move(muxes_),
+                 std::move(instruments_), std::move(structure_));
+}
+
+}  // namespace rrsn::rsn

@@ -1,0 +1,74 @@
+// Compositional construction of RSNs.
+//
+// Example (the paper's Fig. 1 network lives in example_networks.hpp):
+//
+//   NetworkBuilder b("demo");
+//   auto i1 = b.segment("tdr1", 8, "thermal_sensor");
+//   auto core = b.sib("sib0", i1);              // SIB gating the sensor TDR
+//   auto byp  = b.mux("m0", {core, b.wire()});  // bypassable sub-network
+//   b.setTop(b.chain({b.segment("cfg", 1), byp}));
+//   Network net = b.build();
+//
+// Handles are plain node ids; every handle must be used exactly once in
+// the final structure (enforced by Network::validate()).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rsn/network.hpp"
+
+namespace rrsn::rsn {
+
+class NetworkBuilder {
+ public:
+  /// Opaque handle to a structure fragment under construction.
+  using Handle = NodeId;
+
+  explicit NetworkBuilder(std::string name) : name_(std::move(name)) {}
+
+  /// A direct connection without scan cells (e.g. a SIB bypass).
+  Handle wire();
+
+  /// A scan segment of `length` cells.  If `instrumentName` is non-empty,
+  /// an instrument of that name is created and attached to the segment.
+  Handle segment(const std::string& name, std::uint32_t length = 1,
+                 const std::string& instrumentName = {});
+
+  /// Series composition in scan-in -> scan-out order.
+  Handle chain(std::vector<Handle> parts);
+
+  /// Parallel composition closed by a new scan multiplexer; branch k is
+  /// selected by address value k.  `controlSegment` optionally names an
+  /// already-created segment driving the address port.
+  Handle mux(const std::string& name, std::vector<Handle> branches,
+             const std::string& controlSegment = {});
+
+  /// Segment Insertion Bit: a 1-bit config register `name` plus a mux
+  /// `name + "_mux"`.  Asserted (address 1) the scan path runs through
+  /// `content` and then the SIB register; deasserted it bypasses the
+  /// content.  The SIB register drives its own mux address.
+  Handle sib(const std::string& name, Handle content);
+
+  /// Declares the outermost structure (scan-in -> top -> scan-out).
+  void setTop(Handle top);
+
+  /// Number of segments / muxes created so far (useful for generators
+  /// targeting exact primitive counts).
+  std::size_t segmentCount() const { return segments_.size(); }
+  std::size_t muxCount() const { return muxes_.size(); }
+
+  /// Validates and produces the immutable network.  The builder is left
+  /// in a moved-from state.
+  Network build();
+
+ private:
+  std::string name_;
+  std::vector<Segment> segments_;
+  std::vector<Mux> muxes_;
+  std::vector<Instrument> instruments_;
+  Structure structure_;
+  bool topSet_ = false;
+};
+
+}  // namespace rrsn::rsn

@@ -1,0 +1,51 @@
+#include "rsn/example_networks.hpp"
+
+#include "rsn/builder.hpp"
+
+namespace rrsn::rsn {
+
+Network makeFig1Network() {
+  NetworkBuilder b("fig1");
+  // Configuration register controlling the outer bypass mux m0.
+  auto c0 = b.segment("c0", 1);
+
+  // Branch 0 of m0: SIB-gated instrument i1, two bypassable instruments
+  // i2 / i3, and the trailing segment c2.
+  auto segI1 = b.segment("seg_i1", 4, "i1");
+  auto sb1 = b.sib("sb1", segI1);
+  auto m1 = b.mux("m1", {b.segment("seg_i2", 3, "i2"), b.wire()});
+  auto m2 = b.mux("m2", {b.segment("seg_i3", 5, "i3"), b.wire()});
+  auto c2 = b.segment("c2", 1);
+  auto inner = b.chain({sb1, m1, m2, c2});
+
+  auto m0 = b.mux("m0", {inner, b.wire()}, "c0");
+  auto c1 = b.segment("c1", 2);
+  b.setTop(b.chain({c0, m0, c1}));
+  return b.build();
+}
+
+CriticalitySpec makeFig1Spec(const Network& net) {
+  CriticalitySpec spec(net.instruments().size());
+  const auto assign = [&](const char* name, std::uint64_t obs,
+                          std::uint64_t set) {
+    const InstrumentId id = net.findInstrument(name);
+    RRSN_CHECK(id != kNone, std::string("missing instrument ") + name);
+    spec.of(id).obs = obs;
+    spec.of(id).set = set;
+  };
+  assign("i1", 4, 1);
+  assign("i2", 3, 3);
+  assign("i3", 2, 5);
+  return spec;
+}
+
+Network makeTinyNetwork() {
+  NetworkBuilder b("tiny");
+  auto a = b.segment("seg_a", 2, "inst_a");
+  auto bypassable = b.mux("mx", {a, b.wire()});
+  auto tail = b.segment("seg_b", 3, "inst_b");
+  b.setTop(b.chain({bypassable, tail}));
+  return b.build();
+}
+
+}  // namespace rrsn::rsn

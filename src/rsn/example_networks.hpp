@@ -1,0 +1,30 @@
+// The paper's running example (Fig. 1/2/3/4) and small helper networks
+// used throughout tests, examples and the figure-regeneration bench.
+#pragma once
+
+#include "rsn/network.hpp"
+#include "rsn/spec.hpp"
+
+namespace rrsn::rsn {
+
+/// The Fig. 1 example RSN.
+///
+/// Scan path: SI -> c0 -> [m0: branch0 = sib sb1(seg_i1) -> m1(seg_i2 |
+/// wire) -> m2(seg_i3 | wire) -> c2, branch1 = bypass wire] -> c1 -> SO.
+///
+/// It reproduces the structural facts the paper states:
+///  * m0 dominates c2 and is its parent (closing reconvergence);
+///  * m2 dominates m1 but is not its parent (they are neighbors);
+///  * a stuck-at-1 fault of m0 makes instruments i1, i2, i3 inaccessible
+///    (Fig. 4).
+Network makeFig1Network();
+
+/// Hand-assigned weights for the Fig. 1 instruments, used by the golden
+/// criticality tests: i1 = (obs 4, set 1), i2 = (3, 3), i3 = (2, 5).
+CriticalitySpec makeFig1Spec(const Network& net);
+
+/// A minimal two-instrument network with one bypassable branch; handy for
+/// unit tests that need the smallest interesting RSN.
+Network makeTinyNetwork();
+
+}  // namespace rrsn::rsn

@@ -1,0 +1,76 @@
+#include "rsn/graph_view.hpp"
+
+namespace rrsn::rsn {
+
+namespace {
+
+/// Recursively wires `node`, entering from `in`; returns the exit vertex.
+graph::VertexId emit(const Network& net, const Structure& st, NodeId nodeId,
+                     graph::VertexId in, GraphView& gv) {
+  const auto& n = st.node(nodeId);
+  switch (n.kind) {
+    case NodeKind::Wire:
+      return in;
+    case NodeKind::Segment: {
+      const graph::VertexId v = gv.segmentVertex[n.prim];
+      gv.graph.addEdge(in, v);
+      return v;
+    }
+    case NodeKind::Serial: {
+      graph::VertexId cur = in;
+      for (NodeId c : n.children) cur = emit(net, st, c, cur, gv);
+      return cur;
+    }
+    case NodeKind::MuxJoin: {
+      const graph::VertexId fo = gv.fanoutVertex[n.prim];
+      const graph::VertexId mx = gv.muxVertex[n.prim];
+      gv.graph.addEdge(in, fo);
+      for (NodeId branch : n.children) {
+        const graph::VertexId exit = emit(net, st, branch, fo, gv);
+        gv.graph.addEdge(exit, mx);
+        gv.muxBranchExit[n.prim].push_back(exit);
+      }
+      return mx;
+    }
+  }
+  throw Error("unreachable structure node kind");
+}
+
+}  // namespace
+
+GraphView buildGraphView(const Network& net) {
+  GraphView gv;
+  gv.scanIn = gv.graph.addVertex("SI");
+  for (const Segment& s : net.segments())
+    gv.segmentVertex.push_back(gv.graph.addVertex(s.name));
+  for (const Mux& m : net.muxes()) {
+    gv.muxVertex.push_back(gv.graph.addVertex(m.name));
+    gv.fanoutVertex.push_back(gv.graph.addVertex("fo_" + m.name));
+  }
+  gv.muxBranchExit.resize(net.muxes().size());
+  gv.scanOut = gv.graph.addVertex("SO");
+
+  const graph::VertexId exit =
+      emit(net, net.structure(), net.structure().root(), gv.scanIn, gv);
+  gv.graph.addEdge(exit, gv.scanOut);
+  return gv;
+}
+
+std::string toDot(const Network& net) {
+  const GraphView gv = buildGraphView(net);
+  return graph::toDot(gv.graph, net.name(), [&](graph::VertexId v) {
+    if (v == gv.scanIn || v == gv.scanOut) return std::string("shape=ellipse");
+    for (std::size_t s = 0; s < gv.segmentVertex.size(); ++s) {
+      if (gv.segmentVertex[s] == v) {
+        return net.segment(static_cast<SegmentId>(s)).instrument != kNone
+                   ? std::string("shape=box,style=filled,fillcolor=lightyellow")
+                   : std::string("shape=box");
+      }
+    }
+    for (graph::VertexId m : gv.muxVertex)
+      if (m == v) return std::string("shape=trapezium");
+    return std::string("shape=point");
+  });
+}
+
+}  // namespace rrsn::rsn

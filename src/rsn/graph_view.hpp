@@ -1,0 +1,37 @@
+// Flat directed-graph view of an RSN (Sec. III, Fig. 2).
+//
+// Vertices: the primary scan-in / scan-out ports, every scan segment,
+// every scan multiplexer, and one fan-out vertex per parallel composition
+// (the reconvergent fan-out stem whose closing reconvergence is the mux).
+// Edges are the direct connectivities between them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "rsn/network.hpp"
+
+namespace rrsn::rsn {
+
+/// The graph plus maps from RSN entities to vertex ids.
+struct GraphView {
+  graph::Digraph graph;
+  graph::VertexId scanIn = graph::kNoVertex;
+  graph::VertexId scanOut = graph::kNoVertex;
+  std::vector<graph::VertexId> segmentVertex;  ///< per SegmentId
+  std::vector<graph::VertexId> muxVertex;      ///< per MuxId
+  std::vector<graph::VertexId> fanoutVertex;   ///< per MuxId (entry fan-out)
+  /// Exit vertex of each mux branch (the vertex whose edge feeds the mux),
+  /// indexed [mux][branch].  Wire branches exit at the fan-out vertex.
+  std::vector<std::vector<graph::VertexId>> muxBranchExit;
+};
+
+/// Builds the flat graph view of `net`.
+GraphView buildGraphView(const Network& net);
+
+/// DOT rendering with RSN-aware shapes (segments: boxes, muxes:
+/// trapezoids, fan-outs: points, ports: ellipses).
+std::string toDot(const Network& net);
+
+}  // namespace rrsn::rsn

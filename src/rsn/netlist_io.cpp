@@ -1,0 +1,320 @@
+#include "rsn/netlist_io.hpp"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <optional>
+#include <sstream>
+
+#include "rsn/builder.hpp"
+#include "support/strings.hpp"
+
+namespace rrsn::rsn {
+
+namespace {
+
+// ---------------------------------------------------------------- lexer
+
+struct Token {
+  enum class Kind { Word, LBrace, RBrace, Semi, Equals, End };
+  Kind kind = Kind::End;
+  std::string text;
+  std::size_t line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::istream& is) { readAll(is); }
+
+  const Token& peek() const { return tokens_[pos_]; }
+
+  Token next() {
+    Token t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+
+ private:
+  void readAll(std::istream& is) {
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(is, line)) {
+      ++lineNo;
+      for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (std::isspace(static_cast<unsigned char>(c))) continue;
+        if (c == '#') break;  // comment to end of line
+        switch (c) {
+          case '{': tokens_.push_back({Token::Kind::LBrace, "{", lineNo}); continue;
+          case '}': tokens_.push_back({Token::Kind::RBrace, "}", lineNo}); continue;
+          case ';': tokens_.push_back({Token::Kind::Semi, ";", lineNo}); continue;
+          case '=': tokens_.push_back({Token::Kind::Equals, "=", lineNo}); continue;
+          default: break;
+        }
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.') {
+          std::size_t j = i;
+          while (j < line.size() &&
+                 (std::isalnum(static_cast<unsigned char>(line[j])) ||
+                  line[j] == '_' || line[j] == '.'))
+            ++j;
+          tokens_.push_back({Token::Kind::Word, line.substr(i, j - i), lineNo});
+          i = j - 1;
+          continue;
+        }
+        throw ParseError("line " + std::to_string(lineNo) +
+                         ": unexpected character '" + std::string(1, c) + "'");
+      }
+    }
+    tokens_.push_back({Token::Kind::End, "<eof>", lineNo + 1});
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void fail(const Token& t, const std::string& expected) {
+  throw ParseError("line " + std::to_string(t.line) + ": expected " +
+                   expected + ", got '" + t.text + "'");
+}
+
+// --------------------------------------------------------------- parser
+
+class Parser {
+ public:
+  explicit Parser(std::istream& is) : lex_(is) {}
+
+  Network parse() {
+    expectWord("network");
+    const std::string name = expectAnyWord("network name");
+    builder_.emplace(name);
+    expect(Token::Kind::LBrace, "'{'");
+    const auto top = parseNode();
+    expect(Token::Kind::RBrace, "'}'");
+    if (lex_.peek().kind != Token::Kind::End) fail(lex_.peek(), "end of input");
+    builder_->setTop(top);
+    return builder_->build();
+  }
+
+ private:
+  NetworkBuilder::Handle parseNode() {
+    const Token t = lex_.next();
+    if (t.kind != Token::Kind::Word) fail(t, "a node keyword");
+    if (t.text == "chain") return parseBody("chain body");
+    if (t.text == "wire") {
+      expect(Token::Kind::Semi, "';'");
+      return builder_->wire();
+    }
+    if (t.text == "segment") return parseSegment();
+    if (t.text == "mux") return parseMux();
+    if (t.text == "sib") {
+      const std::string name = expectAnyWord("sib name");
+      const auto content = parseBody("sib body");
+      return builder_->sib(name, content);
+    }
+    fail(t, "'chain', 'segment', 'wire', 'mux' or 'sib'");
+  }
+
+  /// Parses "{ node* }" into a single handle (chain if != 1 node).
+  NetworkBuilder::Handle parseBody(const std::string& what) {
+    expect(Token::Kind::LBrace, "'{' starting " + what);
+    std::vector<NetworkBuilder::Handle> parts;
+    while (lex_.peek().kind != Token::Kind::RBrace) {
+      if (lex_.peek().kind == Token::Kind::End)
+        fail(lex_.peek(), "'}' closing " + what);
+      parts.push_back(parseNode());
+    }
+    lex_.next();  // consume '}'
+    if (parts.empty()) return builder_->wire();
+    if (parts.size() == 1) return parts.front();
+    return builder_->chain(std::move(parts));
+  }
+
+  NetworkBuilder::Handle parseSegment() {
+    const std::string name = expectAnyWord("segment name");
+    std::uint32_t length = 1;
+    std::string instrument;
+    while (lex_.peek().kind == Token::Kind::Word) {
+      const std::string key = lex_.next().text;
+      expect(Token::Kind::Equals, "'=' after '" + key + "'");
+      const std::string value = expectAnyWord("value of '" + key + "'");
+      if (key == "len")
+        length = static_cast<std::uint32_t>(
+            parseUnsigned(value, "segment length"));
+      else if (key == "instrument")
+        instrument = value;
+      else
+        throw ParseError("unknown segment attribute '" + key + "'");
+    }
+    expect(Token::Kind::Semi, "';'");
+    return builder_->segment(name, length, instrument);
+  }
+
+  NetworkBuilder::Handle parseMux() {
+    const std::string name = expectAnyWord("mux name");
+    std::string ctrl;
+    while (lex_.peek().kind == Token::Kind::Word &&
+           lex_.peek().text != "branch") {
+      const std::string key = lex_.next().text;
+      expect(Token::Kind::Equals, "'=' after '" + key + "'");
+      const std::string value = expectAnyWord("value of '" + key + "'");
+      if (key == "ctrl") ctrl = value;
+      else throw ParseError("unknown mux attribute '" + key + "'");
+    }
+    expect(Token::Kind::LBrace, "'{'");
+    std::vector<NetworkBuilder::Handle> branches;
+    while (lex_.peek().kind == Token::Kind::Word &&
+           lex_.peek().text == "branch") {
+      lex_.next();
+      branches.push_back(parseBody("branch body"));
+    }
+    expect(Token::Kind::RBrace, "'}' closing mux '" + name + "'");
+    if (branches.size() < 2)
+      throw ParseError("mux '" + name + "' needs at least two branches");
+    return builder_->mux(name, std::move(branches), ctrl);
+  }
+
+  void expect(Token::Kind kind, const std::string& what) {
+    const Token t = lex_.next();
+    if (t.kind != kind) fail(t, what);
+  }
+
+  void expectWord(const std::string& word) {
+    const Token t = lex_.next();
+    if (t.kind != Token::Kind::Word || t.text != word) fail(t, "'" + word + "'");
+  }
+
+  std::string expectAnyWord(const std::string& what) {
+    const Token t = lex_.next();
+    if (t.kind != Token::Kind::Word) fail(t, what);
+    return t.text;
+  }
+
+  Lexer lex_;
+  std::optional<NetworkBuilder> builder_;
+};
+
+// --------------------------------------------------------------- writer
+
+class Writer {
+ public:
+  Writer(std::ostream& os, const Network& net) : os_(os), net_(net) {}
+
+  void write() {
+    os_ << "network " << net_.name() << " {\n";
+    writeNode(net_.structure().root(), 1, /*forceChain=*/true);
+    os_ << "}\n";
+  }
+
+ private:
+  void indent(int depth) { os_ << std::string(static_cast<std::size_t>(depth) * 2, ' '); }
+
+  /// Detects the SIB pattern emitted by NetworkBuilder::sib:
+  /// Serial[ MuxJoin(mux "X_mux" ctrl=reg, {wire, content}), Segment reg ]
+  /// where reg.isSibRegister.  Returns content node or kNone.
+  NodeId sibContent(const Structure::Node& n, SegmentId& regOut) const {
+    if (n.kind != NodeKind::Serial || n.children.size() != 2) return kNone;
+    const auto& join = net_.structure().node(n.children[0]);
+    const auto& reg = net_.structure().node(n.children[1]);
+    if (join.kind != NodeKind::MuxJoin || reg.kind != NodeKind::Segment)
+      return kNone;
+    if (!net_.segment(reg.prim).isSibRegister) return kNone;
+    if (net_.mux(join.prim).controlSegment != reg.prim) return kNone;
+    if (join.children.size() != 2) return kNone;
+    if (net_.structure().node(join.children[0]).kind != NodeKind::Wire)
+      return kNone;
+    regOut = reg.prim;
+    return join.children[1];
+  }
+
+  void writeNode(NodeId id, int depth, bool forceChain = false) {
+    const auto& n = net_.structure().node(id);
+    SegmentId sibReg = kNone;
+    if (const NodeId content = sibContent(n, sibReg); content != kNone) {
+      indent(depth);
+      os_ << "sib " << net_.segment(sibReg).name << " {\n";
+      writeBodyOf(content, depth + 1);
+      indent(depth);
+      os_ << "}\n";
+      return;
+    }
+    switch (n.kind) {
+      case NodeKind::Wire:
+        indent(depth);
+        os_ << "wire;\n";
+        break;
+      case NodeKind::Segment: {
+        const Segment& s = net_.segment(n.prim);
+        indent(depth);
+        os_ << "segment " << s.name;
+        if (s.length != 1) os_ << " len=" << s.length;
+        if (s.instrument != kNone)
+          os_ << " instrument=" << net_.instrument(s.instrument).name;
+        os_ << ";\n";
+        break;
+      }
+      case NodeKind::Serial:
+        indent(depth);
+        os_ << (forceChain ? "chain {\n" : "chain {\n");
+        for (NodeId c : n.children) writeNode(c, depth + 1);
+        indent(depth);
+        os_ << "}\n";
+        break;
+      case NodeKind::MuxJoin: {
+        const Mux& m = net_.mux(n.prim);
+        indent(depth);
+        os_ << "mux " << m.name;
+        if (m.controlSegment != kNone)
+          os_ << " ctrl=" << net_.segment(m.controlSegment).name;
+        os_ << " {\n";
+        for (NodeId branch : n.children) {
+          indent(depth + 1);
+          os_ << "branch {\n";
+          writeBodyOf(branch, depth + 2);
+          indent(depth + 1);
+          os_ << "}\n";
+        }
+        indent(depth);
+        os_ << "}\n";
+        break;
+      }
+    }
+  }
+
+  /// Writes the children of `id` if it is a Serial (flattening one chain
+  /// level inside branch/sib bodies), otherwise writes the node itself.
+  void writeBodyOf(NodeId id, int depth) {
+    const auto& n = net_.structure().node(id);
+    SegmentId sibReg = kNone;
+    if (n.kind == NodeKind::Serial && sibContent(n, sibReg) == kNone) {
+      for (NodeId c : n.children) writeNode(c, depth);
+    } else if (n.kind == NodeKind::Wire) {
+      // empty body
+    } else {
+      writeNode(id, depth);
+    }
+  }
+
+  std::ostream& os_;
+  const Network& net_;
+};
+
+}  // namespace
+
+Network parseNetlist(std::istream& is) { return Parser(is).parse(); }
+
+Network parseNetlistString(const std::string& text) {
+  std::istringstream is(text);
+  return parseNetlist(is);
+}
+
+void writeNetlist(std::ostream& os, const Network& net) {
+  Writer(os, net).write();
+}
+
+std::string netlistToString(const Network& net) {
+  std::ostringstream os;
+  writeNetlist(os, net);
+  return os.str();
+}
+
+}  // namespace rrsn::rsn

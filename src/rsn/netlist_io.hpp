@@ -1,0 +1,37 @@
+// Text netlist format for RSNs (an ICL-like subset).
+//
+// Grammar (comments start with '#', names are [A-Za-z0-9_.]+):
+//
+//   network   := "network" name "{" node "}"
+//   node      := "chain"   "{" node* "}"
+//              | "segment" name ["len" "=" int] ["instrument" "=" name] ";"
+//              | "wire" ";"
+//              | "mux" name ["ctrl" "=" name] "{" branch branch+ "}"
+//              | "sib" name "{" node* "}"
+//   branch    := "branch" "{" node* "}"
+//
+// `mux` branches are listed in address order (branch k <-> address k) and
+// a `ctrl` segment must be declared earlier in scan order (RSN control
+// registers precede the muxes they steer).  `sib` wraps its body in the
+// standard SIB pattern (bypass | body, closed by "<name>_mux", followed
+// by the 1-bit register "<name>" driving the mux address).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rsn/network.hpp"
+
+namespace rrsn::rsn {
+
+/// Parses a network from text; throws ParseError with line information.
+Network parseNetlist(std::istream& is);
+Network parseNetlistString(const std::string& text);
+
+/// Writes `net` in the format above.  SIB patterns created by
+/// NetworkBuilder::sib are recognized and re-sugared into `sib` blocks,
+/// so writeNetlist/parseNetlist round-trips builder output structurally.
+void writeNetlist(std::ostream& os, const Network& net);
+std::string netlistToString(const Network& net);
+
+}  // namespace rrsn::rsn

@@ -1,0 +1,166 @@
+#include "rsn/network.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rrsn::rsn {
+
+Network::Network(std::string name, std::vector<Segment> segments,
+                 std::vector<Mux> muxes, std::vector<Instrument> instruments,
+                 Structure structure)
+    : name_(std::move(name)),
+      segments_(std::move(segments)),
+      muxes_(std::move(muxes)),
+      instruments_(std::move(instruments)),
+      structure_(std::move(structure)) {
+  validate();
+}
+
+std::size_t Network::linearId(PrimitiveRef ref) const {
+  if (ref.kind == PrimitiveRef::Kind::Segment) {
+    RRSN_CHECK(ref.index < segments_.size(), "segment index out of range");
+    return ref.index;
+  }
+  RRSN_CHECK(ref.index < muxes_.size(), "mux index out of range");
+  return segments_.size() + ref.index;
+}
+
+PrimitiveRef Network::refOf(std::size_t linear) const {
+  RRSN_CHECK(linear < primitiveCount(), "linear primitive id out of range");
+  if (linear < segments_.size())
+    return {PrimitiveRef::Kind::Segment, static_cast<std::uint32_t>(linear)};
+  return {PrimitiveRef::Kind::Mux,
+          static_cast<std::uint32_t>(linear - segments_.size())};
+}
+
+const std::string& Network::primitiveName(PrimitiveRef ref) const {
+  return ref.kind == PrimitiveRef::Kind::Segment ? segment(ref.index).name
+                                                 : mux(ref.index).name;
+}
+
+namespace {
+
+template <typename T>
+std::uint32_t findByName(const std::vector<T>& items, const std::string& name) {
+  for (std::size_t i = 0; i < items.size(); ++i)
+    if (items[i].name == name) return static_cast<std::uint32_t>(i);
+  return kNone;
+}
+
+}  // namespace
+
+SegmentId Network::findSegment(const std::string& name) const {
+  return findByName(segments_, name);
+}
+MuxId Network::findMux(const std::string& name) const {
+  return findByName(muxes_, name);
+}
+InstrumentId Network::findInstrument(const std::string& name) const {
+  return findByName(instruments_, name);
+}
+
+NetworkStats Network::stats() const {
+  NetworkStats s;
+  s.segments = segments_.size();
+  s.muxes = muxes_.size();
+  s.instruments = instruments_.size();
+  for (const Segment& seg : segments_) s.scanCells += seg.length;
+
+  // Deepest MuxJoin nesting via an explicit DFS carrying depth.
+  struct Frame {
+    NodeId id;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack{{structure_.root(), 0}};
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    const auto& n = structure_.node(id);
+    const std::size_t next =
+        depth + (n.kind == NodeKind::MuxJoin ? 1 : 0);
+    s.maxMuxNesting = std::max(s.maxMuxNesting, next);
+    for (NodeId c : n.children) stack.push_back({c, next});
+  }
+  return s;
+}
+
+void Network::validate() const {
+  if (!structure_.hasRoot())
+    throw ValidationError("network '" + name_ + "' has no structure root");
+
+  std::unordered_set<std::string> names;
+  const auto checkName = [&](const std::string& n, const char* what) {
+    if (n.empty())
+      throw ValidationError(std::string(what) + " with empty name");
+    if (!names.insert(n).second)
+      throw ValidationError("duplicate name '" + n + "'");
+  };
+  for (const Segment& s : segments_) {
+    checkName(s.name, "segment");
+    if (s.length == 0)
+      throw ValidationError("segment '" + s.name + "' has zero length");
+    if (s.instrument != kNone && s.instrument >= instruments_.size())
+      throw ValidationError("segment '" + s.name +
+                            "' references unknown instrument");
+  }
+  for (const Mux& m : muxes_) {
+    checkName(m.name, "mux");
+    if (m.controlSegment != kNone && m.controlSegment >= segments_.size())
+      throw ValidationError("mux '" + m.name +
+                            "' references unknown control segment");
+  }
+  for (const Instrument& i : instruments_) {
+    checkName(i.name, "instrument");
+    if (i.segment >= segments_.size())
+      throw ValidationError("instrument '" + i.name +
+                            "' is not bound to a segment");
+    if (segments_[i.segment].instrument == kNone ||
+        instruments_[segments_[i.segment].instrument].name != i.name)
+      throw ValidationError("instrument '" + i.name +
+                            "' binding is not mirrored by its segment");
+  }
+
+  // Every segment and every mux must appear in the structure exactly once.
+  std::vector<std::size_t> segUse(segments_.size(), 0);
+  std::vector<std::size_t> muxUse(muxes_.size(), 0);
+  structure_.preOrder([&](NodeId id) {
+    const auto& n = structure_.node(id);
+    switch (n.kind) {
+      case NodeKind::Segment:
+        if (n.prim >= segments_.size())
+          throw ValidationError("structure references unknown segment");
+        ++segUse[n.prim];
+        break;
+      case NodeKind::MuxJoin: {
+        if (n.prim >= muxes_.size())
+          throw ValidationError("structure references unknown mux");
+        ++muxUse[n.prim];
+        bool nonWire = false;
+        for (NodeId c : n.children)
+          nonWire |= structure_.node(c).kind != NodeKind::Wire;
+        if (!nonWire)
+          throw ValidationError("mux '" + muxes_[n.prim].name +
+                                "' selects only wires");
+        break;
+      }
+      case NodeKind::Wire:
+      case NodeKind::Serial:
+        break;
+    }
+  });
+  for (std::size_t i = 0; i < segUse.size(); ++i) {
+    if (segUse[i] != 1)
+      throw ValidationError("segment '" + segments_[i].name + "' appears " +
+                            std::to_string(segUse[i]) +
+                            " times in the structure (expected 1)");
+  }
+  for (std::size_t i = 0; i < muxUse.size(); ++i) {
+    if (muxUse[i] != 1)
+      throw ValidationError("mux '" + muxes_[i].name + "' appears " +
+                            std::to_string(muxUse[i]) +
+                            " times in the structure (expected 1)");
+  }
+}
+
+}  // namespace rrsn::rsn

@@ -1,0 +1,85 @@
+// The RSN network: primitives + hierarchical structure + instruments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rsn/primitives.hpp"
+#include "rsn/structure.hpp"
+
+namespace rrsn::rsn {
+
+/// Aggregate statistics of a network (Table I columns 1-2 and friends).
+struct NetworkStats {
+  std::size_t segments = 0;
+  std::size_t muxes = 0;
+  std::size_t instruments = 0;
+  std::size_t scanCells = 0;     ///< total flip-flops over all segments
+  std::size_t maxMuxNesting = 0; ///< deepest MuxJoin nesting
+};
+
+/// An immutable, validated Reconfigurable Scan Network.
+///
+/// Construction goes through NetworkBuilder (builder.hpp) or the netlist
+/// parser (netlist_io.hpp); both call validate().  The scan path runs
+/// scan-in -> structure().root() -> scan-out.
+class Network {
+ public:
+  Network(std::string name, std::vector<Segment> segments,
+          std::vector<Mux> muxes, std::vector<Instrument> instruments,
+          Structure structure);
+
+  const std::string& name() const { return name_; }
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  const std::vector<Mux>& muxes() const { return muxes_; }
+  const std::vector<Instrument>& instruments() const { return instruments_; }
+  const Structure& structure() const { return structure_; }
+
+  const Segment& segment(SegmentId id) const {
+    RRSN_CHECK(id < segments_.size(), "segment id out of range");
+    return segments_[id];
+  }
+  const Mux& mux(MuxId id) const {
+    RRSN_CHECK(id < muxes_.size(), "mux id out of range");
+    return muxes_[id];
+  }
+  const Instrument& instrument(InstrumentId id) const {
+    RRSN_CHECK(id < instruments_.size(), "instrument id out of range");
+    return instruments_[id];
+  }
+
+  /// Total number of hardenable primitives: segments + muxes.
+  std::size_t primitiveCount() const { return segments_.size() + muxes_.size(); }
+
+  /// Dense linear id of a primitive: segments in [0, S), muxes in [S, S+M).
+  std::size_t linearId(PrimitiveRef ref) const;
+
+  /// Inverse of linearId().
+  PrimitiveRef refOf(std::size_t linear) const;
+
+  /// Human-readable name of a primitive (segment or mux name).
+  const std::string& primitiveName(PrimitiveRef ref) const;
+
+  /// Looks up a segment / mux / instrument by name; kNone if absent.
+  SegmentId findSegment(const std::string& name) const;
+  MuxId findMux(const std::string& name) const;
+  InstrumentId findInstrument(const std::string& name) const;
+
+  NetworkStats stats() const;
+
+  /// Checks every structural invariant; throws ValidationError on failure:
+  /// root set, every segment and mux used exactly once in the structure,
+  /// unique names, instruments bound to existing segments, mux control
+  /// segments valid, every mux has >= 2 branches with >= 1 non-wire branch.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Segment> segments_;
+  std::vector<Mux> muxes_;
+  std::vector<Instrument> instruments_;
+  Structure structure_;
+};
+
+}  // namespace rrsn::rsn

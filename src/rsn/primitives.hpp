@@ -1,0 +1,60 @@
+// Scan primitives of a Reconfigurable Scan Network (IEEE Std 1687 /
+// 1149.1), following Sec. III of the paper: scan segments and scan
+// multiplexers.  A Segment Insertion Bit (SIB) is modeled as the
+// combination of a 1-bit scan segment and a multiplexer (the paper treats
+// SIB fault effects exactly as that combination), so it needs no separate
+// primitive kind; the builder provides `sib(...)` as sugar.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rrsn::rsn {
+
+using SegmentId = std::uint32_t;
+using MuxId = std::uint32_t;
+using InstrumentId = std::uint32_t;
+
+inline constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
+
+/// A scan segment: `length` scan flip-flops on the scan path, optionally
+/// giving access to an embedded instrument.
+struct Segment {
+  std::string name;
+  std::uint32_t length = 1;            ///< number of scan cells (>= 1)
+  InstrumentId instrument = kNone;     ///< attached instrument, if any
+  bool isSibRegister = false;          ///< true for the 1-bit SIB config bit
+};
+
+/// A scan multiplexer: selects one of >= 2 incoming branches depending on
+/// its address control value.  The structural branch list lives in the
+/// Structure tree; here we keep control wiring and identity.
+struct Mux {
+  std::string name;
+  /// Segment whose update value drives the address port (kNone: the mux is
+  /// controlled directly, e.g. from the TAP instruction decode).  Used by
+  /// the simulator; the structural criticality analysis of the paper does
+  /// not depend on it.
+  SegmentId controlSegment = kNone;
+};
+
+/// An embedded instrument reachable through a scan segment.  Damage
+/// weights (do_i / ds_i, Sec. IV-A) live in the external CriticalitySpec.
+struct Instrument {
+  std::string name;
+  SegmentId segment = kNone;  ///< hosting scan segment
+};
+
+/// Uniform reference to a hardenable scan primitive.
+///
+/// The optimizer addresses primitives through a dense *linear id*:
+/// segments occupy [0, S) and muxes [S, S + M).
+struct PrimitiveRef {
+  enum class Kind : std::uint8_t { Segment, Mux };
+  Kind kind = Kind::Segment;
+  std::uint32_t index = 0;
+
+  bool operator==(const PrimitiveRef&) const = default;
+};
+
+}  // namespace rrsn::rsn

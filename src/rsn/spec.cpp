@@ -1,0 +1,184 @@
+#include "rsn/spec.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace rrsn::rsn {
+
+namespace {
+
+/// Instruments ordered by the scan position of their hosting segment
+/// (scan-in first).  Used by the RobustEnds critical placement.
+std::vector<InstrumentId> instrumentsInScanOrder(const Network& net) {
+  std::vector<InstrumentId> order;
+  order.reserve(net.instruments().size());
+  // In-order walk of the structure; MuxJoin branches are visited in
+  // address order, which is a consistent linearization of the network.
+  const auto walk = [&](auto&& self, NodeId id) -> void {
+    const auto& n = net.structure().node(id);
+    if (n.kind == NodeKind::Segment) {
+      const InstrumentId inst = net.segment(n.prim).instrument;
+      if (inst != kNone) order.push_back(inst);
+      return;
+    }
+    for (NodeId c : n.children) self(self, c);
+  };
+  walk(walk, net.structure().root());
+  return order;
+}
+
+/// Draws k critical instruments: uniformly (Random) or from one end of
+/// the scan order (RobustEnds).
+std::vector<std::size_t> drawCritical(const Network& net, std::size_t n,
+                                      std::size_t k,
+                                      CriticalPlacement placement,
+                                      bool scanOutSide, Rng& rng) {
+  if (placement == CriticalPlacement::Random || n == 0 || k == 0)
+    return rng.sampleIndices(n, k);
+  const std::vector<InstrumentId> order = instrumentsInScanOrder(net);
+  RRSN_CHECK(order.size() == n, "scan order misses instruments");
+  // Candidate window: the scan-in- or scan-out-side third (at least k).
+  const std::size_t window = std::max(k, n / 3);
+  std::vector<std::size_t> picked;
+  for (std::size_t idx : rng.sampleIndices(window, k)) {
+    const std::size_t pos = scanOutSide ? n - window + idx : idx;
+    picked.push_back(order[pos]);
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+}  // namespace
+
+std::uint64_t CriticalitySpec::totalObs() const {
+  std::uint64_t total = 0;
+  for (const auto& w : weights_) total += w.obs;
+  return total;
+}
+
+std::uint64_t CriticalitySpec::totalSet() const {
+  std::uint64_t total = 0;
+  for (const auto& w : weights_) total += w.set;
+  return total;
+}
+
+std::vector<InstrumentId> CriticalitySpec::criticalObsInstruments() const {
+  std::vector<InstrumentId> out;
+  for (std::size_t i = 0; i < weights_.size(); ++i)
+    if (weights_[i].criticalObs) out.push_back(static_cast<InstrumentId>(i));
+  return out;
+}
+
+std::vector<InstrumentId> CriticalitySpec::criticalSetInstruments() const {
+  std::vector<InstrumentId> out;
+  for (std::size_t i = 0; i < weights_.size(); ++i)
+    if (weights_[i].criticalSet) out.push_back(static_cast<InstrumentId>(i));
+  return out;
+}
+
+CriticalitySpec randomSpec(const Network& net, const SpecOptions& options,
+                           Rng& rng) {
+  const std::size_t n = net.instruments().size();
+  CriticalitySpec spec(n);
+  if (n == 0) return spec;
+
+  const auto countOf = [&](double frac) {
+    auto k = static_cast<std::size_t>(frac * static_cast<double>(n) + 0.5);
+    return std::min(k, n);
+  };
+
+  // 1) Uncritical weights: `fracObsWeighted` of the instruments get a
+  //    uniform weight in [1, maxUncriticalWeight]; the rest stay at zero.
+  for (std::size_t idx : rng.sampleIndices(n, countOf(options.fracObsWeighted)))
+    spec.of(static_cast<InstrumentId>(idx)).obs = static_cast<std::uint64_t>(
+        rng.range(1, static_cast<std::int64_t>(options.maxUncriticalWeight)));
+  for (std::size_t idx : rng.sampleIndices(n, countOf(options.fracSetWeighted)))
+    spec.of(static_cast<InstrumentId>(idx)).set = static_cast<std::uint64_t>(
+        rng.range(1, static_cast<std::int64_t>(options.maxUncriticalWeight)));
+
+  // 2) Critical instruments: weight >= sum of all uncritical weights of
+  //    the same kind, so missing one of them always dominates the total
+  //    damage of all uncritical losses (Sec. IV-A).
+  const auto obsCritical =
+      drawCritical(net, n, countOf(options.fracObsCritical),
+                   options.placement, /*scanOutSide=*/true, rng);
+  const auto setCritical =
+      drawCritical(net, n, countOf(options.fracSetCritical),
+                   options.placement, /*scanOutSide=*/false, rng);
+  std::uint64_t uncritObs = 0;
+  std::uint64_t uncritSet = 0;
+  {
+    std::vector<bool> isObsCrit(n, false);
+    std::vector<bool> isSetCrit(n, false);
+    for (std::size_t i : obsCritical) isObsCrit[i] = true;
+    for (std::size_t i : setCritical) isSetCrit[i] = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!isObsCrit[i]) uncritObs += spec.of(static_cast<InstrumentId>(i)).obs;
+      if (!isSetCrit[i]) uncritSet += spec.of(static_cast<InstrumentId>(i)).set;
+    }
+  }
+  for (std::size_t idx : obsCritical) {
+    auto& w = spec.of(static_cast<InstrumentId>(idx));
+    w.criticalObs = true;
+    w.obs = uncritObs + 1;
+  }
+  for (std::size_t idx : setCritical) {
+    auto& w = spec.of(static_cast<InstrumentId>(idx));
+    w.criticalSet = true;
+    w.set = uncritSet + 1;
+  }
+  return spec;
+}
+
+void writeSpec(std::ostream& os, const Network& net,
+               const CriticalitySpec& spec) {
+  RRSN_CHECK(spec.size() == net.instruments().size(),
+             "spec does not match the network's instrument count");
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const auto& w = spec.of(static_cast<InstrumentId>(i));
+    os << net.instrument(static_cast<InstrumentId>(i)).name << " obs=" << w.obs
+       << (w.criticalObs ? "*" : "") << " set=" << w.set
+       << (w.criticalSet ? "*" : "") << '\n';
+  }
+}
+
+CriticalitySpec readSpec(std::istream& is, const Network& net) {
+  CriticalitySpec spec(net.instruments().size());
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    const auto text = trim(line);
+    if (text.empty() || text.front() == '#') continue;
+    const auto tokens = splitWhitespace(text);
+    if (tokens.size() != 3)
+      throw ParseError("spec line " + std::to_string(lineNo) +
+                       ": expected '<name> obs=<w> set=<w>'");
+    const InstrumentId inst = net.findInstrument(tokens[0]);
+    if (inst == kNone)
+      throw ParseError("spec line " + std::to_string(lineNo) +
+                       ": unknown instrument '" + tokens[0] + "'");
+    auto& w = spec.of(inst);
+    const auto parseField = [&](const std::string& token,
+                                const std::string& key, std::uint64_t& value,
+                                bool& critical) {
+      if (!startsWith(token, key + "="))
+        throw ParseError("spec line " + std::to_string(lineNo) +
+                         ": expected '" + key + "=...'");
+      std::string_view rest = std::string_view(token).substr(key.size() + 1);
+      critical = !rest.empty() && rest.back() == '*';
+      if (critical) rest.remove_suffix(1);
+      value = parseUnsigned(rest, key + " weight");
+    };
+    parseField(tokens[1], "obs", w.obs, w.criticalObs);
+    parseField(tokens[2], "set", w.set, w.criticalSet);
+  }
+  return spec;
+}
+
+}  // namespace rrsn::rsn

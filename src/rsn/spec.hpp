@@ -1,0 +1,96 @@
+// Explicit criticality specification (Sec. IV-A).
+//
+// Each instrument i carries a pair of non-negative damage weights:
+// do_i — the damage of losing its observability — and ds_i — the damage
+// of losing its settability.  Instruments whose inaccessibility may lead
+// to a system failure are marked critical; the paper requires their
+// weight to be at least as high as the sum of all uncritical weights so
+// that any solution keeping the damage low necessarily keeps them
+// accessible.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "rsn/network.hpp"
+#include "support/rng.hpp"
+
+namespace rrsn::rsn {
+
+/// Damage weights of one instrument.
+struct DamageWeights {
+  std::uint64_t obs = 0;    ///< do_i: damage of losing observability
+  std::uint64_t set = 0;    ///< ds_i: damage of losing settability
+  bool criticalObs = false; ///< "important for observation" (Sec. VI)
+  bool criticalSet = false; ///< "important for control"
+};
+
+/// Per-instrument damage weights for one network.
+class CriticalitySpec {
+ public:
+  explicit CriticalitySpec(std::size_t numInstruments)
+      : weights_(numInstruments) {}
+
+  std::size_t size() const { return weights_.size(); }
+
+  const DamageWeights& of(InstrumentId i) const {
+    RRSN_CHECK(i < weights_.size(), "instrument id out of range");
+    return weights_[i];
+  }
+  DamageWeights& of(InstrumentId i) {
+    RRSN_CHECK(i < weights_.size(), "instrument id out of range");
+    return weights_[i];
+  }
+
+  /// Sum of all observability / settability weights.
+  std::uint64_t totalObs() const;
+  std::uint64_t totalSet() const;
+
+  /// Indices of instruments flagged critical for observation / control.
+  std::vector<InstrumentId> criticalObsInstruments() const;
+  std::vector<InstrumentId> criticalSetInstruments() const;
+
+ private:
+  std::vector<DamageWeights> weights_;
+};
+
+/// Where the critical instruments are drawn from.
+enum class CriticalPlacement : std::uint8_t {
+  /// Uniformly random over all instruments (the paper's Sec. VI setup).
+  Random,
+  /// Observation-critical instruments are drawn from the scan-out-side
+  /// third of the scan order and control-critical ones from the
+  /// scan-in-side third.  This mimics robustness-aware floorplanning
+  /// (status registers near scan-out never lose observability to a chain
+  /// break behind them; control registers near scan-in never lose
+  /// settability) and is used by the spec-placement ablation bench.
+  RobustEnds,
+};
+
+/// Parameters of the paper's random specification (Sec. VI):
+/// 70 % of instruments get a non-zero observability weight, 70 % a
+/// non-zero settability weight; 10 % are important for observation and
+/// 10 % for control.
+struct SpecOptions {
+  double fracObsWeighted = 0.70;
+  double fracSetWeighted = 0.70;
+  double fracObsCritical = 0.10;
+  double fracSetCritical = 0.10;
+  std::uint64_t maxUncriticalWeight = 9;  ///< uncritical weights ~ U[1, max]
+  CriticalPlacement placement = CriticalPlacement::Random;
+};
+
+/// Draws a random specification for `net` per the paper's recipe.
+/// Critical instruments receive weight (sum of all uncritical weights of
+/// the same kind) + 1, satisfying the Sec. IV-A dominance requirement.
+CriticalitySpec randomSpec(const Network& net, const SpecOptions& options,
+                           Rng& rng);
+
+/// Text serialization: one line per instrument
+/// "<name> obs=<w>[*] set=<w>[*]" where '*' marks a critical weight.
+void writeSpec(std::ostream& os, const Network& net,
+               const CriticalitySpec& spec);
+CriticalitySpec readSpec(std::istream& is, const Network& net);
+
+}  // namespace rrsn::rsn

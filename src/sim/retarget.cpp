@@ -1,0 +1,386 @@
+#include "sim/retarget.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "fault/effects.hpp"
+#include "rsn/graph_view.hpp"
+
+namespace rrsn::sim {
+
+namespace {
+
+/// BFS with parent pointers between two vertices of the graph view,
+/// honoring the fault: stuck-mux edges are always enforced; the broken
+/// segment's vertex is impassable unless `allowBreak`.
+std::optional<std::vector<graph::VertexId>> findPath(
+    const rsn::GraphView& gv, const fault::Fault* f, graph::VertexId from,
+    graph::VertexId to, bool allowBreak) {
+  const graph::Digraph& g = gv.graph;
+  graph::VertexId broken = graph::kNoVertex;
+  graph::VertexId stuckMux = graph::kNoVertex;
+  graph::VertexId allowedExit = graph::kNoVertex;
+  if (f != nullptr) {
+    if (f->kind == fault::FaultKind::SegmentBreak) {
+      if (!allowBreak) broken = gv.segmentVertex[f->prim];
+    } else {
+      stuckMux = gv.muxVertex[f->prim];
+      allowedExit = gv.muxBranchExit[f->prim][f->stuckBranch];
+    }
+  }
+  if (from == broken || to == broken) return std::nullopt;
+
+  std::vector<graph::VertexId> parent(g.vertexCount(), graph::kNoVertex);
+  std::vector<bool> seen(g.vertexCount(), false);
+  std::queue<graph::VertexId> work;
+  seen[from] = true;
+  work.push(from);
+  while (!work.empty() && !seen[to]) {
+    const graph::VertexId v = work.front();
+    work.pop();
+    for (graph::VertexId s : g.successors(v)) {
+      if (s == broken) continue;
+      if (s == stuckMux && v != allowedExit) continue;
+      if (!seen[s]) {
+        seen[s] = true;
+        parent[s] = v;
+        work.push(s);
+      }
+    }
+  }
+  if (!seen[to]) return std::nullopt;
+  std::vector<graph::VertexId> path;
+  for (graph::VertexId v = to; v != graph::kNoVertex; v = parent[v])
+    path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+/// Derives the mux selections that make the structural walk follow a
+/// concrete graph path.
+std::map<rsn::MuxId, std::uint32_t> selectionsFromPath(
+    const rsn::GraphView& gv, const std::vector<graph::VertexId>& path) {
+  std::map<rsn::MuxId, std::uint32_t> sel;
+  for (std::size_t k = 1; k < path.size(); ++k) {
+    const graph::VertexId v = path[k];
+    for (rsn::MuxId m = 0; m < gv.muxVertex.size(); ++m) {
+      if (gv.muxVertex[m] != v) continue;
+      const graph::VertexId pred = path[k - 1];
+      const auto& exits = gv.muxBranchExit[m];
+      for (std::uint32_t b = 0; b < exits.size(); ++b) {
+        if (exits[b] == pred) {
+          sel[m] = b;
+          break;
+        }
+      }
+      break;
+    }
+  }
+  return sel;
+}
+
+bool onPath(const PathInfo& path, rsn::SegmentId seg) {
+  return std::find(path.segments.begin(), path.segments.end(), seg) !=
+         path.segments.end();
+}
+
+}  // namespace
+
+// Marker value planted into / written to an instrument segment:
+// 1,0,1,0,... is distinguishable from both the all-zero reset image and
+// from X poisoning.
+std::vector<Bit> accessMarker(std::uint32_t length) {
+  std::vector<Bit> out(length);
+  for (std::uint32_t k = 0; k < length; ++k)
+    out[k] = (k % 2 == 0) ? Bit::One : Bit::Zero;
+  return out;
+}
+
+bool replayPatterns(ScanSimulator& sim, const RetargetResult& recorded) {
+  try {
+    for (const auto& [mux, branch] : recorded.externalSelections)
+      sim.setExternalAddress(mux, branch);
+    for (const ScanPattern& pat : recorded.patterns) {
+      const auto path = sim.activePath();
+      if (!path || path->totalBits != pat.shiftIn.size()) return false;
+      const auto out = sim.csu(pat.shiftIn);
+      if (out != pat.shiftOut) return false;
+    }
+  } catch (const Error&) {
+    return false;  // divergent topology: the recipe does not even apply
+  }
+  return true;
+}
+
+Retargeter::Retargeter(ScanSimulator& sim) : sim_(&sim) {
+  const rsn::Network& net = sim.network();
+  maxRounds_ = net.stats().maxMuxNesting + 2;
+  ancestors_.assign(net.segments().size(), {});
+
+  // One DFS assigning every segment its (mux, branch) ancestor chain.
+  std::vector<std::pair<rsn::MuxId, std::uint32_t>> context;
+  const auto walk = [&](auto&& self, rsn::NodeId nodeId) -> void {
+    const auto& n = net.structure().node(nodeId);
+    switch (n.kind) {
+      case rsn::NodeKind::Wire:
+        return;
+      case rsn::NodeKind::Segment:
+        ancestors_[n.prim] = context;
+        return;
+      case rsn::NodeKind::Serial:
+        for (rsn::NodeId c : n.children) self(self, c);
+        return;
+      case rsn::NodeKind::MuxJoin:
+        for (std::uint32_t b = 0; b < n.children.size(); ++b) {
+          context.emplace_back(n.prim, b);
+          self(self, n.children[b]);
+          context.pop_back();
+        }
+        return;
+    }
+  };
+  walk(walk, net.structure().root());
+}
+
+std::map<rsn::MuxId, std::uint32_t> Retargeter::ancestorSelections(
+    rsn::SegmentId seg) const {
+  std::map<rsn::MuxId, std::uint32_t> sel;
+  for (const auto& [mux, branch] : ancestors_[seg]) sel[mux] = branch;
+  return sel;
+}
+
+RetargetResult Retargeter::realizeSelections(
+    const std::map<rsn::MuxId, std::uint32_t>& selections) {
+  const rsn::Network& net = sim_->network();
+  RetargetResult res;
+
+  // TAP-controlled muxes are set directly; segment-controlled ones need
+  // their control register written through the RSN.
+  std::map<rsn::SegmentId, std::uint32_t> writes;
+  for (const auto& [m, b] : selections) {
+    const rsn::SegmentId ctrl = net.mux(m).controlSegment;
+    if (ctrl == rsn::kNone) {
+      sim_->setExternalAddress(m, b);
+      res.externalSelections.emplace_back(m, b);
+      continue;
+    }
+    const std::uint32_t len = net.segment(ctrl).length;
+    if (len < 32 && b >= (1U << len)) {
+      res.success = false;  // selection not representable in the register
+      return res;
+    }
+    const auto [it, inserted] = writes.emplace(ctrl, b);
+    if (!inserted && it->second != b) {
+      res.success = false;  // conflicting demands on one control register
+      return res;
+    }
+  }
+
+  const auto done = [&]() {
+    for (const auto& [m, b] : selections)
+      if (sim_->muxSelection(m) != b) return false;
+    return true;
+  };
+
+  for (std::size_t round = 0; round <= maxRounds_; ++round) {
+    if (done()) {
+      res.success = true;
+      return res;
+    }
+    const auto path = sim_->activePath();
+    if (!path) return res;  // an address became X — dead end
+
+    // Desired image: control registers get their target value, all other
+    // segments recirculate (X cells are refreshed as 0 — we drive the
+    // scan-in, so we never have to feed X).
+    std::vector<Bit> image;
+    image.reserve(path->totalBits);
+    for (rsn::SegmentId s : path->segments) {
+      const std::uint32_t len = net.segment(s).length;
+      const auto it = writes.find(s);
+      if (it != writes.end()) {
+        for (std::uint32_t k = 0; k < len; ++k) {
+          const bool bit = k < 32 && ((it->second >> k) & 1U) != 0;
+          image.push_back(bitOf(bit));
+        }
+      } else {
+        for (Bit b : sim_->segmentUpdate(s))
+          image.push_back(b == Bit::X ? Bit::Zero : b);
+      }
+    }
+    const auto in = ScanSimulator::shiftInForImage(image);
+    const auto out = sim_->csu(in);
+    res.patterns.push_back({in, out});
+    ++res.rounds;
+  }
+  res.success = done();
+  return res;
+}
+
+RetargetResult Retargeter::readInstrument(rsn::InstrumentId i) {
+  const rsn::Network& net = sim_->network();
+  const rsn::SegmentId seg = net.instrument(i).segment;
+  const auto& faultOpt = sim_->injectedFault();
+  const fault::Fault* f = faultOpt ? &*faultOpt : nullptr;
+
+  RetargetResult best;
+  if (f != nullptr && f->kind == fault::FaultKind::SegmentBreak &&
+      f->prim == seg)
+    return best;  // the instrument's own segment is dead
+
+  const rsn::GraphView gv = rsn::buildGraphView(net);
+  // Strategy 1: route around the defect entirely.  Strategy 2 (reads
+  // only): allow the broken segment on the scan-in side — garbage shifts
+  // in behind the marker, but the marker still reaches scan-out.
+  for (const bool allowBreakPrefix : {false, true}) {
+    if (allowBreakPrefix &&
+        (f == nullptr || f->kind != fault::FaultKind::SegmentBreak))
+      break;
+    const auto prefix =
+        findPath(gv, f, gv.scanIn, gv.segmentVertex[seg], allowBreakPrefix);
+    const auto suffix = findPath(gv, f, gv.segmentVertex[seg], gv.scanOut,
+                                 /*allowBreak=*/false);
+    if (!prefix || !suffix) continue;
+    std::vector<graph::VertexId> whole = *prefix;
+    whole.insert(whole.end(), suffix->begin() + 1, suffix->end());
+    const auto selections = selectionsFromPath(gv, whole);
+
+    RetargetResult attempt = realizeSelections(selections);
+    if (!attempt.success) continue;
+
+    const auto path = sim_->activePath();
+    if (!path || !onPath(*path, seg)) continue;
+
+    const auto marker = accessMarker(net.segment(seg).length);
+    sim_->setInstrumentValue(i, marker);
+    const std::vector<Bit> in(path->totalBits, Bit::Zero);
+    const auto out = sim_->csu(in);
+    attempt.patterns.push_back({in, out});
+    ++attempt.rounds;
+
+    const auto offset = ScanSimulator::offsetOf(net, *path, seg);
+    bool ok = offset.has_value();
+    if (ok) {
+      for (std::uint32_t k = 0; k < marker.size(); ++k) {
+        const std::size_t pos = path->totalBits - 1 - (*offset + k);
+        if (out[pos] != marker[k]) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      attempt.success = true;
+      return attempt;
+    }
+  }
+  return best;
+}
+
+RetargetResult Retargeter::writeInstrument(rsn::InstrumentId i,
+                                           const std::vector<Bit>& value) {
+  const rsn::Network& net = sim_->network();
+  const rsn::SegmentId seg = net.instrument(i).segment;
+  RRSN_CHECK(value.size() == net.segment(seg).length,
+             "write value length mismatch");
+  const auto& faultOpt = sim_->injectedFault();
+  const fault::Fault* f = faultOpt ? &*faultOpt : nullptr;
+
+  RetargetResult best;
+  if (f != nullptr && f->kind == fault::FaultKind::SegmentBreak &&
+      f->prim == seg)
+    return best;
+
+  const rsn::GraphView gv = rsn::buildGraphView(net);
+  // For writes the scan-in side must be clean; the scan-out side may
+  // contain the broken segment (the value never travels through it).
+  for (const bool allowBreakSuffix : {false, true}) {
+    if (allowBreakSuffix &&
+        (f == nullptr || f->kind != fault::FaultKind::SegmentBreak))
+      break;
+    const auto prefix = findPath(gv, f, gv.scanIn, gv.segmentVertex[seg],
+                                 /*allowBreak=*/false);
+    const auto suffix = findPath(gv, f, gv.segmentVertex[seg], gv.scanOut,
+                                 allowBreakSuffix);
+    if (!prefix || !suffix) continue;
+    std::vector<graph::VertexId> whole = *prefix;
+    whole.insert(whole.end(), suffix->begin() + 1, suffix->end());
+    const auto selections = selectionsFromPath(gv, whole);
+
+    RetargetResult attempt = realizeSelections(selections);
+    if (!attempt.success) continue;
+
+    const auto path = sim_->activePath();
+    if (!path || !onPath(*path, seg)) continue;
+    const auto offset = ScanSimulator::offsetOf(net, *path, seg);
+    if (!offset) continue;
+
+    // Image: keep every segment's configuration, place `value` at seg.
+    std::vector<Bit> image;
+    image.reserve(path->totalBits);
+    for (rsn::SegmentId s : path->segments) {
+      if (s == seg) {
+        image.insert(image.end(), value.begin(), value.end());
+      } else {
+        for (Bit b : sim_->segmentUpdate(s))
+          image.push_back(b == Bit::X ? Bit::Zero : b);
+      }
+    }
+    const auto in = ScanSimulator::shiftInForImage(image);
+    const auto out = sim_->csu(in);
+    attempt.patterns.push_back({in, out});
+    ++attempt.rounds;
+
+    if (sim_->segmentUpdate(seg) == value) {
+      attempt.success = true;
+      return attempt;
+    }
+  }
+  return best;
+}
+
+AccessReport strictAccessibility(const rsn::Network& net,
+                                 const fault::Fault* f) {
+  AccessReport report;
+  const std::size_t n = net.instruments().size();
+  report.observable = DynamicBitset(n);
+  report.settable = DynamicBitset(n);
+  for (rsn::InstrumentId i = 0; i < n; ++i) {
+    {
+      ScanSimulator sim(net);
+      if (f != nullptr) sim.injectFault(*f);
+      Retargeter rt(sim);
+      if (rt.readInstrument(i).success) report.observable.set(i);
+    }
+    {
+      ScanSimulator sim(net);
+      if (f != nullptr) sim.injectFault(*f);
+      Retargeter rt(sim);
+      const auto marker =
+          accessMarker(net.segment(net.instrument(i).segment).length);
+      if (rt.writeInstrument(i, marker).success) report.settable.set(i);
+    }
+  }
+  return report;
+}
+
+AccessReport structuralAccessibility(const rsn::Network& net,
+                                     const fault::Fault* f) {
+  AccessReport report;
+  const std::size_t n = net.instruments().size();
+  report.observable = DynamicBitset(n);
+  report.settable = DynamicBitset(n);
+  report.observable.setAll();
+  report.settable.setAll();
+  if (f != nullptr) {
+    const rsn::GraphView gv = rsn::buildGraphView(net);
+    const auto loss = fault::lossUnderFaultGraph(net, gv, *f);
+    loss.unobservable.forEachSet(
+        [&](std::size_t i) { report.observable.reset(i); });
+    loss.unsettable.forEachSet(
+        [&](std::size_t i) { report.settable.reset(i); });
+  }
+  return report;
+}
+
+}  // namespace rrsn::sim

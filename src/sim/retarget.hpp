@@ -1,0 +1,102 @@
+// Retargeting: turning "access instrument i" into concrete CSU patterns.
+//
+// An RSN instrument is reached by steering every multiplexer on the path
+// from scan-in to its segment; segment-controlled muxes (SIBs, address
+// registers) must be written through the RSN itself, which takes one CSU
+// round per hierarchy level.  The engine below reproduces that protocol
+// and — because it runs on the fault-injecting simulator — doubles as the
+// *strict* accessibility oracle: an instrument counts as observable /
+// settable only if a marker value actually makes it through the defect
+// RSN end to end.  This is stronger than the paper's structural analysis
+// (which assumes control bits can always be applied); the
+// bench_control_dependency ablation quantifies the difference.
+#pragma once
+
+#include <map>
+
+#include "sim/simulator.hpp"
+#include "support/bitset.hpp"
+
+namespace rrsn::sim {
+
+/// One applied scan access (for pattern logging / replay).
+struct ScanPattern {
+  std::vector<Bit> shiftIn;   ///< stream fed to scan-in
+  std::vector<Bit> shiftOut;  ///< stream observed at scan-out
+};
+
+/// Outcome of a retargeting attempt.  `externalSelections` records the
+/// TAP-instruction part of the access (addresses of muxes that are not
+/// segment-controlled); together with `patterns` it is the complete
+/// reproducible access recipe.
+struct RetargetResult {
+  bool success = false;
+  std::size_t rounds = 0;              ///< CSU rounds spent
+  std::vector<ScanPattern> patterns;   ///< in application order
+  std::vector<std::pair<rsn::MuxId, std::uint32_t>> externalSelections;
+};
+
+/// The marker value the engine plants when verifying an access; exposed
+/// so replay checks can reproduce the instrument-side stimulus.
+std::vector<Bit> accessMarker(std::uint32_t length);
+
+/// Replays a recorded access on another simulator (e.g. the synthesized
+/// hardened RSN, which shares the topology).  Applies the external
+/// selections, re-runs every pattern and returns true iff each shift-out
+/// stream matches the recording bit for bit (Sec. II, "able to use the
+/// same access patterns as the initial unhardened RSN").
+bool replayPatterns(ScanSimulator& sim, const RetargetResult& recorded);
+
+/// Retargeting engine bound to one simulator instance.
+class Retargeter {
+ public:
+  explicit Retargeter(ScanSimulator& sim);
+
+  /// Steers the given mux selections (segment-controlled muxes through
+  /// CSU rounds, TAP-controlled ones directly).  Selections of muxes not
+  /// listed are left alone.  Fails if the fault in the simulator blocks a
+  /// required write or the rounds budget is exhausted.
+  RetargetResult realizeSelections(
+      const std::map<rsn::MuxId, std::uint32_t>& selections);
+
+  /// End-to-end read: configures a path through instrument i's segment,
+  /// captures a marker from the instrument and checks the marker arrives
+  /// at scan-out unpoisoned.
+  RetargetResult readInstrument(rsn::InstrumentId i);
+
+  /// End-to-end write: configures a path, shifts `value` into the
+  /// segment and checks the update register took it exactly.
+  RetargetResult writeInstrument(rsn::InstrumentId i,
+                                 const std::vector<Bit>& value);
+
+ private:
+  /// Mux selections steering the structural path onto `seg`
+  /// (its MuxJoin ancestors), or selections from a concrete graph path.
+  std::map<rsn::MuxId, std::uint32_t> ancestorSelections(
+      rsn::SegmentId seg) const;
+
+  ScanSimulator* sim_;
+  std::size_t maxRounds_;
+  /// ancestors_[seg] = (mux, branch) chain from outermost to innermost.
+  std::vector<std::vector<std::pair<rsn::MuxId, std::uint32_t>>> ancestors_;
+};
+
+/// Per-instrument accessibility under an optional fault.
+struct AccessReport {
+  DynamicBitset observable;
+  DynamicBitset settable;
+};
+
+/// Strict (simulation-backed) accessibility: runs the retargeting engine
+/// per instrument on a freshly reset simulator with `f` injected
+/// (nullptr: fault-free).  Exponentially safer but linear-time slower
+/// than the structural analysis; intended for small/medium networks.
+AccessReport strictAccessibility(const rsn::Network& net,
+                                 const fault::Fault* f);
+
+/// Structural accessibility from the flat-graph oracle (the paper's
+/// semantics): complements fault::lossUnderFaultGraph.
+AccessReport structuralAccessibility(const rsn::Network& net,
+                                     const fault::Fault* f);
+
+}  // namespace rrsn::sim

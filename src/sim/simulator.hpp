@@ -1,0 +1,109 @@
+// Cycle-level RSN scan simulator.
+//
+// Models the capture–shift–update (CSU) access protocol of IEEE Std 1687:
+// every scan segment has a shift register and a shadow update register;
+// multiplexer addresses are driven by the update value of their control
+// segment (or set externally for TAP-controlled muxes).  The simulator
+// supports single permanent-fault injection with three-valued logic: a
+// broken segment poisons every bit shifted through it with X; a stuck
+// multiplexer ignores its address.
+//
+// The simulator is the ground truth the structural analysis is tested
+// against, and powers the paper's two application scenarios in
+// examples/ (post-silicon data extraction, runtime instrument access).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "rsn/network.hpp"
+
+namespace rrsn::sim {
+
+/// Three-valued scan bit.
+enum class Bit : std::uint8_t { Zero = 0, One = 1, X = 2 };
+
+inline Bit bitOf(bool b) { return b ? Bit::One : Bit::Zero; }
+char toChar(Bit b);
+std::vector<Bit> bitsFromString(const std::string& s);  // '0','1','x'
+std::string toString(const std::vector<Bit>& bits);
+
+inline constexpr std::uint32_t kInvalidSelection =
+    static_cast<std::uint32_t>(-1);
+
+/// The active scan path under the current configuration.
+struct PathInfo {
+  std::vector<rsn::SegmentId> segments;  ///< scan-in -> scan-out order
+  std::size_t totalBits = 0;
+};
+
+class ScanSimulator {
+ public:
+  explicit ScanSimulator(const rsn::Network& net);
+
+  const rsn::Network& network() const { return *net_; }
+
+  /// Returns to the power-up state: all registers zero, no fault, all
+  /// external addresses zero.
+  void reset();
+
+  /// Injects a single permanent fault (replacing any previous one).
+  void injectFault(const fault::Fault& f) { fault_ = f; }
+  void clearFault() { fault_.reset(); }
+  const std::optional<fault::Fault>& injectedFault() const { return fault_; }
+
+  /// Address of a TAP-controlled mux (controlSegment == kNone).
+  void setExternalAddress(rsn::MuxId m, std::uint32_t branch);
+
+  /// Value the attached instrument presents at the next capture.
+  /// Must match the segment length.
+  void setInstrumentValue(rsn::InstrumentId i, std::vector<Bit> value);
+
+  /// Update-register content of the instrument's segment — what the
+  /// instrument receives from the RSN.
+  std::vector<Bit> instrumentUpdate(rsn::InstrumentId i) const;
+
+  /// Update-register content of any segment.
+  std::vector<Bit> segmentUpdate(rsn::SegmentId s) const;
+
+  /// Resolved selection of a mux under the current configuration and
+  /// fault: branch index, or kInvalidSelection if the address is X.
+  std::uint32_t muxSelection(rsn::MuxId m) const;
+
+  /// Active scan path; nullopt if some on-path mux address is X.
+  std::optional<PathInfo> activePath() const;
+
+  /// One capture–shift–update access on the active path.  `in` must have
+  /// exactly path.totalBits entries; the returned vector contains the
+  /// bits that left through scan-out (captured image, scan-out-nearest
+  /// cell first).  Throws ValidationError if there is no valid path.
+  std::vector<Bit> csu(const std::vector<Bit>& in);
+
+  /// Shift-in image builder: the input stream that loads `image` (one
+  /// entry per path bit, scan-in-nearest first) into the path registers.
+  static std::vector<Bit> shiftInForImage(const std::vector<Bit>& image);
+
+  /// Position of a segment's cells in the concatenated path image;
+  /// nullopt if the segment is not on the given path.
+  static std::optional<std::size_t> offsetOf(const rsn::Network& net,
+                                             const PathInfo& path,
+                                             rsn::SegmentId seg);
+
+ private:
+  struct SegmentState {
+    std::vector<Bit> shift;
+    std::vector<Bit> update;
+    std::vector<Bit> instrumentValue;  ///< empty: capture update instead
+  };
+
+  std::uint32_t resolveSelection(rsn::MuxId m) const;
+  bool walkPath(rsn::NodeId node, PathInfo& path) const;
+
+  const rsn::Network* net_;
+  std::vector<SegmentState> state_;
+  std::vector<std::uint32_t> externalAddress_;
+  std::optional<fault::Fault> fault_;
+};
+
+}  // namespace rrsn::sim

@@ -1,0 +1,221 @@
+#include "sp/decomposition.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rrsn::sp {
+
+using rsn::NodeKind;
+
+TreeId DecompositionTree::addNode(TreeNode n) {
+  nodes_.push_back(n);
+  const auto id = static_cast<TreeId>(nodes_.size() - 1);
+  if (n.left != kNoTree) nodes_[n.left].parent = id;
+  if (n.right != kNoTree) nodes_[n.right].parent = id;
+  return id;
+}
+
+TreeId DecompositionTree::buildBalancedSeries(const std::vector<TreeId>& parts,
+                                              std::size_t lo, std::size_t hi) {
+  if (hi - lo == 1) return parts[lo];
+  const std::size_t mid = lo + (hi - lo) / 2;
+  TreeNode s;
+  s.kind = TreeKind::Series;
+  s.left = buildBalancedSeries(parts, lo, mid);
+  s.right = buildBalancedSeries(parts, mid, hi);
+  return addNode(s);
+}
+
+TreeId DecompositionTree::convert(rsn::NodeId structNode) {
+  const auto& n = net_->structure().node(structNode);
+  switch (n.kind) {
+    case NodeKind::Wire:
+      return addNode(TreeNode{});
+    case NodeKind::Segment: {
+      TreeNode leaf;
+      leaf.kind = TreeKind::LeafSegment;
+      leaf.prim = n.prim;
+      const TreeId id = addNode(leaf);
+      leafOfSegment_[n.prim] = id;
+      return id;
+    }
+    case NodeKind::Serial: {
+      std::vector<TreeId> parts;
+      parts.reserve(n.children.size());
+      for (rsn::NodeId c : n.children) parts.push_back(convert(c));
+      return buildBalancedSeries(parts, 0, parts.size());
+    }
+    case NodeKind::MuxJoin: {
+      // Binarize the k branches into a left-leaning chain of P vertices
+      // that all carry this mux: P(P(b0, b1), b2) ...  The branch roots
+      // are remembered for the O(1) mux-damage computation.
+      auto& roots = branchRoots_[n.prim];
+      roots.clear();
+      roots.reserve(n.children.size());
+      for (rsn::NodeId c : n.children) roots.push_back(convert(c));
+      TreeId acc = roots[0];
+      for (std::size_t b = 1; b < roots.size(); ++b) {
+        TreeNode p;
+        p.kind = TreeKind::Parallel;
+        p.prim = n.prim;
+        p.left = acc;
+        p.right = roots[b];
+        acc = addNode(p);
+      }
+      parallelOfMux_[n.prim] = acc;
+      return acc;
+    }
+  }
+  throw Error("unreachable structure node kind");
+}
+
+DecompositionTree DecompositionTree::build(const rsn::Network& net) {
+  DecompositionTree t;
+  t.net_ = &net;
+  t.leafOfSegment_.assign(net.segments().size(), kNoTree);
+  t.parallelOfMux_.assign(net.muxes().size(), kNoTree);
+  t.branchRoots_.assign(net.muxes().size(), {});
+  t.nodes_.reserve(2 * net.segments().size() + 4 * net.muxes().size() + 8);
+  t.root_ = t.convert(net.structure().root());
+  return t;
+}
+
+void DecompositionTree::annotate(const rsn::CriticalitySpec& spec) {
+  RRSN_CHECK(spec.size() == net_->instruments().size(),
+             "spec does not match the network");
+  // Children are always created before their parents (addNode appends
+  // after converting subtrees), so a single forward sweep accumulates
+  // bottom-up.
+  for (auto& n : nodes_) {
+    n.sumObs = 0;
+    n.sumSet = 0;
+    n.instruments = 0;
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    TreeNode& n = nodes_[i];
+    if (n.kind == TreeKind::LeafSegment) {
+      const auto inst = net_->segment(n.prim).instrument;
+      if (inst != rsn::kNone) {
+        n.sumObs = spec.of(inst).obs;
+        n.sumSet = spec.of(inst).set;
+        n.instruments = 1;
+      }
+    } else if (n.kind == TreeKind::Series || n.kind == TreeKind::Parallel) {
+      const TreeNode& l = nodes_[n.left];
+      const TreeNode& r = nodes_[n.right];
+      n.sumObs = l.sumObs + r.sumObs;
+      n.sumSet = l.sumSet + r.sumSet;
+      n.instruments = l.instruments + r.instruments;
+    }
+  }
+}
+
+TreeId DecompositionTree::parentalParallel(TreeId id) const {
+  TreeId cur = node(id).parent;
+  while (cur != kNoTree) {
+    if (node(cur).kind == TreeKind::Parallel) return cur;
+    cur = node(cur).parent;
+  }
+  return kNoTree;
+}
+
+std::vector<rsn::SegmentId> DecompositionTree::scanOrder() const {
+  std::vector<rsn::SegmentId> order;
+  order.reserve(net_->segments().size());
+  // Iterative in-order traversal (left = closer to scan-in).
+  std::vector<std::pair<TreeId, bool>> stack{{root_, false}};
+  while (!stack.empty()) {
+    const auto [id, expanded] = stack.back();
+    stack.pop_back();
+    const TreeNode& n = node(id);
+    if (n.kind == TreeKind::LeafSegment) {
+      order.push_back(n.prim);
+    } else if (n.kind != TreeKind::LeafWire) {
+      if (expanded) continue;
+      stack.emplace_back(n.right, false);
+      stack.emplace_back(n.left, false);
+    }
+  }
+  return order;
+}
+
+std::size_t DecompositionTree::depth() const {
+  std::size_t best = 0;
+  std::vector<std::pair<TreeId, std::size_t>> stack{{root_, 0}};
+  while (!stack.empty()) {
+    const auto [id, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    const TreeNode& n = node(id);
+    if (n.left != kNoTree) stack.emplace_back(n.left, d + 1);
+    if (n.right != kNoTree) stack.emplace_back(n.right, d + 1);
+  }
+  return best;
+}
+
+namespace {
+
+std::string leafLabel(const rsn::Network& net, const TreeNode& n) {
+  switch (n.kind) {
+    case TreeKind::LeafWire:
+      return "~";
+    case TreeKind::LeafSegment:
+      return net.segment(n.prim).name;
+    case TreeKind::Series:
+      return "S";
+    case TreeKind::Parallel:
+      return "P[" + net.mux(n.prim).name + "]";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string DecompositionTree::toAscii() const {
+  std::ostringstream os;
+  // Recursive pretty printer with box-drawing guides.
+  const auto emit = [&](auto&& self, TreeId id, const std::string& prefix,
+                        bool last) -> void {
+    const TreeNode& n = node(id);
+    os << prefix << (prefix.empty() ? "" : (last ? "`-- " : "|-- "))
+       << leafLabel(*net_, n);
+    if (n.instruments > 0)
+      os << "  (do=" << n.sumObs << ", ds=" << n.sumSet << ")";
+    os << '\n';
+    if (n.left == kNoTree) return;
+    const std::string childPrefix =
+        prefix + (prefix.empty() ? "" : (last ? "    " : "|   "));
+    self(self, n.left, childPrefix, false);
+    self(self, n.right, childPrefix, true);
+  };
+  emit(emit, root_, "", true);
+  return os.str();
+}
+
+std::string DecompositionTree::toDot(const std::string& graphName) const {
+  std::ostringstream os;
+  os << "digraph \"" << graphName << "\" {\n";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const TreeNode& n = nodes_[i];
+    const char* shape = "box";
+    const char* color = "white";
+    if (n.kind == TreeKind::Series) {
+      shape = "circle";
+      color = "lightblue";
+    } else if (n.kind == TreeKind::Parallel) {
+      shape = "circle";
+      color = "palegreen";
+    }
+    os << "  t" << i << " [label=\"" << leafLabel(*net_, n)
+       << "\",shape=" << shape << ",style=filled,fillcolor=" << color << "];\n";
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const TreeNode& n = nodes_[i];
+    if (n.left != kNoTree) os << "  t" << i << " -> t" << n.left << ";\n";
+    if (n.right != kNoTree) os << "  t" << i << " -> t" << n.right << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rrsn::sp

@@ -1,0 +1,116 @@
+// Binary decomposition tree of a series-parallel RSN (Sec. III, Fig. 3).
+//
+// Internal "S" vertices represent series compositions, "P" vertices
+// parallel compositions; every leaf is a scan primitive (segment) or a
+// wire.  Each parallel composition is closed by the scan multiplexer that
+// forms its reconvergence gate, so P vertices carry the mux id; a mux
+// with k > 2 branches becomes a chain of k-1 binary P vertices that all
+// carry the same mux.  Series chains are built *balanced*, which keeps
+// the tree depth logarithmic even for the 670k-segment MBIST networks
+// and makes the per-segment criticality walk O(log N).
+//
+// The in-order sequence of leaves equals the scan order (scan-in first).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rsn/network.hpp"
+#include "rsn/spec.hpp"
+
+namespace rrsn::sp {
+
+using TreeId = std::uint32_t;
+inline constexpr TreeId kNoTree = static_cast<TreeId>(-1);
+
+enum class TreeKind : std::uint8_t { LeafWire, LeafSegment, Series, Parallel };
+
+/// One vertex of the binary decomposition tree.
+struct TreeNode {
+  TreeKind kind = TreeKind::LeafWire;
+  TreeId left = kNoTree;    ///< internal nodes only
+  TreeId right = kNoTree;   ///< internal nodes only
+  TreeId parent = kNoTree;  ///< kNoTree for the root
+  std::uint32_t prim = rsn::kNone;  ///< SegmentId (LeafSegment) / MuxId (Parallel)
+
+  // Weight annotation (Sec. IV-A): sums of instrument damage weights in
+  // the subtree.  Filled by annotate().
+  std::uint64_t sumObs = 0;
+  std::uint64_t sumSet = 0;
+  std::uint32_t instruments = 0;  ///< number of instruments in the subtree
+};
+
+/// The annotated binary decomposition tree of one network.
+class DecompositionTree {
+ public:
+  /// Builds the tree shape from the network's hierarchical structure.
+  /// Weight annotations are zero until annotate() is called.
+  static DecompositionTree build(const rsn::Network& net);
+
+  /// Fills sumObs / sumSet / instruments bottom-up from `spec`.
+  void annotate(const rsn::CriticalitySpec& spec);
+
+  const rsn::Network& network() const { return *net_; }
+
+  const TreeNode& node(TreeId id) const {
+    RRSN_CHECK(id < nodes_.size(), "tree node id out of range");
+    return nodes_[id];
+  }
+  std::size_t nodeCount() const { return nodes_.size(); }
+  TreeId root() const { return root_; }
+
+  /// Leaf holding a given segment.
+  TreeId leafOfSegment(rsn::SegmentId seg) const {
+    RRSN_CHECK(seg < leafOfSegment_.size(), "segment id out of range");
+    return leafOfSegment_[seg];
+  }
+
+  /// Topmost P vertex of a mux's parallel group.
+  TreeId parallelOfMux(rsn::MuxId mux) const {
+    RRSN_CHECK(mux < parallelOfMux_.size(), "mux id out of range");
+    return parallelOfMux_[mux];
+  }
+
+  /// Roots of the k branch subtrees of a mux, in address order.
+  const std::vector<TreeId>& branchesOfMux(rsn::MuxId mux) const {
+    RRSN_CHECK(mux < branchRoots_.size(), "mux id out of range");
+    return branchRoots_[mux];
+  }
+
+  /// Nearest strict ancestor of `id` that is a P vertex — the segment's
+  /// *parental multiplexer* region (Sec. IV-B1); kNoTree if the primitive
+  /// sits on the top-level serial path.
+  TreeId parentalParallel(TreeId id) const;
+
+  /// Scan order (in-order position, scan-in first) of each segment leaf.
+  /// Useful for reports and for the brute-force cross-check.
+  std::vector<rsn::SegmentId> scanOrder() const;
+
+  /// Tree depth (edges on the longest root-to-leaf path).
+  std::size_t depth() const;
+
+  /// ASCII rendering in the style of Fig. 3 (S/P internal vertices,
+  /// primitive names at the leaves, weight annotations when present).
+  std::string toAscii() const;
+
+  /// Graphviz DOT rendering of the tree.
+  std::string toDot(const std::string& graphName) const;
+
+ private:
+  DecompositionTree() = default;
+
+  TreeId addNode(TreeNode n);
+  TreeId convert(rsn::NodeId structNode);
+  TreeId buildBalancedSeries(const std::vector<TreeId>& parts, std::size_t lo,
+                             std::size_t hi);
+
+  const rsn::Network* net_ = nullptr;
+  std::vector<TreeNode> nodes_;
+  TreeId root_ = kNoTree;
+  std::vector<TreeId> leafOfSegment_;
+  std::vector<TreeId> parallelOfMux_;
+  std::vector<std::vector<TreeId>> branchRoots_;
+};
+
+}  // namespace rrsn::sp

@@ -1,0 +1,92 @@
+#include "support/bitset.hpp"
+
+#include <bit>
+
+namespace rrsn {
+
+void DynamicBitset::setAll() {
+  words_.assign(words_.size(), ~0ULL);
+  trimTail();
+}
+
+std::size_t DynamicBitset::count() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+std::size_t DynamicBitset::countBelow(std::size_t limit) const {
+  RRSN_CHECK(limit <= bits_, "countBelow limit out of range");
+  std::size_t total = 0;
+  const std::size_t fullWords = limit >> 6;
+  for (std::size_t w = 0; w < fullWords; ++w)
+    total += static_cast<std::size_t>(std::popcount(words_[w]));
+  const std::size_t rem = limit & 63;
+  if (rem != 0) {
+    const std::uint64_t mask = (1ULL << rem) - 1;
+    total += static_cast<std::size_t>(std::popcount(words_[fullWords] & mask));
+  }
+  return total;
+}
+
+std::size_t DynamicBitset::findNext(std::size_t from) const {
+  if (from >= bits_) return bits_;
+  std::size_t w = from >> 6;
+  std::uint64_t word = words_[w] & (~0ULL << (from & 63));
+  while (true) {
+    if (word != 0) {
+      const std::size_t idx = w * 64 + static_cast<std::size_t>(std::countr_zero(word));
+      return idx < bits_ ? idx : bits_;
+    }
+    if (++w >= words_.size()) return bits_;
+    word = words_[w];
+  }
+}
+
+std::vector<std::size_t> DynamicBitset::toIndices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  forEachSet([&](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+void DynamicBitset::spliceFrom(const DynamicBitset& a, const DynamicBitset& b,
+                               std::size_t point) {
+  RRSN_CHECK(a.bits_ == bits_ && b.bits_ == bits_,
+             "splice operands must have equal size");
+  RRSN_CHECK(point <= bits_, "splice point out of range");
+  const std::size_t wordPoint = point >> 6;
+  for (std::size_t w = 0; w < wordPoint; ++w) words_[w] = a.words_[w];
+  for (std::size_t w = wordPoint; w < words_.size(); ++w) words_[w] = b.words_[w];
+  const std::size_t rem = point & 63;
+  if (rem != 0) {
+    const std::uint64_t lowMask = (1ULL << rem) - 1;
+    words_[wordPoint] =
+        (a.words_[wordPoint] & lowMask) | (b.words_[wordPoint] & ~lowMask);
+  }
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  RRSN_CHECK(other.bits_ == bits_, "bitset size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  RRSN_CHECK(other.bits_ == bits_, "bitset size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& other) {
+  RRSN_CHECK(other.bits_ == bits_, "bitset size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+  return *this;
+}
+
+void DynamicBitset::trimTail() {
+  const std::size_t rem = bits_ & 63;
+  if (rem != 0 && !words_.empty()) words_.back() &= (1ULL << rem) - 1;
+}
+
+}  // namespace rrsn

@@ -1,0 +1,97 @@
+// A dynamically sized bitset with the operations the optimizer needs:
+// word-level boolean algebra, population count, set-bit iteration and
+// one-point-crossover style prefix splicing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace rrsn {
+
+/// Fixed-size-at-construction bitset backed by 64-bit words.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Creates a bitset of `bits` zero bits.
+  explicit DynamicBitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t size() const { return bits_; }
+  bool empty() const { return bits_ == 0; }
+
+  bool test(std::size_t i) const {
+    RRSN_CHECK(i < bits_, "bit index out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void set(std::size_t i, bool value = true) {
+    RRSN_CHECK(i < bits_, "bit index out of range");
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (value)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  void reset(std::size_t i) { set(i, false); }
+
+  /// Flips bit i and returns its new value.
+  bool flip(std::size_t i) {
+    RRSN_CHECK(i < bits_, "bit index out of range");
+    words_[i >> 6] ^= 1ULL << (i & 63);
+    return test(i);
+  }
+
+  void clearAll() { words_.assign(words_.size(), 0); }
+  void setAll();
+
+  /// Number of set bits.
+  std::size_t count() const;
+
+  /// Number of set bits with index < limit.
+  std::size_t countBelow(std::size_t limit) const;
+
+  /// Index of the first set bit at or after `from`; size() if none.
+  std::size_t findNext(std::size_t from) const;
+
+  /// Invokes fn(index) for every set bit, ascending.
+  template <typename Fn>
+  void forEachSet(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int b = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(b));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Returns the sorted indices of all set bits.
+  std::vector<std::size_t> toIndices() const;
+
+  /// this := prefix of `a` (bits [0, point)) + suffix of `b` (bits
+  /// [point, size)).  All three bitsets must have equal size.
+  void spliceFrom(const DynamicBitset& a, const DynamicBitset& b,
+                  std::size_t point);
+
+  bool operator==(const DynamicBitset& other) const = default;
+
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  DynamicBitset& operator^=(const DynamicBitset& other);
+
+ private:
+  /// Zeroes the unused high bits of the last word so that word-level
+  /// operations (count, ==) stay canonical.
+  void trimTail();
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace rrsn

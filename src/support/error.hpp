@@ -1,0 +1,55 @@
+// Error handling primitives for the rrsn libraries.
+//
+// The libraries follow the C++ Core Guidelines and report contract and
+// input violations via exceptions.  `rrsn::Error` is the common base so
+// callers can catch library failures distinctly from std errors.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rrsn {
+
+/// Base class of every exception thrown by the rrsn libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when user-provided input (netlist text, benchmark name, spec
+/// file, ...) is malformed.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when a network violates structural invariants (unknown vertex,
+/// cyclic scan path, dangling mux input, ...).
+class ValidationError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throwCheckFailed(const char* expr, const char* file,
+                                          int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace rrsn
+
+/// Precondition / invariant check that is always active (unlike assert).
+/// Usage: RRSN_CHECK(idx < size(), "segment index out of range");
+#define RRSN_CHECK(expr, ...)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::rrsn::detail::throwCheckFailed(#expr, __FILE__, __LINE__,          \
+                                       ::std::string{__VA_ARGS__});        \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,28 @@
+// Small string utilities shared by the netlist parser and the CLIs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rrsn {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on a single-character delimiter; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Splits on runs of ASCII whitespace; empty tokens are dropped.
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a non-negative integer; throws ParseError with `context` on failure.
+std::uint64_t parseUnsigned(std::string_view s, std::string_view context);
+
+/// Parses a double; throws ParseError with `context` on failure.
+double parseDouble(std::string_view s, std::string_view context);
+
+}  // namespace rrsn

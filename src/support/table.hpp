@@ -1,0 +1,60 @@
+// Plain-text result tables.
+//
+// The benchmark harnesses print tables in the same layout as the paper
+// (e.g. Table I); this helper handles column sizing, alignment, thousands
+// separators and CSV export so every bench binary formats consistently.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rrsn {
+
+/// Formats n with ',' thousands separators ("1234567" -> "1,234,567").
+std::string withThousands(std::uint64_t n);
+std::string withThousands(std::int64_t n);
+
+/// Formats seconds as the paper's "[m:s]" runtime column, e.g. 92:01.
+std::string formatMinSec(double seconds);
+
+/// Simple column-aligned text table with optional CSV export.
+class TextTable {
+ public:
+  enum class Align { Left, Right };
+
+  /// Defines the header row; every data row must have the same arity.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Sets the alignment of one column (default: Right).
+  void setAlign(std::size_t column, Align align);
+
+  /// Appends a data row (strings are used verbatim).
+  void addRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator between the previous and next row.
+  void addSeparator();
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+  /// Renders the table with a header rule, e.g. for stdout.
+  std::string render() const;
+
+  /// Renders as RFC-4180-ish CSV (fields with commas/quotes are quoted).
+  std::string renderCsv() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+}  // namespace rrsn

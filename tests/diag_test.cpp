@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "diag/diagnosis.hpp"
+#include "rsn/example_networks.hpp"
+#include "test_util.hpp"
+
+namespace rrsn::diag {
+namespace {
+
+using fault::Fault;
+using rsn::makeFig1Network;
+
+TEST(Syndrome, DistanceAndEquality) {
+  Syndrome a;
+  a.passed = DynamicBitset(6);
+  a.passed.set(0);
+  a.passed.set(3);
+  Syndrome b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.distanceTo(b), 0u);
+  b.passed.set(5);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.distanceTo(b), 1u);
+}
+
+TEST(Dictionary, FaultFreePassesEverything) {
+  const rsn::Network net = makeFig1Network();
+  const Syndrome clean = FaultDictionary::measure(net, nullptr);
+  EXPECT_EQ(clean.passed.count(), 2 * net.instruments().size());
+}
+
+TEST(Dictionary, DiagnoseFaultFree) {
+  const rsn::Network net = makeFig1Network();
+  const FaultDictionary dict = FaultDictionary::build(net);
+  const Diagnosis d = dict.diagnose(dict.faultFreeSyndrome());
+  EXPECT_TRUE(d.faultFree);
+  EXPECT_TRUE(d.exactMatches.empty());
+}
+
+TEST(Dictionary, InjectedFaultIsAmongCandidates) {
+  const rsn::Network net = makeFig1Network();
+  const FaultDictionary dict = FaultDictionary::build(net);
+  for (std::size_t k = 0; k < dict.faults().size(); ++k) {
+    const Fault& f = dict.faults()[k];
+    const Syndrome observed = FaultDictionary::measure(net, &f);
+    const Diagnosis d = dict.diagnose(observed);
+    if (d.faultFree) continue;  // undetectable fault (e.g. harmless stuck)
+    const bool found =
+        std::find(d.exactMatches.begin(), d.exactMatches.end(), f) !=
+        d.exactMatches.end();
+    EXPECT_TRUE(found) << fault::describe(net, f);
+  }
+}
+
+TEST(Dictionary, StuckM0IsDetectedAndLocated) {
+  const rsn::Network net = makeFig1Network();
+  const FaultDictionary dict = FaultDictionary::build(net);
+  const Fault f = Fault::muxStuck(net.findMux("m0"), 1);
+  const Diagnosis d = dict.diagnose(FaultDictionary::measure(net, &f));
+  ASSERT_FALSE(d.faultFree);
+  ASSERT_FALSE(d.exactMatches.empty());
+  // Every candidate in the class kills all three instruments, like m0=1.
+  EXPECT_TRUE(std::find(d.exactMatches.begin(), d.exactMatches.end(), f) !=
+              d.exactMatches.end());
+}
+
+TEST(Dictionary, HarmlessFaultsAreUndetectable) {
+  // stuck(sb1_mux=1) always includes the SIB content: all accesses pass.
+  const rsn::Network net = makeFig1Network();
+  const FaultDictionary dict = FaultDictionary::build(net);
+  const Fault f = Fault::muxStuck(net.findMux("sb1_mux"), 1);
+  const Diagnosis d = dict.diagnose(FaultDictionary::measure(net, &f));
+  EXPECT_TRUE(d.faultFree);
+}
+
+TEST(Dictionary, ResolutionStatistics) {
+  const rsn::Network net = makeFig1Network();
+  const FaultDictionary dict = FaultDictionary::build(net);
+  const auto r = dict.resolution();
+  EXPECT_EQ(r.faults, dict.faults().size());
+  EXPECT_GT(r.detectable, 0u);
+  EXPECT_LE(r.detectable, r.faults);
+  EXPECT_GT(r.classes, 1u);
+  EXPECT_GE(r.avgAmbiguity, 1.0);
+}
+
+TEST(Dictionary, HardeningShrinksTheFaultUniverse) {
+  const rsn::Network net = makeFig1Network();
+  const FaultDictionary dict = FaultDictionary::build(net);
+  std::vector<bool> hardened(net.primitiveCount(), false);
+  hardened[net.linearId({rsn::PrimitiveRef::Kind::Mux, net.findMux("m0")})] =
+      true;
+  const auto before = dict.resolution();
+  const auto after = dict.resolutionExcluding(hardened);
+  EXPECT_EQ(after.faults, before.faults - 2);  // two stuck faults removed
+  EXPECT_LE(after.detectable, before.detectable);
+}
+
+TEST(Dictionary, UnknownSyndromeFallsBackToNearest) {
+  const rsn::Network net = makeFig1Network();
+  const FaultDictionary dict = FaultDictionary::build(net);
+  Syndrome weird;
+  weird.passed = DynamicBitset(2 * net.instruments().size());
+  weird.passed.set(0);  // a pattern no single fault produces
+  const Diagnosis d = dict.diagnose(weird);
+  EXPECT_FALSE(d.faultFree);
+  EXPECT_TRUE(d.exactMatches.empty());
+  EXPECT_FALSE(d.nearestMatches.empty());
+  EXPECT_GT(d.nearestDistance, 0u);
+}
+
+TEST(Dictionary, ClassTableRenders) {
+  const rsn::Network net = makeFig1Network();
+  const FaultDictionary dict = FaultDictionary::build(net);
+  const std::string table = dict.classTable(10).render();
+  EXPECT_NE(table.find("class size"), std::string::npos);
+  EXPECT_NE(table.find("stuck("), std::string::npos);
+}
+
+// Property: on random networks, every detectable injected fault is
+// diagnosed to a candidate set containing itself.
+class DiagnosisSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiagnosisSweep, CandidatesContainInjectedFault) {
+  Rng rng(GetParam() * 7 + 3);
+  test::RandomNetOptions opt;
+  opt.targetSegments = 14;
+  const rsn::Network net = test::randomNetwork(rng, opt);
+  const FaultDictionary dict = FaultDictionary::build(net);
+  for (std::size_t k = 0; k < dict.faults().size(); ++k) {
+    const Fault& f = dict.faults()[k];
+    const Diagnosis d = dict.diagnose(dict.syndromeOf(k));
+    if (d.faultFree) continue;
+    ASSERT_TRUE(std::find(d.exactMatches.begin(), d.exactMatches.end(), f) !=
+                d.exactMatches.end())
+        << "seed=" << GetParam() << " " << fault::describe(net, f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiagnosisSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace rrsn::diag

@@ -1,0 +1,190 @@
+// Cross-cutting property tests: randomized checks of the low-level
+// algorithms against their textbook definitions, and structural
+// invariants of the decomposition tree that the fast criticality walk
+// relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/digraph.hpp"
+#include "rsn/graph_view.hpp"
+#include "sim/simulator.hpp"
+#include "sp/decomposition.hpp"
+#include "test_util.hpp"
+
+namespace rrsn {
+namespace {
+
+/// Random connected DAG with a unique source (vertex 0): every vertex
+/// v > 0 receives at least one edge from a smaller vertex.
+graph::Digraph randomDag(Rng& rng, std::size_t n, double extraEdgeProb) {
+  graph::Digraph g;
+  for (std::size_t v = 0; v < n; ++v) g.addVertex("v" + std::to_string(v));
+  for (graph::VertexId v = 1; v < n; ++v) {
+    const auto p = static_cast<graph::VertexId>(rng.below(v));
+    g.addEdge(p, v);
+    for (graph::VertexId u = 0; u < v; ++u) {
+      if (u != p && rng.chance(extraEdgeProb)) g.addEdge(u, v);
+    }
+  }
+  return g;
+}
+
+/// Definition-level dominance: `dom` dominates `v` iff removing `dom`
+/// disconnects `v` from the root (or dom == v).
+bool dominatesByDefinition(const graph::Digraph& g, graph::VertexId root,
+                           graph::VertexId dom, graph::VertexId v) {
+  if (dom == v) return true;
+  if (v == root) return false;
+  if (dom == root) return true;  // the root lies on every path trivially
+  // BFS from root avoiding `dom`.
+  std::vector<bool> seen(g.vertexCount(), false);
+  std::vector<graph::VertexId> work{root};
+  seen[root] = true;
+  while (!work.empty()) {
+    const graph::VertexId cur = work.back();
+    work.pop_back();
+    for (graph::VertexId s : g.successors(cur)) {
+      if (s == dom || seen[s]) continue;
+      seen[s] = true;
+      work.push_back(s);
+    }
+  }
+  return !seen[v];
+}
+
+class DominatorSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DominatorSweep, IdomMatchesDefinition) {
+  Rng rng(GetParam() * 101 + 7);
+  const graph::Digraph g = randomDag(rng, 24, 0.15);
+  const auto idom = graph::immediateDominators(g, 0);
+  for (graph::VertexId dom = 0; dom < g.vertexCount(); ++dom) {
+    for (graph::VertexId v = 0; v < g.vertexCount(); ++v) {
+      ASSERT_EQ(graph::dominates(idom, dom, v),
+                dominatesByDefinition(g, 0, dom, v))
+          << "seed=" << GetParam() << " dom=" << dom << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominatorSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+class TopoSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopoSweep, OrderRespectsEveryEdge) {
+  Rng rng(GetParam() * 31 + 1);
+  const graph::Digraph g = randomDag(rng, 40, 0.1);
+  const auto order = graph::topologicalOrder(g);
+  ASSERT_EQ(order.size(), g.vertexCount());
+  std::vector<std::size_t> pos(g.vertexCount());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (graph::VertexId v = 0; v < g.vertexCount(); ++v)
+    for (graph::VertexId s : g.successors(v)) ASSERT_LT(pos[v], pos[s]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopoSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ------------------------------------------------- decomposition shape
+
+class TreeInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeInvariants, ParentChildPointersConsistent) {
+  Rng rng(GetParam() * 77 + 13);
+  const rsn::Network net = test::randomNetwork(rng);
+  const auto tree = sp::DecompositionTree::build(net);
+
+  std::size_t rootCount = 0;
+  for (sp::TreeId id = 0; id < tree.nodeCount(); ++id) {
+    const auto& n = tree.node(id);
+    if (n.parent == sp::kNoTree) {
+      ++rootCount;
+      EXPECT_EQ(id, tree.root());
+    } else {
+      const auto& p = tree.node(n.parent);
+      EXPECT_TRUE(p.left == id || p.right == id);
+    }
+    if (n.kind == sp::TreeKind::Series || n.kind == sp::TreeKind::Parallel) {
+      ASSERT_NE(n.left, sp::kNoTree);
+      ASSERT_NE(n.right, sp::kNoTree);
+      EXPECT_EQ(tree.node(n.left).parent, id);
+      EXPECT_EQ(tree.node(n.right).parent, id);
+    } else {
+      EXPECT_EQ(n.left, sp::kNoTree);
+      EXPECT_EQ(n.right, sp::kNoTree);
+    }
+  }
+  EXPECT_EQ(rootCount, 1u);
+}
+
+TEST_P(TreeInvariants, AnnotationSumsAreExact) {
+  Rng rng(GetParam() * 77 + 13);
+  const rsn::Network net = test::randomNetwork(rng);
+  const auto spec = test::randomSpecFor(net, rng);
+  auto tree = sp::DecompositionTree::build(net);
+  tree.annotate(spec);
+  // Root carries the totals; every internal node equals its children.
+  const auto& root = tree.node(tree.root());
+  EXPECT_EQ(root.sumObs, spec.totalObs());
+  EXPECT_EQ(root.sumSet, spec.totalSet());
+  EXPECT_EQ(root.instruments, net.instruments().size());
+  for (sp::TreeId id = 0; id < tree.nodeCount(); ++id) {
+    const auto& n = tree.node(id);
+    if (n.kind != sp::TreeKind::Series && n.kind != sp::TreeKind::Parallel)
+      continue;
+    EXPECT_EQ(n.sumObs, tree.node(n.left).sumObs + tree.node(n.right).sumObs);
+    EXPECT_EQ(n.sumSet, tree.node(n.left).sumSet + tree.node(n.right).sumSet);
+  }
+}
+
+TEST_P(TreeInvariants, ParallelGroupsCarryTheirMux) {
+  Rng rng(GetParam() * 77 + 13);
+  const rsn::Network net = test::randomNetwork(rng);
+  const auto tree = sp::DecompositionTree::build(net);
+  // Every mux has a topmost P vertex; every P vertex between the branch
+  // roots and the topmost P carries the same mux id.
+  for (rsn::MuxId m = 0; m < net.muxes().size(); ++m) {
+    const sp::TreeId top = tree.parallelOfMux(m);
+    ASSERT_NE(top, sp::kNoTree);
+    EXPECT_EQ(tree.node(top).kind, sp::TreeKind::Parallel);
+    EXPECT_EQ(tree.node(top).prim, m);
+    for (sp::TreeId branch : tree.branchesOfMux(m)) {
+      // Walking up from a branch root hits only P vertices of mux m
+      // until the topmost is passed.
+      sp::TreeId cur = tree.node(branch).parent;
+      while (cur != sp::kNoTree) {
+        const auto& n = tree.node(cur);
+        ASSERT_EQ(n.kind, sp::TreeKind::Parallel);
+        ASSERT_EQ(n.prim, m);
+        if (cur == top) break;
+        cur = n.parent;
+      }
+    }
+  }
+}
+
+TEST_P(TreeInvariants, ScanOrderMatchesSimulatorFullPath) {
+  // The tree's in-order leaf sequence must be consistent with every
+  // realizable scan path: the simulator's reset-time active path is a
+  // subsequence of it.
+  Rng rng(GetParam() * 77 + 13);
+  const rsn::Network net = test::randomNetwork(rng);
+  const auto tree = sp::DecompositionTree::build(net);
+  const auto order = tree.scanOrder();
+  std::vector<std::size_t> pos(net.segments().size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+
+  sim::ScanSimulator simulator(net);
+  const auto path = simulator.activePath();
+  ASSERT_TRUE(path.has_value());
+  for (std::size_t i = 1; i < path->segments.size(); ++i)
+    EXPECT_LT(pos[path->segments[i - 1]], pos[path->segments[i]]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeInvariants,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace rrsn

@@ -1,0 +1,271 @@
+// rrsn_tool — command-line driver for the robust-RSN library.
+//
+//   rrsn_tool info    <netlist>                  network statistics + SP check
+//   rrsn_tool dot     <netlist>                  Graphviz DOT of the graph model
+//   rrsn_tool tree    <netlist>                  annotated decomposition tree
+//   rrsn_tool analyze <netlist> [options]        criticality report (top k)
+//   rrsn_tool harden  <netlist> [options]        SPEA-2 Pareto front + plans
+//   rrsn_tool access  <netlist> <instrument> [--fault F]
+//                                                retarget an access, print CSU
+//                                                patterns (optionally under a
+//                                                fault: break:<seg> or
+//                                                stuck:<mux>:<branch>)
+//   rrsn_tool diagnose <netlist> --fault F       build the fault dictionary and
+//                                                diagnose the injected fault
+//   rrsn_tool bench   <name>                     emit a Table-I benchmark as a
+//                                                netlist on stdout
+//
+// Common options: --spec <file> (explicit damage weights), --seed N
+// (random spec / EA seed), --generations N, --population N, --top K.
+// `<netlist>` of "-" reads from stdin.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "benchgen/registry.hpp"
+#include "crit/analyzer.hpp"
+#include "diag/diagnosis.hpp"
+#include "harden/hardening.hpp"
+#include "moo/spea2.hpp"
+#include "rsn/graph_view.hpp"
+#include "rsn/netlist_io.hpp"
+#include "sim/retarget.hpp"
+#include "sp/decomposition.hpp"
+#include "sp/sp_reduce.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace rrsn;
+
+struct Options {
+  std::string command;
+  std::vector<std::string> positional;
+  std::optional<std::string> specFile;
+  std::optional<std::string> faultText;
+  std::optional<std::string> planOut;
+  std::uint64_t seed = 2022;
+  std::size_t generations = 300;
+  std::size_t population = 100;
+  std::size_t top = 10;
+};
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: rrsn_tool <info|dot|tree|analyze|harden|access|diagnose|"
+         "bench> <netlist|name> [args] [--spec file] [--fault F] [--seed N] "
+         "[--generations N] [--population N] [--top K] [--plan-out file]\n";
+  std::exit(2);
+}
+
+Options parseArgs(int argc, char** argv) {
+  Options opt;
+  if (argc < 3) usage();
+  opt.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--spec") opt.specFile = value();
+    else if (arg == "--plan-out") opt.planOut = value();
+    else if (arg == "--fault") opt.faultText = value();
+    else if (arg == "--seed") opt.seed = parseUnsigned(value(), "--seed");
+    else if (arg == "--generations")
+      opt.generations = parseUnsigned(value(), "--generations");
+    else if (arg == "--population")
+      opt.population = parseUnsigned(value(), "--population");
+    else if (arg == "--top") opt.top = parseUnsigned(value(), "--top");
+    else if (!arg.empty() && arg[0] == '-' && arg != "-") usage();
+    else opt.positional.push_back(arg);
+  }
+  if (opt.positional.empty()) usage();
+  return opt;
+}
+
+rsn::Network loadNetwork(const std::string& path) {
+  if (path == "-") return rsn::parseNetlist(std::cin);
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open netlist '" + path + "'");
+  return rsn::parseNetlist(in);
+}
+
+rsn::CriticalitySpec loadSpec(const Options& opt, const rsn::Network& net) {
+  if (opt.specFile) {
+    std::ifstream in(*opt.specFile);
+    if (!in) throw Error("cannot open spec '" + *opt.specFile + "'");
+    return rsn::readSpec(in, net);
+  }
+  Rng rng(opt.seed);
+  return rsn::randomSpec(net, {}, rng);
+}
+
+fault::Fault parseFault(const rsn::Network& net, const std::string& text) {
+  const auto parts = split(text, ':');
+  if (parts.size() == 2 && parts[0] == "break") {
+    const rsn::SegmentId seg = net.findSegment(parts[1]);
+    RRSN_CHECK(seg != rsn::kNone, "unknown segment '" + parts[1] + "'");
+    return fault::Fault::segmentBreak(seg);
+  }
+  if (parts.size() == 3 && parts[0] == "stuck") {
+    const rsn::MuxId mux = net.findMux(parts[1]);
+    RRSN_CHECK(mux != rsn::kNone, "unknown mux '" + parts[1] + "'");
+    return fault::Fault::muxStuck(
+        mux, static_cast<std::uint32_t>(parseUnsigned(parts[2], "branch")));
+  }
+  throw ParseError("--fault expects break:<segment> or stuck:<mux>:<branch>");
+}
+
+int cmdInfo(const Options& opt) {
+  const rsn::Network net = loadNetwork(opt.positional[0]);
+  const rsn::NetworkStats s = net.stats();
+  std::cout << "network:       " << net.name() << '\n'
+            << "segments:      " << s.segments << '\n'
+            << "multiplexers:  " << s.muxes << '\n'
+            << "instruments:   " << s.instruments << '\n'
+            << "scan cells:    " << s.scanCells << '\n'
+            << "mux nesting:   " << s.maxMuxNesting << '\n';
+  const rsn::GraphView gv = rsn::buildGraphView(net);
+  const auto check = sp::checkSeriesParallel(gv.graph, gv.scanIn, gv.scanOut);
+  std::cout << "series-parallel: " << (check.isSeriesParallel ? "yes" : "no")
+            << '\n';
+  const auto tree = sp::DecompositionTree::build(net);
+  std::cout << "decomposition tree: " << tree.nodeCount() << " nodes, depth "
+            << tree.depth() << '\n';
+  return 0;
+}
+
+int cmdDot(const Options& opt) {
+  std::cout << rsn::toDot(loadNetwork(opt.positional[0]));
+  return 0;
+}
+
+int cmdTree(const Options& opt) {
+  const rsn::Network net = loadNetwork(opt.positional[0]);
+  auto tree = sp::DecompositionTree::build(net);
+  tree.annotate(loadSpec(opt, net));
+  std::cout << tree.toAscii();
+  return 0;
+}
+
+int cmdAnalyze(const Options& opt) {
+  const rsn::Network net = loadNetwork(opt.positional[0]);
+  const auto spec = loadSpec(opt, net);
+  const auto analysis = crit::CriticalityAnalyzer(net, spec).run();
+  std::cout << "accumulated single-defect damage (nothing hardened): "
+            << withThousands(analysis.totalDamage()) << "\n\n"
+            << analysis.report(opt.top);
+  return 0;
+}
+
+int cmdHarden(const Options& opt) {
+  const rsn::Network net = loadNetwork(opt.positional[0]);
+  const auto spec = loadSpec(opt, net);
+  const auto analysis = crit::CriticalityAnalyzer(net, spec).run();
+  const auto problem = harden::HardeningProblem::assemble(net, analysis);
+  moo::EvolutionOptions options;
+  options.populationSize = opt.population;
+  options.generations = opt.generations;
+  options.seed = opt.seed;
+  const auto result = moo::runSpea2(problem.linear, options);
+
+  std::cout << "max cost " << withThousands(problem.maxCost)
+            << ", max damage " << withThousands(problem.maxDamage)
+            << ", Pareto front with " << result.archive.size()
+            << " solutions:\n";
+  for (const moo::Individual& ind : result.archive.members())
+    std::cout << "  cost " << withThousands(ind.obj.cost) << "  damage "
+              << withThousands(ind.obj.damage) << '\n';
+  const auto sols = harden::extractPaperSolutions(result.archive, problem);
+  if (sols.minCost) {
+    const harden::HardeningPlan plan(net, sols.minCost->genome);
+    std::cout << "\nmin cost @ damage <= 10%:\n" << plan.report(analysis);
+    if (opt.planOut) {
+      std::ofstream out(*opt.planOut);
+      RRSN_CHECK(static_cast<bool>(out),
+                 "cannot write plan '" + *opt.planOut + "'");
+      harden::writePlan(out, plan);
+      std::cout << "plan written to " << *opt.planOut << '\n';
+    }
+  }
+  if (sols.minDamage) {
+    std::cout << "\nmin damage @ cost <= 10%:\n"
+              << harden::HardeningPlan(net, sols.minDamage->genome)
+                     .report(analysis);
+  }
+  return 0;
+}
+
+int cmdAccess(const Options& opt) {
+  if (opt.positional.size() < 2) usage();
+  const rsn::Network net = loadNetwork(opt.positional[0]);
+  const rsn::InstrumentId inst = net.findInstrument(opt.positional[1]);
+  RRSN_CHECK(inst != rsn::kNone,
+             "unknown instrument '" + opt.positional[1] + "'");
+  sim::ScanSimulator simulator(net);
+  if (opt.faultText) simulator.injectFault(parseFault(net, *opt.faultText));
+  sim::Retargeter rt(simulator);
+  simulator.setInstrumentValue(
+      inst, sim::accessMarker(net.segment(net.instrument(inst).segment).length));
+  const auto res = rt.readInstrument(inst);
+  std::cout << "read " << net.instrument(inst).name << ": "
+            << (res.success ? "OK" : "INACCESSIBLE") << " (" << res.rounds
+            << " CSU rounds)\n";
+  for (std::size_t k = 0; k < res.patterns.size(); ++k) {
+    std::cout << "  csu[" << k << "] in  " << toString(res.patterns[k].shiftIn)
+              << "\n  csu[" << k << "] out " << toString(res.patterns[k].shiftOut)
+              << '\n';
+  }
+  return res.success ? 0 : 1;
+}
+
+int cmdDiagnose(const Options& opt) {
+  const rsn::Network net = loadNetwork(opt.positional[0]);
+  RRSN_CHECK(opt.faultText.has_value(), "diagnose requires --fault");
+  const fault::Fault f = parseFault(net, *opt.faultText);
+  const auto dict = diag::FaultDictionary::build(net);
+  const auto observed = diag::FaultDictionary::measure(net, &f);
+  const auto d = dict.diagnose(observed);
+  std::cout << "injected: " << fault::describe(net, f) << '\n';
+  if (d.faultFree) {
+    std::cout << "syndrome is fault-free: the defect is undetectable by "
+                 "instrument accesses\n";
+    return 0;
+  }
+  std::cout << "candidates (" << d.exactMatches.size() << "):";
+  for (const auto& c : d.exactMatches) std::cout << ' ' << describe(net, c);
+  std::cout << '\n';
+  const auto r = dict.resolution();
+  std::cout << "dictionary: " << r.faults << " faults, " << r.detectable
+            << " detectable, " << r.classes << " classes, avg ambiguity "
+            << r.avgAmbiguity << '\n';
+  return 0;
+}
+
+int cmdBench(const Options& opt) {
+  const rsn::Network net = benchgen::buildBenchmark(opt.positional[0]);
+  rsn::writeNetlist(std::cout, net);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parseArgs(argc, argv);
+    if (opt.command == "info") return cmdInfo(opt);
+    if (opt.command == "dot") return cmdDot(opt);
+    if (opt.command == "tree") return cmdTree(opt);
+    if (opt.command == "analyze") return cmdAnalyze(opt);
+    if (opt.command == "harden") return cmdHarden(opt);
+    if (opt.command == "access") return cmdAccess(opt);
+    if (opt.command == "diagnose") return cmdDiagnose(opt);
+    if (opt.command == "bench") return cmdBench(opt);
+    usage();
+  } catch (const rrsn::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
