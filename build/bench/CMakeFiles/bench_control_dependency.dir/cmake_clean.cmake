@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_control_dependency.dir/bench_control_dependency.cpp.o"
+  "CMakeFiles/bench_control_dependency.dir/bench_control_dependency.cpp.o.d"
+  "bench_control_dependency"
+  "bench_control_dependency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_control_dependency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ea_ablation.dir/bench_ea_ablation.cpp.o"
+  "CMakeFiles/bench_ea_ablation.dir/bench_ea_ablation.cpp.o.d"
+  "bench_ea_ablation"
+  "bench_ea_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ea_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spec_placement.dir/bench_spec_placement.cpp.o"
+  "CMakeFiles/bench_spec_placement.dir/bench_spec_placement.cpp.o.d"
+  "bench_spec_placement"
+  "bench_spec_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spec_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

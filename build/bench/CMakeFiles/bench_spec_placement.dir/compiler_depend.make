@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_spec_placement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tmr_comparison.dir/bench_tmr_comparison.cpp.o"
+  "CMakeFiles/bench_tmr_comparison.dir/bench_tmr_comparison.cpp.o.d"
+  "bench_tmr_comparison"
+  "bench_tmr_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tmr_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

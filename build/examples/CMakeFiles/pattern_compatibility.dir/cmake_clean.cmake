@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_compatibility.dir/pattern_compatibility.cpp.o"
+  "CMakeFiles/pattern_compatibility.dir/pattern_compatibility.cpp.o.d"
+  "pattern_compatibility"
+  "pattern_compatibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_compatibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

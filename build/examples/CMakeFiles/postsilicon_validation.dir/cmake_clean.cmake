@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postsilicon_validation.dir/postsilicon_validation.cpp.o"
+  "CMakeFiles/postsilicon_validation.dir/postsilicon_validation.cpp.o.d"
+  "postsilicon_validation"
+  "postsilicon_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postsilicon_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_monitoring.dir/runtime_monitoring.cpp.o"
+  "CMakeFiles/runtime_monitoring.dir/runtime_monitoring.cpp.o.d"
+  "runtime_monitoring"
+  "runtime_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsn_benchgen.dir/generators.cpp.o"
+  "CMakeFiles/rrsn_benchgen.dir/generators.cpp.o.d"
+  "CMakeFiles/rrsn_benchgen.dir/registry.cpp.o"
+  "CMakeFiles/rrsn_benchgen.dir/registry.cpp.o.d"
+  "librrsn_benchgen.a"
+  "librrsn_benchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsn_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

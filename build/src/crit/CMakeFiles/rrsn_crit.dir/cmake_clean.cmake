@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsn_crit.dir/analyzer.cpp.o"
+  "CMakeFiles/rrsn_crit.dir/analyzer.cpp.o.d"
+  "librrsn_crit.a"
+  "librrsn_crit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsn_crit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsn_diag.dir/diagnosis.cpp.o"
+  "CMakeFiles/rrsn_diag.dir/diagnosis.cpp.o.d"
+  "librrsn_diag.a"
+  "librrsn_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsn_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

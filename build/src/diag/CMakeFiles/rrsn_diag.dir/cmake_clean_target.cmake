@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librrsn_diag.a"
+)

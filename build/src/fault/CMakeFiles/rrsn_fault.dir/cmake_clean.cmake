@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsn_fault.dir/effects.cpp.o"
+  "CMakeFiles/rrsn_fault.dir/effects.cpp.o.d"
+  "CMakeFiles/rrsn_fault.dir/fault.cpp.o"
+  "CMakeFiles/rrsn_fault.dir/fault.cpp.o.d"
+  "librrsn_fault.a"
+  "librrsn_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsn_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

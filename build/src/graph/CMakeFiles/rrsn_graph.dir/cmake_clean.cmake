@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsn_graph.dir/digraph.cpp.o"
+  "CMakeFiles/rrsn_graph.dir/digraph.cpp.o.d"
+  "librrsn_graph.a"
+  "librrsn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

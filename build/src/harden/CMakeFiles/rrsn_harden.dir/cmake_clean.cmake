@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsn_harden.dir/fault_tolerant.cpp.o"
+  "CMakeFiles/rrsn_harden.dir/fault_tolerant.cpp.o.d"
+  "CMakeFiles/rrsn_harden.dir/hardening.cpp.o"
+  "CMakeFiles/rrsn_harden.dir/hardening.cpp.o.d"
+  "librrsn_harden.a"
+  "librrsn_harden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsn_harden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/moo/baselines.cpp" "src/moo/CMakeFiles/rrsn_moo.dir/baselines.cpp.o" "gcc" "src/moo/CMakeFiles/rrsn_moo.dir/baselines.cpp.o.d"
+  "/root/repo/src/moo/ea_common.cpp" "src/moo/CMakeFiles/rrsn_moo.dir/ea_common.cpp.o" "gcc" "src/moo/CMakeFiles/rrsn_moo.dir/ea_common.cpp.o.d"
+  "/root/repo/src/moo/genome.cpp" "src/moo/CMakeFiles/rrsn_moo.dir/genome.cpp.o" "gcc" "src/moo/CMakeFiles/rrsn_moo.dir/genome.cpp.o.d"
+  "/root/repo/src/moo/nsga2.cpp" "src/moo/CMakeFiles/rrsn_moo.dir/nsga2.cpp.o" "gcc" "src/moo/CMakeFiles/rrsn_moo.dir/nsga2.cpp.o.d"
+  "/root/repo/src/moo/pareto.cpp" "src/moo/CMakeFiles/rrsn_moo.dir/pareto.cpp.o" "gcc" "src/moo/CMakeFiles/rrsn_moo.dir/pareto.cpp.o.d"
+  "/root/repo/src/moo/spea2.cpp" "src/moo/CMakeFiles/rrsn_moo.dir/spea2.cpp.o" "gcc" "src/moo/CMakeFiles/rrsn_moo.dir/spea2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rrsn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

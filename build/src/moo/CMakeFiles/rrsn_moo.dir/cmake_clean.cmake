@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsn_moo.dir/baselines.cpp.o"
+  "CMakeFiles/rrsn_moo.dir/baselines.cpp.o.d"
+  "CMakeFiles/rrsn_moo.dir/ea_common.cpp.o"
+  "CMakeFiles/rrsn_moo.dir/ea_common.cpp.o.d"
+  "CMakeFiles/rrsn_moo.dir/genome.cpp.o"
+  "CMakeFiles/rrsn_moo.dir/genome.cpp.o.d"
+  "CMakeFiles/rrsn_moo.dir/nsga2.cpp.o"
+  "CMakeFiles/rrsn_moo.dir/nsga2.cpp.o.d"
+  "CMakeFiles/rrsn_moo.dir/pareto.cpp.o"
+  "CMakeFiles/rrsn_moo.dir/pareto.cpp.o.d"
+  "CMakeFiles/rrsn_moo.dir/spea2.cpp.o"
+  "CMakeFiles/rrsn_moo.dir/spea2.cpp.o.d"
+  "librrsn_moo.a"
+  "librrsn_moo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsn_moo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rsn/builder.cpp" "src/rsn/CMakeFiles/rrsn_rsn.dir/builder.cpp.o" "gcc" "src/rsn/CMakeFiles/rrsn_rsn.dir/builder.cpp.o.d"
+  "/root/repo/src/rsn/example_networks.cpp" "src/rsn/CMakeFiles/rrsn_rsn.dir/example_networks.cpp.o" "gcc" "src/rsn/CMakeFiles/rrsn_rsn.dir/example_networks.cpp.o.d"
+  "/root/repo/src/rsn/graph_view.cpp" "src/rsn/CMakeFiles/rrsn_rsn.dir/graph_view.cpp.o" "gcc" "src/rsn/CMakeFiles/rrsn_rsn.dir/graph_view.cpp.o.d"
+  "/root/repo/src/rsn/netlist_io.cpp" "src/rsn/CMakeFiles/rrsn_rsn.dir/netlist_io.cpp.o" "gcc" "src/rsn/CMakeFiles/rrsn_rsn.dir/netlist_io.cpp.o.d"
+  "/root/repo/src/rsn/network.cpp" "src/rsn/CMakeFiles/rrsn_rsn.dir/network.cpp.o" "gcc" "src/rsn/CMakeFiles/rrsn_rsn.dir/network.cpp.o.d"
+  "/root/repo/src/rsn/spec.cpp" "src/rsn/CMakeFiles/rrsn_rsn.dir/spec.cpp.o" "gcc" "src/rsn/CMakeFiles/rrsn_rsn.dir/spec.cpp.o.d"
+  "/root/repo/src/rsn/structure.cpp" "src/rsn/CMakeFiles/rrsn_rsn.dir/structure.cpp.o" "gcc" "src/rsn/CMakeFiles/rrsn_rsn.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rrsn_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rrsn_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

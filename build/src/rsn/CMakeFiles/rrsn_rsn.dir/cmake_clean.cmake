@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsn_rsn.dir/builder.cpp.o"
+  "CMakeFiles/rrsn_rsn.dir/builder.cpp.o.d"
+  "CMakeFiles/rrsn_rsn.dir/example_networks.cpp.o"
+  "CMakeFiles/rrsn_rsn.dir/example_networks.cpp.o.d"
+  "CMakeFiles/rrsn_rsn.dir/graph_view.cpp.o"
+  "CMakeFiles/rrsn_rsn.dir/graph_view.cpp.o.d"
+  "CMakeFiles/rrsn_rsn.dir/netlist_io.cpp.o"
+  "CMakeFiles/rrsn_rsn.dir/netlist_io.cpp.o.d"
+  "CMakeFiles/rrsn_rsn.dir/network.cpp.o"
+  "CMakeFiles/rrsn_rsn.dir/network.cpp.o.d"
+  "CMakeFiles/rrsn_rsn.dir/spec.cpp.o"
+  "CMakeFiles/rrsn_rsn.dir/spec.cpp.o.d"
+  "CMakeFiles/rrsn_rsn.dir/structure.cpp.o"
+  "CMakeFiles/rrsn_rsn.dir/structure.cpp.o.d"
+  "librrsn_rsn.a"
+  "librrsn_rsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsn_rsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

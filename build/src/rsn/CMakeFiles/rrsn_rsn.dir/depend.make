@@ -1,0 +1,2 @@
+# Empty dependencies file for rrsn_rsn.
+# This may be replaced when dependencies are built.

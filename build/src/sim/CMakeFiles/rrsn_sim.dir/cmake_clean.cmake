@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsn_sim.dir/retarget.cpp.o"
+  "CMakeFiles/rrsn_sim.dir/retarget.cpp.o.d"
+  "CMakeFiles/rrsn_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rrsn_sim.dir/simulator.cpp.o.d"
+  "librrsn_sim.a"
+  "librrsn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

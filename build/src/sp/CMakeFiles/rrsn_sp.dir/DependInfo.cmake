@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sp/decomposition.cpp" "src/sp/CMakeFiles/rrsn_sp.dir/decomposition.cpp.o" "gcc" "src/sp/CMakeFiles/rrsn_sp.dir/decomposition.cpp.o.d"
+  "/root/repo/src/sp/sp_reduce.cpp" "src/sp/CMakeFiles/rrsn_sp.dir/sp_reduce.cpp.o" "gcc" "src/sp/CMakeFiles/rrsn_sp.dir/sp_reduce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rsn/CMakeFiles/rrsn_rsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rrsn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rrsn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsn_sp.dir/decomposition.cpp.o"
+  "CMakeFiles/rrsn_sp.dir/decomposition.cpp.o.d"
+  "CMakeFiles/rrsn_sp.dir/sp_reduce.cpp.o"
+  "CMakeFiles/rrsn_sp.dir/sp_reduce.cpp.o.d"
+  "librrsn_sp.a"
+  "librrsn_sp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsn_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsn_support.dir/bitset.cpp.o"
+  "CMakeFiles/rrsn_support.dir/bitset.cpp.o.d"
+  "CMakeFiles/rrsn_support.dir/rng.cpp.o"
+  "CMakeFiles/rrsn_support.dir/rng.cpp.o.d"
+  "CMakeFiles/rrsn_support.dir/strings.cpp.o"
+  "CMakeFiles/rrsn_support.dir/strings.cpp.o.d"
+  "CMakeFiles/rrsn_support.dir/table.cpp.o"
+  "CMakeFiles/rrsn_support.dir/table.cpp.o.d"
+  "librrsn_support.a"
+  "librrsn_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsn_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

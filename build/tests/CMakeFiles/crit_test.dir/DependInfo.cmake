@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crit_test.cpp" "tests/CMakeFiles/crit_test.dir/crit_test.cpp.o" "gcc" "tests/CMakeFiles/crit_test.dir/crit_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchgen/CMakeFiles/rrsn_benchgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/diag/CMakeFiles/rrsn_diag.dir/DependInfo.cmake"
+  "/root/repo/build/src/harden/CMakeFiles/rrsn_harden.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rrsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/moo/CMakeFiles/rrsn_moo.dir/DependInfo.cmake"
+  "/root/repo/build/src/crit/CMakeFiles/rrsn_crit.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/rrsn_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sp/CMakeFiles/rrsn_sp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsn/CMakeFiles/rrsn_rsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rrsn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rrsn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crit_test.dir/crit_test.cpp.o"
+  "CMakeFiles/crit_test.dir/crit_test.cpp.o.d"
+  "crit_test"
+  "crit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

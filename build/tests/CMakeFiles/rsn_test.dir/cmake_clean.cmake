@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsn_test.dir/rsn_test.cpp.o"
+  "CMakeFiles/rsn_test.dir/rsn_test.cpp.o.d"
+  "rsn_test"
+  "rsn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

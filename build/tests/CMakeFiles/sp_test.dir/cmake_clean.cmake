@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_test.dir/sp_test.cpp.o"
+  "CMakeFiles/sp_test.dir/sp_test.cpp.o.d"
+  "sp_test"
+  "sp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

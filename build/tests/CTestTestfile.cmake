@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(support_test "/root/repo/build/tests/support_test")
+set_tests_properties(support_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;13;rrsn_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(graph_test "/root/repo/build/tests/graph_test")
+set_tests_properties(graph_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;14;rrsn_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rsn_test "/root/repo/build/tests/rsn_test")
+set_tests_properties(rsn_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;15;rrsn_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sp_test "/root/repo/build/tests/sp_test")
+set_tests_properties(sp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;16;rrsn_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fault_test "/root/repo/build/tests/fault_test")
+set_tests_properties(fault_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;17;rrsn_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(crit_test "/root/repo/build/tests/crit_test")
+set_tests_properties(crit_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;18;rrsn_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(moo_test "/root/repo/build/tests/moo_test")
+set_tests_properties(moo_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;19;rrsn_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(harden_test "/root/repo/build/tests/harden_test")
+set_tests_properties(harden_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;20;rrsn_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;21;rrsn_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(benchgen_test "/root/repo/build/tests/benchgen_test")
+set_tests_properties(benchgen_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;22;rrsn_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(diag_test "/root/repo/build/tests/diag_test")
+set_tests_properties(diag_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;23;rrsn_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;24;rrsn_add_test;/root/repo/tests/CMakeLists.txt;0;")

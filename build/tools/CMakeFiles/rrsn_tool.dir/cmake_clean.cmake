@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrsn_tool.dir/rrsn_tool.cpp.o"
+  "CMakeFiles/rrsn_tool.dir/rrsn_tool.cpp.o.d"
+  "rrsn_tool"
+  "rrsn_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrsn_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
