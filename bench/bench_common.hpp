@@ -3,9 +3,13 @@
 // solution extraction) and environment-variable knobs.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <optional>
+#include <ostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "benchgen/registry.hpp"
 #include "crit/analyzer.hpp"
@@ -32,6 +36,117 @@ inline std::uint64_t envOrU64(const char* name, std::uint64_t fallback) {
              ? static_cast<std::uint64_t>(std::atoll(v))
              : fallback;
 }
+
+/// Minimal streaming JSON writer for the machine-readable BENCH_*.json
+/// artifacts the benches emit next to their text tables, so the perf
+/// trajectory (stage timings, thread count, speedups) stays comparable
+/// across PRs without parsing ASCII tables.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& beginObject() {
+    prefix();
+    os_ << '{';
+    nested_.push_back(0);
+    return *this;
+  }
+  JsonWriter& endObject() {
+    nested_.pop_back();
+    os_ << '}';
+    return *this;
+  }
+  JsonWriter& beginArray() {
+    prefix();
+    os_ << '[';
+    nested_.push_back(0);
+    return *this;
+  }
+  JsonWriter& endArray() {
+    nested_.pop_back();
+    os_ << ']';
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    prefix();
+    quoted(k);
+    os_ << ':';
+    afterKey_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    prefix();
+    quoted(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    prefix();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    prefix();
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    os_ << buf;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    prefix();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    prefix();
+    os_ << v;
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& kv(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void prefix() {
+    if (afterKey_) {
+      afterKey_ = false;
+      return;
+    }
+    if (!nested_.empty()) {
+      if (nested_.back() != 0) os_ << ',';
+      nested_.back() = 1;
+    }
+  }
+  void quoted(std::string_view s) {
+    os_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<char> nested_;  ///< per nesting level: element written yet?
+  bool afterKey_ = false;
+};
 
 /// Everything one Table-I row produces.
 struct RowResult {

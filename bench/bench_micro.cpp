@@ -4,14 +4,17 @@
 // avoid), genome variation operators and one SPEA-2 generation.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <map>
 
+#include "bench_common.hpp"
 #include "benchgen/registry.hpp"
 #include "crit/analyzer.hpp"
 #include "fault/effects.hpp"
 #include "harden/hardening.hpp"
 #include "moo/spea2.hpp"
 #include "rsn/graph_view.hpp"
+#include "support/parallel.hpp"
 
 namespace {
 
@@ -119,6 +122,39 @@ void BM_Spea2Generation(benchmark::State& state, const std::string& name) {
   }
 }
 
+/// Console reporter that additionally collects every run so the results
+/// can be re-emitted as BENCH_micro.json (same schema family as
+/// BENCH_scalability.json: kernel timings + thread count, diffable
+/// across PRs).
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double realTime = 0.0;
+    double cpuTime = 0.0;
+    std::string timeUnit;
+    std::int64_t iterations = 0;
+    double itemsPerSecond = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& r : report) {
+      Row row;
+      row.name = r.benchmark_name();
+      row.realTime = r.GetAdjustedRealTime();
+      row.cpuTime = r.GetAdjustedCPUTime();
+      row.timeUnit = benchmark::GetTimeUnitString(r.time_unit);
+      row.iterations = r.iterations;
+      const auto it = r.counters.find("items_per_second");
+      if (it != r.counters.end()) row.itemsPerSecond = it->second;
+      rows.push_back(std::move(row));
+    }
+    benchmark::ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<Row> rows;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -154,6 +190,27 @@ int main(int argc, char** argv) {
   registerNamed("Spea2Generation/p93791", BM_Spea2Generation, "p93791");
 
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  std::ofstream jsonFile("BENCH_micro.json");
+  bench::JsonWriter json(jsonFile);
+  json.beginObject()
+      .kv("bench", "micro")
+      .kv("threads", static_cast<std::uint64_t>(threadCount()))
+      .key("kernels")
+      .beginArray();
+  for (const CollectingReporter::Row& row : reporter.rows) {
+    json.beginObject()
+        .kv("name", row.name)
+        .kv("real_time", row.realTime)
+        .kv("cpu_time", row.cpuTime)
+        .kv("time_unit", row.timeUnit)
+        .kv("iterations", static_cast<std::int64_t>(row.iterations))
+        .kv("items_per_second", row.itemsPerSecond)
+        .endObject();
+  }
+  json.endArray().endObject();
+  jsonFile << "\n";
   return 0;
 }

@@ -5,23 +5,83 @@
 // For the MBIST family (113 .. 1,080,305 segments) this bench reports
 // the wall-clock time of every pipeline stage separately:
 //   network construction, decomposition-tree build + annotation, the
-//   complete criticality analysis (all d_j), and a fixed-budget SPEA-2
-//   run (50 generations — the EA cost per generation, not convergence,
-//   is what scales with the network).
+//   complete criticality analysis (all d_j), the fault-dictionary build
+//   (small networks only — O(|faults| * |instruments|) simulations), and
+//   a fixed-budget SPEA-2 run (50 generations — the EA cost per
+//   generation, not convergence, is what scales with the network).
+//
+// The parallel stages (criticality sweep, dictionary build, SPEA-2
+// fitness kernel) are timed twice — once at RRSN_THREADS=1 and once at
+// the configured thread count — and the results are checked to be
+// byte-identical (the runtime's determinism contract).  Stage timings,
+// thread count and speedups are written to BENCH_scalability.json.
+#include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "bench_common.hpp"
+#include "diag/diagnosis.hpp"
+#include "support/parallel.hpp"
 #include "support/table.hpp"
+
+namespace {
+
+using namespace rrsn;
+
+/// One parallel stage measured serially and at the pool width.
+struct StageTiming {
+  double serialSeconds = 0.0;
+  double pooledSeconds = 0.0;
+  bool identical = false;
+
+  double speedup() const {
+    return pooledSeconds > 0.0 ? serialSeconds / pooledSeconds : 0.0;
+  }
+};
+
+/// Times `run()` at 1 thread and at `threads`, checking `same`.
+template <typename RunFn, typename SameFn>
+StageTiming measureStage(std::size_t threads, RunFn&& run, SameFn&& same) {
+  StageTiming t;
+  setThreadCount(1);
+  Stopwatch sw;
+  const auto serial = run();
+  t.serialSeconds = sw.seconds();
+  setThreadCount(threads);
+  sw.restart();
+  const auto pooled = run();
+  t.pooledSeconds = sw.seconds();
+  t.identical = same(serial, pooled);
+  return t;
+}
+
+}  // namespace
 
 int main() {
   using namespace rrsn;
   const std::string set = bench::envOr("RRSN_SCALABILITY_SET", "medium");
+  const std::size_t threads = threadCount();
+  // Dictionary builds are quadratic-ish in the network size; gate the
+  // stage to networks where the build finishes in seconds.
+  const std::uint64_t dictMaxSegments =
+      bench::envOrU64("RRSN_DICT_MAX_SEGMENTS", 1600);
 
   TextTable table({"Design", "#Seg", "#Mux", "tree depth", "build [s]",
-                   "tree [s]", "analysis [s]", "EA 50 gen [s]",
-                   "analysis us/primitive"});
+                   "tree [s]", "analysis [s]", "analysis x", "dict [s]",
+                   "dict x", "EA 50 gen [s]", "EA x"});
   table.setAlign(0, TextTable::Align::Left);
 
+  std::ofstream jsonFile("BENCH_scalability.json");
+  bench::JsonWriter json(jsonFile);
+  json.beginObject()
+      .kv("bench", "scalability")
+      .kv("set", set)
+      .kv("threads", static_cast<std::uint64_t>(threads))
+      .kv("dict_max_segments", dictMaxSegments)
+      .key("designs")
+      .beginArray();
+
+  bool allIdentical = true;
   for (const benchgen::BenchmarkSpec& spec : benchgen::table1Benchmarks()) {
     if (spec.style != benchgen::Style::Mbist) continue;
     if (set != "all" && spec.segments > 160'000) continue;
@@ -38,40 +98,99 @@ int main() {
     const double tTree = sw.seconds();
     const std::size_t depth = tree.depth();
 
-    sw.restart();
-    const auto analysis = crit::CriticalityAnalyzer(net, cspec).run();
-    const double tAnalysis = sw.seconds();
+    const crit::CriticalityAnalyzer analyzer(net, cspec);
+    const StageTiming tAnalysis = measureStage(
+        threads, [&] { return analyzer.run(); },
+        [](const crit::CriticalityResult& a, const crit::CriticalityResult& b) {
+          return a.damages() == b.damages();
+        });
 
+    std::optional<StageTiming> tDict;
+    if (spec.segments <= dictMaxSegments) {
+      tDict = measureStage(
+          threads, [&] { return diag::FaultDictionary::build(net); },
+          [](const diag::FaultDictionary& a, const diag::FaultDictionary& b) {
+            if (a.faults().size() != b.faults().size()) return false;
+            for (std::size_t k = 0; k < a.faults().size(); ++k)
+              if (!(a.syndromeOf(k) == b.syndromeOf(k))) return false;
+            return a.faultFreeSyndrome() == b.faultFreeSyndrome();
+          });
+    }
+
+    const auto analysis = analyzer.run();
     const auto problem = harden::HardeningProblem::assemble(net, analysis);
     moo::EvolutionOptions options;
     options.populationSize = spec.populationSize();
     options.generations = 50;
     options.maxInitOnes = 100'000;
     options.seed = 1;
-    sw.restart();
-    (void)moo::runSpea2(problem.linear, options);
-    const double tEa = sw.seconds();
+    const StageTiming tEa = measureStage(
+        threads, [&] { return moo::runSpea2(problem.linear, options); },
+        [](const moo::RunResult& a, const moo::RunResult& b) {
+          return a.archive.members().size() == b.archive.members().size() &&
+                 [&] {
+                   for (std::size_t i = 0; i < a.archive.members().size(); ++i)
+                     if (!(a.archive.members()[i] == b.archive.members()[i]))
+                       return false;
+                   return true;
+                 }();
+        });
+
+    allIdentical = allIdentical && tAnalysis.identical && tEa.identical &&
+                   (!tDict || tDict->identical);
 
     const auto fmt = [](double s) {
       char buf[32];
       std::snprintf(buf, sizeof buf, "%.3f", s);
       return std::string(buf);
     };
-    char perPrim[32];
-    std::snprintf(perPrim, sizeof perPrim, "%.3f",
-                  1e6 * tAnalysis / static_cast<double>(net.primitiveCount()));
+    const auto fmtX = [](const StageTiming& t) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.2fx%s", t.speedup(),
+                    t.identical ? "" : " !!DIFF");
+      return std::string(buf);
+    };
     table.addRow({spec.name, withThousands(std::uint64_t{spec.segments}),
                   withThousands(std::uint64_t{spec.muxes}),
                   std::to_string(depth), fmt(tBuild), fmt(tTree),
-                  fmt(tAnalysis), fmt(tEa), perPrim});
+                  fmt(tAnalysis.pooledSeconds), fmtX(tAnalysis),
+                  tDict ? fmt(tDict->pooledSeconds) : "-",
+                  tDict ? fmtX(*tDict) : "-", fmt(tEa.pooledSeconds),
+                  fmtX(tEa)});
+
+    const auto emitStage = [&](const char* name, const StageTiming& t) {
+      json.key(name)
+          .beginObject()
+          .kv("serial_s", t.serialSeconds)
+          .kv("pooled_s", t.pooledSeconds)
+          .kv("speedup", t.speedup())
+          .kv("identical", t.identical)
+          .endObject();
+    };
+    json.beginObject()
+        .kv("name", spec.name)
+        .kv("segments", std::uint64_t{spec.segments})
+        .kv("muxes", std::uint64_t{spec.muxes})
+        .kv("tree_depth", static_cast<std::uint64_t>(depth))
+        .kv("build_s", tBuild)
+        .kv("tree_s", tTree)
+        .key("stages")
+        .beginObject();
+    emitStage("criticality", tAnalysis);
+    if (tDict) emitStage("dictionary", *tDict);
+    emitStage("spea2_50gen", tEa);
+    json.endObject().endObject();
     std::cout << "." << std::flush;
   }
-  std::cout << "\n\nScalability over the MBIST family (set="
-            << set << "; RRSN_SCALABILITY_SET=all adds the 10^6-segment "
-                      "networks)\n"
+  json.endArray().kv("all_identical", allIdentical).endObject();
+  jsonFile << "\n";
+
+  std::cout << "\n\nScalability over the MBIST family (set=" << set
+            << "; RRSN_SCALABILITY_SET=all adds the 10^6-segment networks; "
+            << threads << " thread(s), RRSN_THREADS overrides)\n"
             << table
-            << "\n(the per-primitive analysis cost should stay roughly "
-               "constant — the criticality analysis is O(N log N) thanks "
-               "to the balanced decomposition tree)\n";
-  return 0;
+            << "\n(speedup columns compare RRSN_THREADS=1 against the pool "
+               "width; results are checked byte-identical between the two "
+               "runs — stage timings also land in BENCH_scalability.json)\n";
+  return allIdentical ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 
 #include "fault/fault.hpp"
 #include "rsn/graph_view.hpp"
+#include "support/parallel.hpp"
 
 namespace rrsn::crit {
 
@@ -85,13 +86,19 @@ CriticalityAnalyzer::CriticalityAnalyzer(const rsn::Network& net,
 
 CriticalityResult CriticalityAnalyzer::run() const {
   std::vector<std::uint64_t> d(net_->primitiveCount(), 0);
+  // Every fault is evaluated against the immutable annotated tree and
+  // writes only its own primitive's slot, so the sweep fans out over the
+  // fault universe with thread-count-independent results.
   // Segments: one break fault each; O(tree depth) per segment.
-  for (rsn::SegmentId s = 0; s < net_->segments().size(); ++s) {
-    d[net_->linearId({rsn::PrimitiveRef::Kind::Segment, s})] =
-        fault::damageUnderFaultTree(tree_, Fault::segmentBreak(s));
-  }
+  parallelFor(net_->segments().size(), [&](std::size_t s) {
+    d[net_->linearId(
+        {rsn::PrimitiveRef::Kind::Segment, static_cast<rsn::SegmentId>(s)})] =
+        fault::damageUnderFaultTree(
+            tree_, Fault::segmentBreak(static_cast<rsn::SegmentId>(s)));
+  });
   // Muxes: k stuck-at faults combined by policy; O(#branches) per mux.
-  for (rsn::MuxId m = 0; m < net_->muxes().size(); ++m) {
+  parallelFor(net_->muxes().size(), [&](std::size_t mi) {
+    const auto m = static_cast<rsn::MuxId>(mi);
     const auto& branches = tree_.branchesOfMux(m);
     std::vector<std::uint64_t> perBranch;
     perBranch.reserve(branches.size());
@@ -100,7 +107,7 @@ CriticalityResult CriticalityAnalyzer::run() const {
           tree_, Fault::muxStuck(m, b)));
     d[net_->linearId({rsn::PrimitiveRef::Kind::Mux, m})] =
         combine(options_.muxPolicy, perBranch);
-  }
+  });
   return CriticalityResult(*net_, std::move(d));
 }
 
@@ -110,7 +117,9 @@ CriticalityResult bruteForceAnalysis(const rsn::Network& net,
   const rsn::GraphView gv = rsn::buildGraphView(net);
   const FaultUniverse universe(net);
   std::vector<std::uint64_t> d(net.primitiveCount(), 0);
-  for (std::size_t linear = 0; linear < net.primitiveCount(); ++linear) {
+  // The oracle is embarrassingly parallel per primitive: each iteration
+  // only reads the shared network/graph view and owns slot d[linear].
+  parallelFor(net.primitiveCount(), [&](std::size_t linear) {
     const rsn::PrimitiveRef ref = net.refOf(linear);
     std::vector<std::uint64_t> perFault;
     for (const Fault& f : universe.faultsAt(ref)) {
@@ -120,7 +129,7 @@ CriticalityResult bruteForceAnalysis(const rsn::Network& net,
     d[linear] = ref.kind == rsn::PrimitiveRef::Kind::Segment
                     ? perFault.at(0)
                     : combine(options.muxPolicy, perFault);
-  }
+  });
   return CriticalityResult(net, std::move(d));
 }
 

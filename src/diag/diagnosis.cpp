@@ -4,6 +4,7 @@
 #include <map>
 
 #include "sim/retarget.hpp"
+#include "support/parallel.hpp"
 
 namespace rrsn::diag {
 
@@ -45,9 +46,12 @@ FaultDictionary FaultDictionary::build(const rsn::Network& net) {
   dict.faultFree_ = measure(net, nullptr);
   const fault::FaultUniverse universe(net);
   dict.faults_ = universe.faults();
-  dict.syndromes_.reserve(dict.faults_.size());
-  for (const fault::Fault& f : dict.faults_)
-    dict.syndromes_.push_back(measure(net, &f));
+  // Each fault's syndrome is measured on a private simulator over the
+  // immutable network, so the build fans out over the fault universe;
+  // syndrome k lands in slot k regardless of scheduling.
+  dict.syndromes_ = parallelMap<Syndrome>(
+      dict.faults_.size(),
+      [&](std::size_t k) { return measure(net, &dict.faults_[k]); });
   return dict;
 }
 

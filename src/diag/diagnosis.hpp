@@ -56,7 +56,9 @@ class FaultDictionary {
  public:
   /// Simulates the complete fault universe of `net` (2 retargeted
   /// accesses per instrument per fault).  O(|faults| * |instruments|)
-  /// simulations — intended for small and medium networks.
+  /// simulations, fanned out over the fault universe on the process
+  /// thread pool (RRSN_THREADS); the dictionary is byte-identical for
+  /// any thread count.
   static FaultDictionary build(const rsn::Network& net);
 
   const rsn::Network& network() const { return *net_; }

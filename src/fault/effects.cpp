@@ -39,13 +39,18 @@ AccessibilityLoss lossUnderFaultTree(const DecompositionTree& tree,
   loss.unsettable = DynamicBitset(net.instruments().size());
 
   if (f.kind == FaultKind::MuxStuck) {
-    // Every non-selected branch is disconnected both ways (Fig. 4).
+    // Every non-selected branch is disconnected both ways (Fig. 4):
+    // collect each branch's instruments once, then merge the set into
+    // both directions with word-level unions.
     const auto& branches = tree.branchesOfMux(f.prim);
     RRSN_CHECK(f.stuckBranch < branches.size(), "stuck branch out of range");
+    DynamicBitset branchInstruments(net.instruments().size());
     for (std::size_t b = 0; b < branches.size(); ++b) {
       if (b == f.stuckBranch) continue;
-      collectInstruments(tree, branches[b], loss.unobservable, net);
-      collectInstruments(tree, branches[b], loss.unsettable, net);
+      branchInstruments.clearAll();
+      collectInstruments(tree, branches[b], branchInstruments, net);
+      loss.unobservable.orWith(branchInstruments);
+      loss.unsettable.orWith(branchInstruments);
     }
     return loss;
   }

@@ -8,7 +8,7 @@ std::vector<Individual> initialPopulation(const LinearBiProblem& problem,
                                           std::uint64_t damageTotal,
                                           const EvolutionOptions& options,
                                           Rng& rng) {
-  RRSN_CHECK(options.populationSize >= 2, "population needs >= 2 individuals");
+  RRSN_CHECK(options.populationSize >= 1, "population needs >= 1 individual");
   const std::size_t bits = problem.size();
   std::vector<Individual> pop;
   pop.reserve(options.populationSize);

@@ -13,6 +13,8 @@ namespace rrsn::moo {
 struct Individual {
   Genome genome;
   Objectives obj;
+
+  bool operator==(const Individual&) const = default;
 };
 
 /// Archive of mutually nondominated individuals, kept sorted by

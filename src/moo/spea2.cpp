@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "support/parallel.hpp"
+
 namespace rrsn::moo {
 
 namespace {
@@ -46,36 +48,55 @@ double sqDist(const std::pair<double, double>& a,
 }
 
 /// Computes SPEA-2 fitness F = R + D for every member of `all`.
+///
+/// Both O(m^2) passes fan out over rows on the process thread pool: row
+/// i only reads the shared objective vectors (and, in the second pass,
+/// the completed strength array) and writes its own slot, so the result
+/// is independent of the thread count.  parallelFor is a full barrier,
+/// which orders the raw-fitness pass after the strength pass.
 void computeFitness(std::vector<Scored>& all) {
   const std::size_t m = all.size();
   // Strength and raw fitness by pairwise dominance.
   std::vector<std::uint32_t> strength(m, 0);
-  for (std::size_t i = 0; i < m; ++i)
+  parallelFor(m, [&](std::size_t i) {
     for (std::size_t j = 0; j < m; ++j)
       if (i != j && dominates(all[i].ind.obj, all[j].ind.obj)) ++strength[i];
+  });
   std::vector<double> raw(m, 0.0);
-  for (std::size_t i = 0; i < m; ++i)
+  parallelFor(m, [&](std::size_t i) {
     for (std::size_t j = 0; j < m; ++j)
       if (i != j && dominates(all[j].ind.obj, all[i].ind.obj))
         raw[i] += strength[j];
+  });
 
-  // k-th nearest neighbor density.
+  // k-th nearest neighbor density, with one distance scratch buffer per
+  // worker lane instead of an allocation per row.
   const auto pts = normalizedPoints(all);
   const auto k = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::sqrt(static_cast<double>(m))));
-  std::vector<double> dist;
-  dist.reserve(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    dist.clear();
-    for (std::size_t j = 0; j < m; ++j)
-      if (j != i) dist.push_back(sqDist(pts[i], pts[j]));
-    const std::size_t kk = std::min(k, dist.size()) - 1;
-    std::nth_element(dist.begin(),
-                     dist.begin() + static_cast<std::ptrdiff_t>(kk),
-                     dist.end());
-    const double sigma = std::sqrt(dist[kk]);
-    all[i].fitness = raw[i] + 1.0 / (sigma + 2.0);
-  }
+  std::vector<std::vector<double>> scratch(threadCount());
+  parallelForChunks(m, [&](std::size_t begin, std::size_t end,
+                           std::size_t worker) {
+    std::vector<double>& dist = scratch[worker];
+    dist.reserve(m);
+    for (std::size_t i = begin; i < end; ++i) {
+      dist.clear();
+      for (std::size_t j = 0; j < m; ++j)
+        if (j != i) dist.push_back(sqDist(pts[i], pts[j]));
+      // A combined population of one member has no neighbor: treat its
+      // k-NN distance as zero (maximum density) instead of letting the
+      // unsigned `min(k, 0) - 1` wrap.
+      double sigma = 0.0;
+      if (!dist.empty()) {
+        const std::size_t kk = std::min(k, dist.size()) - 1;
+        std::nth_element(dist.begin(),
+                         dist.begin() + static_cast<std::ptrdiff_t>(kk),
+                         dist.end());
+        sigma = std::sqrt(dist[kk]);
+      }
+      all[i].fitness = raw[i] + 1.0 / (sigma + 2.0);
+    }
+  });
 }
 
 /// Environmental selection: indices of `all` forming the next archive.

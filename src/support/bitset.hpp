@@ -81,6 +81,11 @@ class DynamicBitset {
 
   bool operator==(const DynamicBitset& other) const = default;
 
+  /// Word-level union: this |= other, 64 bits at a time.  Named alias of
+  /// operator|= for call sites that read better with a verb (merging
+  /// accessibility-loss sets).  Both bitsets must have equal size.
+  DynamicBitset& orWith(const DynamicBitset& other) { return *this |= other; }
+
   DynamicBitset& operator|=(const DynamicBitset& other);
   DynamicBitset& operator&=(const DynamicBitset& other);
   DynamicBitset& operator^=(const DynamicBitset& other);

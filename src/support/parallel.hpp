@@ -1,0 +1,136 @@
+// Process-wide parallel runtime: a lazily-started thread pool plus
+// deterministic data-parallel primitives.
+//
+// Determinism contract.  Every primitive here produces results that are
+// *independent of the thread count*:
+//  * parallelFor / parallelMap write each index's result into its own
+//    pre-assigned slot, so scheduling order cannot change the output;
+//  * parallelReduce accumulates over a chunk grid derived only from `n`
+//    (never from the thread count) and folds the per-chunk partials
+//    sequentially in chunk order on the calling thread, so even
+//    floating-point reductions are bitwise reproducible.
+// Callers must keep any randomness on the calling thread (the EAs fan
+// out evaluation only) — then `RRSN_THREADS=1` and `RRSN_THREADS=64`
+// yield byte-identical damage vectors, dictionaries and archives.
+//
+// The pool size comes from the RRSN_THREADS environment variable
+// (default: std::thread::hardware_concurrency) and can be changed at
+// runtime with setThreadCount() while no parallel region is active.
+// With one thread every primitive degenerates to the plain serial loop
+// — zero threading overhead on small inputs or single-core machines.
+// Nested parallel regions execute inline on the worker that encounters
+// them rather than deadlocking the pool.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace rrsn {
+
+/// Number of workers a parallel region fans out to (>= 1).  The first
+/// call latches RRSN_THREADS / hardware_concurrency.
+std::size_t threadCount();
+
+/// Reconfigures the pool to exactly `n` workers (n >= 1; 0 re-reads the
+/// environment).  Must not be called from inside a parallel region.
+void setThreadCount(std::size_t n);
+
+namespace detail {
+
+/// Runs body(chunk, worker) for every chunk in [0, chunks); worker is in
+/// [0, threadCount()) and identifies the executing lane for scratch
+/// indexing.  Blocks until all chunks completed; rethrows the first
+/// exception thrown by any chunk.
+void runChunks(std::size_t chunks,
+               const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Chunk grid used by every primitive: a function of `n` only, so that
+/// per-chunk partial results do not depend on the pool size.
+std::size_t chunkGrid(std::size_t n);
+
+/// Half-open index range of chunk `c` in a grid of `chunks` over [0, n).
+inline std::pair<std::size_t, std::size_t> chunkRange(std::size_t n,
+                                                      std::size_t chunks,
+                                                      std::size_t c) {
+  return {c * n / chunks, (c + 1) * n / chunks};
+}
+
+}  // namespace detail
+
+/// Deterministic parallel loop: fn(i) for every i in [0, n), in
+/// unspecified order.  fn must only write state owned by index i.
+template <typename Fn>
+void parallelFor(std::size_t n, Fn&& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = detail::chunkGrid(n);
+  if (chunks <= 1 || threadCount() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  detail::runChunks(chunks, [&](std::size_t c, std::size_t) {
+    const auto [begin, end] = detail::chunkRange(n, chunks, c);
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+/// Chunked variant exposing the worker lane for per-thread scratch:
+/// fn(begin, end, worker) with worker < threadCount().  The [begin, end)
+/// ranges tile [0, n) and depend only on n.
+template <typename Fn>
+void parallelForChunks(std::size_t n, Fn&& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = detail::chunkGrid(n);
+  if (chunks <= 1 || threadCount() <= 1) {
+    fn(std::size_t{0}, n, std::size_t{0});
+    return;
+  }
+  detail::runChunks(chunks, [&](std::size_t c, std::size_t worker) {
+    const auto [begin, end] = detail::chunkRange(n, chunks, c);
+    fn(begin, end, worker);
+  });
+}
+
+/// out[i] = fn(i) for every i in [0, n); T must be default-constructible.
+template <typename T, typename Fn>
+std::vector<T> parallelMap(std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// combine(... combine(combine(init, fn(0)), fn(1)) ..., fn(n-1)) with a
+/// thread-count-independent association: partials are accumulated per
+/// chunk of the fixed grid and folded in chunk order on the caller.
+template <typename T, typename Fn, typename Combine>
+T parallelReduce(std::size_t n, T init, Fn&& fn, Combine&& combine) {
+  if (n == 0) return init;
+  const std::size_t chunks = detail::chunkGrid(n);
+  std::vector<T> partial(chunks, T{});
+  std::vector<char> nonEmpty(chunks, 0);
+  // The per-chunk association is identical on the serial and the pooled
+  // path — only the execution order differs.
+  const auto accumulateChunk = [&](std::size_t c, std::size_t) {
+    const auto [begin, end] = detail::chunkRange(n, chunks, c);
+    T acc{};
+    bool empty = true;
+    for (std::size_t i = begin; i < end; ++i) {
+      acc = empty ? fn(i) : combine(std::move(acc), fn(i));
+      empty = false;
+    }
+    partial[c] = std::move(acc);
+    nonEmpty[c] = empty ? 0 : 1;
+  };
+  if (chunks <= 1 || threadCount() <= 1) {
+    for (std::size_t c = 0; c < chunks; ++c) accumulateChunk(c, 0);
+  } else {
+    detail::runChunks(chunks, accumulateChunk);
+  }
+  T acc = std::move(init);
+  for (std::size_t c = 0; c < chunks; ++c)
+    if (nonEmpty[c] != 0) acc = combine(std::move(acc), std::move(partial[c]));
+  return acc;
+}
+
+}  // namespace rrsn

@@ -282,6 +282,22 @@ TEST(Spea2, ConvergesNearExactFront) {
   EXPECT_LE(eps, 0.10 * static_cast<double>(p.damageTotal()));
 }
 
+TEST(Spea2, SurvivesPopulationOfOne) {
+  // Regression: at generation 0 a population of 1 with an empty archive
+  // makes the combined population a single member, so the k-NN pass had
+  // no neighbor distances and `min(k, dist.size()) - 1` wrapped to
+  // SIZE_MAX.  A lone member now gets maximum density instead.
+  const LinearBiProblem p = smallProblem(8, 3);
+  EvolutionOptions opt;
+  opt.populationSize = 1;
+  opt.generations = 4;
+  opt.seed = 5;
+  const RunResult res = runSpea2(p, opt);
+  ASSERT_FALSE(res.archive.empty());
+  for (const Individual& ind : res.archive.members())
+    EXPECT_LE(ind.obj.cost, p.costTotal());
+}
+
 TEST(Spea2, DeterministicForSeed) {
   const LinearBiProblem p = smallProblem(24, 11);
   const auto a = runSpea2(p, smallOptions(7));

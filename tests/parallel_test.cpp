@@ -1,0 +1,169 @@
+// The parallel runtime's two promises: (1) the primitives behave like
+// their serial counterparts including exception propagation, and (2)
+// every public analysis result is byte-identical whatever RRSN_THREADS
+// is — damage vectors, fault dictionaries and fixed-seed EA archives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "benchgen/registry.hpp"
+#include "crit/analyzer.hpp"
+#include "diag/diagnosis.hpp"
+#include "harden/hardening.hpp"
+#include "moo/spea2.hpp"
+#include "rsn/example_networks.hpp"
+#include "rsn/spec.hpp"
+#include "support/parallel.hpp"
+
+namespace rrsn {
+namespace {
+
+/// Runs fn with the pool fixed at `n` workers, then restores 1 worker so
+/// tests stay order-independent.
+template <typename Fn>
+auto withThreads(std::size_t n, Fn&& fn) {
+  setThreadCount(n);
+  auto result = fn();
+  setThreadCount(1);
+  return result;
+}
+
+// ------------------------------------------------------------ primitives
+
+TEST(Parallel, ThreadCountFollowsSetThreadCount) {
+  setThreadCount(3);
+  EXPECT_EQ(threadCount(), 3u);
+  setThreadCount(1);
+  EXPECT_EQ(threadCount(), 1u);
+}
+
+TEST(Parallel, ForCoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    setThreadCount(threads);
+    const std::size_t n = 10'000;
+    std::vector<std::atomic<int>> hits(n);
+    parallelFor(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+  }
+  setThreadCount(1);
+}
+
+TEST(Parallel, MapProducesSlotPerIndex) {
+  const auto squares = withThreads(4, [] {
+    return parallelMap<std::uint64_t>(
+        2'000, [](std::size_t i) { return std::uint64_t{i} * i; });
+  });
+  ASSERT_EQ(squares.size(), 2'000u);
+  for (std::size_t i = 0; i < squares.size(); ++i)
+    ASSERT_EQ(squares[i], std::uint64_t{i} * i);
+}
+
+TEST(Parallel, ReduceMatchesSerialSumAndIsThreadCountIndependent) {
+  const std::size_t n = 12'345;
+  const auto sumAt = [&](std::size_t threads) {
+    return withThreads(threads, [&] {
+      return parallelReduce<std::uint64_t>(
+          n, 0, [](std::size_t i) { return std::uint64_t{i}; },
+          [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    });
+  };
+  EXPECT_EQ(sumAt(1), std::uint64_t{n} * (n - 1) / 2);
+  EXPECT_EQ(sumAt(1), sumAt(4));
+
+  // Floating-point: the chunked association must not depend on the pool
+  // width, so the bits agree too.
+  const auto fsumAt = [&](std::size_t threads) {
+    return withThreads(threads, [&] {
+      return parallelReduce<double>(
+          n, 0.0, [](std::size_t i) { return 1.0 / (1.0 + static_cast<double>(i)); },
+          [](double a, double b) { return a + b; });
+    });
+  };
+  EXPECT_EQ(fsumAt(1), fsumAt(4));
+  EXPECT_EQ(fsumAt(2), fsumAt(7));
+}
+
+TEST(Parallel, ExceptionsPropagateToCaller) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    setThreadCount(threads);
+    EXPECT_THROW(
+        parallelFor(4'096,
+                    [](std::size_t i) {
+                      if (i == 2'000) throw Error("boom");
+                    }),
+        Error);
+  }
+  setThreadCount(1);
+}
+
+TEST(Parallel, NestedRegionsRunInline) {
+  const auto total = withThreads(4, [] {
+    std::atomic<std::uint64_t> sum{0};
+    parallelFor(64, [&](std::size_t) {
+      parallelFor(64, [&](std::size_t j) {
+        sum.fetch_add(j, std::memory_order_relaxed);
+      });
+    });
+    return sum.load();
+  });
+  EXPECT_EQ(total, 64u * (64u * 63u / 2u));
+}
+
+// ----------------------------------------------------------- determinism
+//
+// The hard requirement of the runtime: public results must not depend on
+// the thread count.  Each case computes the same artifact at 1 and 4
+// workers and compares for exact equality.
+
+TEST(ParallelDeterminism, CriticalityDamagesMatchAcrossThreadCounts) {
+  const rsn::Network net = benchgen::buildBenchmark("MBIST_1_5_5");
+  Rng rng(7);
+  const rsn::CriticalitySpec spec = rsn::randomSpec(net, {}, rng);
+  const auto run = [&] {
+    return crit::CriticalityAnalyzer(net, spec).run().damages();
+  };
+  const auto serial = withThreads(1, run);
+  const auto pooled = withThreads(4, run);
+  EXPECT_EQ(serial, pooled);
+
+  const auto oracle = [&] {
+    return crit::bruteForceAnalysis(net, spec).damages();
+  };
+  EXPECT_EQ(withThreads(1, oracle), withThreads(4, oracle));
+}
+
+TEST(ParallelDeterminism, FaultDictionarySyndromesMatchAcrossThreadCounts) {
+  const rsn::Network net = rsn::makeFig1Network();
+  const auto serial = withThreads(1, [&] { return diag::FaultDictionary::build(net); });
+  const auto pooled = withThreads(4, [&] { return diag::FaultDictionary::build(net); });
+  ASSERT_EQ(serial.faults().size(), pooled.faults().size());
+  EXPECT_EQ(serial.faultFreeSyndrome(), pooled.faultFreeSyndrome());
+  for (std::size_t k = 0; k < serial.faults().size(); ++k) {
+    ASSERT_EQ(serial.faults()[k], pooled.faults()[k]);
+    ASSERT_EQ(serial.syndromeOf(k), pooled.syndromeOf(k)) << "fault " << k;
+  }
+}
+
+TEST(ParallelDeterminism, Spea2ArchiveMatchesAcrossThreadCounts) {
+  const rsn::Network net = benchgen::buildBenchmark("MBIST_1_5_5");
+  Rng rng(11);
+  const rsn::CriticalitySpec spec = rsn::randomSpec(net, {}, rng);
+  const auto analysis = crit::CriticalityAnalyzer(net, spec).run();
+  const auto problem = harden::HardeningProblem::assemble(net, analysis);
+  moo::EvolutionOptions options;
+  options.populationSize = 40;
+  options.generations = 25;
+  options.seed = 2022;
+  const auto run = [&] { return moo::runSpea2(problem.linear, options); };
+  const auto serial = withThreads(1, run);
+  const auto pooled = withThreads(4, run);
+  ASSERT_EQ(serial.archive.members().size(), pooled.archive.members().size());
+  for (std::size_t i = 0; i < serial.archive.members().size(); ++i)
+    ASSERT_TRUE(serial.archive.members()[i] == pooled.archive.members()[i])
+        << "archive member " << i;
+  EXPECT_EQ(serial.stats.evaluations, pooled.stats.evaluations);
+}
+
+}  // namespace
+}  // namespace rrsn

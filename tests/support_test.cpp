@@ -213,6 +213,30 @@ TEST(DynamicBitset, BitwiseOps) {
   EXPECT_TRUE(x.test(2) && x.test(70));
 }
 
+TEST(DynamicBitset, OrWithMergesWordLevel) {
+  // Spans three words so the word loop (not just word 0) is exercised.
+  DynamicBitset acc(180), other(180);
+  acc.set(0);
+  acc.set(64);
+  other.set(64);
+  other.set(65);
+  other.set(179);
+  DynamicBitset& ref = acc.orWith(other);
+  EXPECT_EQ(&ref, &acc);  // chainable, modifies in place
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_TRUE(acc.test(0) && acc.test(64) && acc.test(65) && acc.test(179));
+  // `other` is untouched, and equality with the operator form holds.
+  EXPECT_EQ(other.count(), 3u);
+  DynamicBitset viaOperator(180);
+  viaOperator.set(0);
+  viaOperator.set(64);
+  viaOperator |= other;
+  EXPECT_EQ(acc, viaOperator);
+
+  DynamicBitset wrongSize(64);
+  EXPECT_THROW(acc.orWith(wrongSize), Error);
+}
+
 // ----------------------------------------------------------------- table
 
 TEST(Table, WithThousands) {
