@@ -1,0 +1,640 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "campaign/checkpoint.hpp"
+#include "fault/effects.hpp"
+#include "rsn/graph_view.hpp"
+#include "sim/simulator.hpp"
+#include "sp/decomposition.hpp"
+#include "support/rng.hpp"
+
+namespace rrsn::campaign {
+
+char toChar(Outcome o) {
+  switch (o) {
+    case Outcome::Accessible:
+      return 'A';
+    case Outcome::Recovered:
+      return 'R';
+    case Outcome::Lost:
+      return 'L';
+  }
+  RRSN_CHECK(false, "invalid Outcome");
+}
+
+Outcome outcomeFromChar(char c) {
+  switch (c) {
+    case 'A':
+      return Outcome::Accessible;
+    case 'R':
+      return Outcome::Recovered;
+    case 'L':
+      return Outcome::Lost;
+    default:
+      throw ValidationError("invalid outcome character in campaign record");
+  }
+}
+
+namespace {
+
+/// One end-to-end access on a freshly reset fault-injected simulator.
+/// The simulator and engine are shared across the fault's probes (the
+/// reset between probes restores power-up state exactly, and the
+/// engine's path tables depend only on the topology); any engine-level
+/// failure (no valid path, rounds exhausted, marker poisoned) is the
+/// definition of "lost", so Error maps to Lost rather than escaping the
+/// campaign.
+Outcome probeAccess(sim::ScanSimulator& sim, sim::Retargeter& engine,
+                    const fault::Fault& f, rsn::InstrumentId inst,
+                    bool isRead) {
+  try {
+    sim.reset();
+    sim.injectFault(f);
+    sim::RetargetResult r;
+    if (isRead) {
+      r = engine.readInstrument(inst);
+    } else {
+      const rsn::Network& net = sim.network();
+      const std::uint32_t len = net.segment(net.instrument(inst).segment).length;
+      r = engine.writeInstrument(inst, sim::accessMarker(len));
+    }
+    if (!r.success) return Outcome::Lost;
+    return r.rerouted ? Outcome::Recovered : Outcome::Accessible;
+  } catch (const Error&) {
+    return Outcome::Lost;
+  }
+}
+
+void tallyByKind(const fault::Fault& f, std::size_t& breaks,
+                 std::size_t& stucks) {
+  if (f.kind == fault::FaultKind::SegmentBreak) {
+    breaks += 1;
+  } else {
+    stucks += 1;
+  }
+}
+
+/// Collects sim-vs-reference disagreements of one finished record.
+void collectDiffs(const FaultRecord& rec, std::size_t instruments,
+                  const DynamicBitset& refObservable,
+                  const DynamicBitset& refSettable,
+                  std::vector<Mismatch>& items) {
+  for (std::size_t i = 0; i < instruments; ++i) {
+    const auto inst = static_cast<rsn::InstrumentId>(i);
+    if (rec.readAccessible(i) != refObservable.test(i)) {
+      items.push_back({rec.fault, inst, /*isRead=*/true,
+                       outcomeFromChar(rec.read[i]), refObservable.test(i)});
+    }
+    if (rec.writeAccessible(i) != refSettable.test(i)) {
+      items.push_back({rec.fault, inst, /*isRead=*/false,
+                       outcomeFromChar(rec.write[i]), refSettable.test(i)});
+    }
+  }
+}
+
+}  // namespace
+
+Expectation expectedAccessibility(const rsn::Network& net,
+                                  const rsn::GraphView& gv,
+                                  const fault::Fault& f) {
+  const graph::Digraph& g = gv.graph;
+  const std::size_t muxCount = net.muxes().size();
+
+  const graph::VertexId brokenV = f.kind == fault::FaultKind::SegmentBreak
+                                      ? gv.segmentVertex[f.prim]
+                                      : graph::kNoVertex;
+
+  // A broken control register is special: once it is clocked (it sits on
+  // the active path during a CSU round) it re-poisons itself, its mux's
+  // address resolves to X and the active path collapses.  Two access
+  // modes survive, and the expectation is their union:
+  //  * avoid mode — the whole access (instrument path and every control
+  //    write) stays clear of the broken register, so it is never
+  //    clocked; normal multi-round retargeting works;
+  //  * zero-config mode — the broken register is on the path, but the
+  //    access needs no CSU configuration round at all (reset selections
+  //    plus TAP-steered muxes), so the single data round completes
+  //    before the poisoned address is ever consulted.
+  bool controlBreak = false;
+  if (f.kind == fault::FaultKind::SegmentBreak) {
+    for (const rsn::Mux& m : net.muxes())
+      if (m.controlSegment == f.prim) controlBreak = true;
+  }
+
+  // selectable[m][b]: can the engine put branch b of mux m on the path?
+  // Branch 0 is the reset selection (control registers power up at 0).
+  const auto baseSelectable = [&]() {
+    std::vector<std::vector<char>> selectable(muxCount);
+    for (std::size_t m = 0; m < muxCount; ++m) {
+      const std::size_t arity = gv.muxBranchExit[m].size();
+      selectable[m].assign(arity, 1);
+      if (f.kind == fault::FaultKind::MuxStuck && f.prim == m) {
+        selectable[m].assign(arity, 0);
+        selectable[m][f.stuckBranch] = 1;
+      }
+    }
+    return selectable;
+  };
+
+  std::vector<std::uint32_t> muxOfVertex(g.vertexCount(), rsn::kNone);
+  for (std::size_t m = 0; m < muxCount; ++m)
+    muxOfVertex[gv.muxVertex[m]] = static_cast<std::uint32_t>(m);
+
+  const std::size_t instruments = net.instruments().size();
+
+  // Computes per-instrument verdicts for one access mode.  `runFixpoint`
+  // shrinks non-reset branches to those whose control register is still
+  // settable; `tolerateBreakSides` lets the data round cross the broken
+  // segment on the harmless side (scan-in for reads, scan-out for
+  // writes) — avoid mode must not, the register would get clocked.
+  const auto verdicts = [&](std::vector<std::vector<char>> selectable,
+                            bool runFixpoint, bool tolerateBreakSides) {
+    const auto edgeAllowed = [&](graph::VertexId from, graph::VertexId to,
+                                 bool tolerateBreak) {
+      if (!tolerateBreak && (from == brokenV || to == brokenV)) return false;
+      const std::uint32_t m = muxOfVertex[to];
+      if (m != rsn::kNone) {
+        bool ok = false;
+        for (std::size_t b = 0; b < gv.muxBranchExit[m].size(); ++b)
+          if (gv.muxBranchExit[m][b] == from && selectable[m][b] != 0)
+            ok = true;
+        if (!ok) return false;
+      }
+      return true;
+    };
+    const auto forwardReach = [&](bool tolerateBreak) {
+      std::vector<char> reach(g.vertexCount(), 0);
+      std::queue<graph::VertexId> work;
+      reach[gv.scanIn] = 1;
+      work.push(gv.scanIn);
+      while (!work.empty()) {
+        const graph::VertexId v = work.front();
+        work.pop();
+        for (graph::VertexId s : g.successors(v)) {
+          if (reach[s] != 0 || !edgeAllowed(v, s, tolerateBreak)) continue;
+          reach[s] = 1;
+          work.push(s);
+        }
+      }
+      return reach;
+    };
+    const auto backwardReach = [&](bool tolerateBreak) {
+      std::vector<char> reach(g.vertexCount(), 0);
+      std::queue<graph::VertexId> work;
+      reach[gv.scanOut] = 1;
+      work.push(gv.scanOut);
+      while (!work.empty()) {
+        const graph::VertexId v = work.front();
+        work.pop();
+        for (graph::VertexId p : g.predecessors(v)) {
+          if (reach[p] != 0 || !edgeAllowed(p, v, tolerateBreak)) continue;
+          reach[p] = 1;
+          work.push(p);
+        }
+      }
+      return reach;
+    };
+
+    if (runFixpoint) {
+      // Shrinking fixpoint: a non-reset branch needs its control
+      // register written, which needs a break-free scan-in path to that
+      // register over currently steerable branches only.
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        const std::vector<char> reach = forwardReach(/*tolerateBreak=*/false);
+        for (std::size_t m = 0; m < muxCount; ++m) {
+          if (f.kind == fault::FaultKind::MuxStuck && f.prim == m) continue;
+          const rsn::SegmentId ctrl = net.muxes()[m].controlSegment;
+          if (ctrl == rsn::kNone) continue;
+          const std::uint32_t len = net.segment(ctrl).length;
+          for (std::size_t b = 1; b < selectable[m].size(); ++b) {
+            const bool representable =
+                len >= 32 || b < (std::size_t{1} << len);
+            const bool want =
+                reach[gv.segmentVertex[ctrl]] != 0 && representable;
+            if (selectable[m][b] != 0 && !want) {
+              selectable[m][b] = 0;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+
+    // Reads tolerate the break on the scan-in side (garbage shifts in
+    // behind the marker); writes tolerate it on the scan-out side (the
+    // value never travels through it).
+    const std::vector<char> inRead = forwardReach(tolerateBreakSides);
+    const std::vector<char> inStrict = forwardReach(false);
+    const std::vector<char> outStrict = backwardReach(false);
+    const std::vector<char> outWrite = backwardReach(tolerateBreakSides);
+
+    Expectation e{DynamicBitset(instruments), DynamicBitset(instruments)};
+    for (std::size_t i = 0; i < instruments; ++i) {
+      const rsn::SegmentId seg = net.instruments()[i].segment;
+      const graph::VertexId v = gv.segmentVertex[seg];
+      if (v == brokenV) continue;  // the instrument's own segment is dead
+      if (inRead[v] != 0 && outStrict[v] != 0) e.observable.set(i);
+      if (inStrict[v] != 0 && outWrite[v] != 0) e.settable.set(i);
+    }
+    return e;
+  };
+
+  if (!controlBreak)
+    return verdicts(baseSelectable(), /*runFixpoint=*/true,
+                    /*tolerateBreakSides=*/true);
+
+  // Avoid mode: full closure, but the access must not clock the broken
+  // control register at all.
+  Expectation e = verdicts(baseSelectable(), /*runFixpoint=*/true,
+                           /*tolerateBreakSides=*/false);
+  // Zero-config mode: every segment-controlled mux pinned to its reset
+  // branch, break tolerated on the harmless side.
+  auto zeroConfig = baseSelectable();
+  for (std::size_t m = 0; m < muxCount; ++m) {
+    if (f.kind == fault::FaultKind::MuxStuck && f.prim == m) continue;
+    if (net.muxes()[m].controlSegment == rsn::kNone) continue;
+    for (std::size_t b = 1; b < zeroConfig[m].size(); ++b) zeroConfig[m][b] = 0;
+  }
+  const Expectation zc = verdicts(std::move(zeroConfig), /*runFixpoint=*/false,
+                                  /*tolerateBreakSides=*/true);
+  e.observable.orWith(zc.observable);
+  e.settable.orWith(zc.settable);
+
+  // Same-guard mode: a multi-round access may still cross the broken
+  // register on the tolerated side when the register needs exactly the
+  // same non-reset selections ("guards") as the target segment.  Both
+  // then enter the active path together in the final configuration
+  // round, so the register is first clocked by the data round itself —
+  // after every mux address has been consulted.  A register with fewer
+  // guards is already on the path during configuration rounds; clocking
+  // poisons it, its mux's address decays to X and a later round's path
+  // walk collapses, so no tolerance is granted there.
+  using GuardSet = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+  std::vector<GuardSet> guardsOf(net.segments().size());
+  GuardSet cur;
+  const auto walk = [&](auto&& self, rsn::NodeId id) -> void {
+    const auto& n = net.structure().node(id);
+    switch (n.kind) {
+      case rsn::NodeKind::Segment:
+        guardsOf[n.prim] = cur;
+        return;
+      case rsn::NodeKind::Wire:
+        return;
+      case rsn::NodeKind::Serial:
+        for (const rsn::NodeId c : n.children) self(self, c);
+        return;
+      case rsn::NodeKind::MuxJoin: {
+        const bool segCtrl = net.mux(n.prim).controlSegment != rsn::kNone;
+        for (std::size_t b = 0; b < n.children.size(); ++b) {
+          const bool guarded = segCtrl && b != 0;
+          if (guarded) cur.emplace_back(n.prim, static_cast<std::uint32_t>(b));
+          self(self, n.children[b]);
+          if (guarded) cur.pop_back();
+        }
+        return;
+      }
+    }
+  };
+  walk(walk, net.structure().root());
+  for (GuardSet& gs : guardsOf) std::sort(gs.begin(), gs.end());
+
+  const Expectation tol = verdicts(baseSelectable(), /*runFixpoint=*/true,
+                                   /*tolerateBreakSides=*/true);
+  const GuardSet& brokenGuards = guardsOf[f.prim];
+  for (std::size_t i = 0; i < instruments; ++i) {
+    const rsn::SegmentId seg = net.instruments()[i].segment;
+    if (seg == f.prim || guardsOf[seg] != brokenGuards) continue;
+    if (tol.observable.test(i)) e.observable.set(i);
+    if (tol.settable.test(i)) e.settable.set(i);
+  }
+  return e;
+}
+
+CampaignSummary CampaignResult::summary() const {
+  CampaignSummary s;
+  s.faultsTotal = records.size();
+  s.instruments = instruments;
+  for (const FaultRecord& rec : records) {
+    if (!rec.done) continue;
+    s.faultsDone += 1;
+    s.oracleDisagreements += rec.oracleDisagreements;
+    for (std::size_t i = 0; i < instruments; ++i) {
+      switch (outcomeFromChar(rec.read[i])) {
+        case Outcome::Accessible:
+          s.readAccessible += 1;
+          break;
+        case Outcome::Recovered:
+          s.readRecovered += 1;
+          break;
+        case Outcome::Lost:
+          s.readLost += 1;
+          break;
+      }
+      switch (outcomeFromChar(rec.write[i])) {
+        case Outcome::Accessible:
+          s.writeAccessible += 1;
+          break;
+        case Outcome::Recovered:
+          s.writeRecovered += 1;
+          break;
+        case Outcome::Lost:
+          s.writeLost += 1;
+          break;
+      }
+      if (rec.readAccessible(i) != rec.expectObservable.test(i)) {
+        s.readMismatches += 1;
+        tallyByKind(rec.fault, s.segmentBreakMismatches, s.muxStuckMismatches);
+      }
+      if (rec.writeAccessible(i) != rec.expectSettable.test(i)) {
+        s.writeMismatches += 1;
+        tallyByKind(rec.fault, s.segmentBreakMismatches, s.muxStuckMismatches);
+      }
+      if (rec.readAccessible(i) != rec.structObservable.test(i) ||
+          rec.writeAccessible(i) != rec.structSettable.test(i)) {
+        tallyByKind(rec.fault, s.segmentBreakGapPairs, s.muxStuckGapPairs);
+      }
+    }
+  }
+  return s;
+}
+
+std::vector<Mismatch> CampaignResult::mismatches() const {
+  std::vector<Mismatch> items;
+  for (const FaultRecord& rec : records) {
+    if (!rec.done) continue;
+    collectDiffs(rec, instruments, rec.expectObservable, rec.expectSettable,
+                 items);
+  }
+  return items;
+}
+
+std::vector<Mismatch> CampaignResult::structuralGaps() const {
+  std::vector<Mismatch> items;
+  for (const FaultRecord& rec : records) {
+    if (!rec.done) continue;
+    collectDiffs(rec, instruments, rec.structObservable, rec.structSettable,
+                 items);
+  }
+  return items;
+}
+
+CampaignEngine::CampaignEngine(const rsn::Network& net, CampaignConfig config)
+    : net_(&net), config_(std::move(config)) {
+  if (!config_.excludePrimitives.empty()) {
+    RRSN_CHECK(config_.excludePrimitives.size() == net.primitiveCount(),
+               "excludePrimitives must have one bit per network primitive");
+  }
+  const fault::FaultUniverse all(net);
+  for (const fault::Fault& f : all.faults()) {
+    const rsn::PrimitiveRef ref =
+        f.kind == fault::FaultKind::SegmentBreak
+            ? rsn::PrimitiveRef{rsn::PrimitiveRef::Kind::Segment, f.prim}
+            : rsn::PrimitiveRef{rsn::PrimitiveRef::Kind::Mux, f.prim};
+    if (!config_.excludePrimitives.empty() &&
+        config_.excludePrimitives.test(net.linearId(ref))) {
+      continue;
+    }
+    universe_.push_back(f);
+  }
+  if (config_.sample != 0 && config_.sample < universe_.size()) {
+    Rng rng(config_.seed);
+    // sampleIndices is sorted, so the sampled campaign keeps the
+    // canonical fault order of the exhaustive one.
+    const std::vector<std::size_t> keep =
+        rng.sampleIndices(universe_.size(), config_.sample);
+    std::vector<fault::Fault> sampled;
+    sampled.reserve(keep.size());
+    for (std::size_t k : keep) sampled.push_back(universe_[k]);
+    universe_ = std::move(sampled);
+  }
+}
+
+FaultRecord CampaignEngine::probeFault(const rsn::GraphView& gv,
+                                       const sp::DecompositionTree& tree,
+                                       const fault::Fault& f) const {
+  FaultRecord rec;
+  rec.fault = f;
+  const std::size_t n = net_->instruments().size();
+  const fault::AccessibilityLoss graphLoss =
+      fault::lossUnderFaultGraph(*net_, gv, f);
+  const fault::AccessibilityLoss treeLoss = fault::lossUnderFaultTree(tree, f);
+  rec.structObservable = DynamicBitset(n);
+  rec.structSettable = DynamicBitset(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!graphLoss.unobservable.test(i)) rec.structObservable.set(i);
+    if (!graphLoss.unsettable.test(i)) rec.structSettable.set(i);
+    if (graphLoss.unobservable.test(i) != treeLoss.unobservable.test(i) ||
+        graphLoss.unsettable.test(i) != treeLoss.unsettable.test(i)) {
+      rec.oracleDisagreements += 1;
+    }
+  }
+  const Expectation expected = expectedAccessibility(*net_, gv, f);
+  rec.expectObservable = expected.observable;
+  rec.expectSettable = expected.settable;
+  rec.read.assign(n, 'L');
+  rec.write.assign(n, 'L');
+  sim::ScanSimulator sim(*net_);
+  sim::Retargeter engine(sim, config_.retarget);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto inst = static_cast<rsn::InstrumentId>(i);
+    rec.read[i] = toChar(probeAccess(sim, engine, f, inst, /*isRead=*/true));
+    rec.write[i] = toChar(probeAccess(sim, engine, f, inst, /*isRead=*/false));
+  }
+  rec.done = true;
+  return rec;
+}
+
+CampaignResult CampaignEngine::run() {
+  CampaignResult result;
+  result.instruments = net_->instruments().size();
+  result.records.resize(universe_.size());
+  for (std::size_t k = 0; k < universe_.size(); ++k)
+    result.records[k].fault = universe_[k];
+
+  const std::uint64_t fingerprint = campaignFingerprint(*net_, config_);
+  if (!config_.checkpointPath.empty())
+    loadCheckpoint(config_.checkpointPath, fingerprint, result);
+
+  const rsn::GraphView gv = rsn::buildGraphView(*net_);
+  const sp::DecompositionTree tree = sp::DecompositionTree::build(*net_);
+
+  std::vector<std::size_t> pending;
+  for (std::size_t k = 0; k < result.records.size(); ++k)
+    if (!result.records[k].done) pending.push_back(k);
+  std::size_t done = result.records.size() - pending.size();
+  if (config_.progress) config_.progress(done, result.records.size());
+
+  const std::size_t batchSize =
+      config_.checkpointEvery != 0 ? config_.checkpointEvery
+                                   : std::max<std::size_t>(pending.size(), 1);
+  for (std::size_t at = 0; at < pending.size(); at += batchSize) {
+    if (config_.cancel != nullptr && config_.cancel->cancelled()) break;
+    const std::size_t end = std::min(at + batchSize, pending.size());
+    parallelForCancellable(end - at, config_.cancel, [&](std::size_t j) {
+      const std::size_t k = pending[at + j];
+      result.records[k] = probeFault(gv, tree, universe_[k]);
+    });
+    // Under cancellation some records of the batch may not have run;
+    // count what actually finished and persist exactly that.
+    std::size_t finished = 0;
+    for (std::size_t j = at; j < end; ++j)
+      if (result.records[pending[j]].done) finished += 1;
+    done += finished;
+    if (!config_.checkpointPath.empty())
+      saveCheckpoint(config_.checkpointPath, fingerprint, result);
+    if (config_.progress) config_.progress(done, result.records.size());
+  }
+  return result;
+}
+
+TextTable summaryTable(const CampaignSummary& s) {
+  TextTable t({"access", "pairs", "accessible", "recovered", "lost",
+               "mismatches", "struct gap"});
+  t.setAlign(0, TextTable::Align::Left);
+  const auto row = [&](const char* name, std::size_t a, std::size_t r,
+                       std::size_t l, std::size_t m, std::size_t gap) {
+    t.addRow({name, withThousands(static_cast<std::uint64_t>(a + r + l)),
+              withThousands(static_cast<std::uint64_t>(a)),
+              withThousands(static_cast<std::uint64_t>(r)),
+              withThousands(static_cast<std::uint64_t>(l)),
+              withThousands(static_cast<std::uint64_t>(m)),
+              withThousands(static_cast<std::uint64_t>(gap))});
+  };
+  row("read", s.readAccessible, s.readRecovered, s.readLost, s.readMismatches,
+      0);
+  row("write", s.writeAccessible, s.writeRecovered, s.writeLost,
+      s.writeMismatches, 0);
+  t.addSeparator();
+  row("total", s.readAccessible + s.writeAccessible,
+      s.readRecovered + s.writeRecovered, s.readLost + s.writeLost,
+      s.readMismatches + s.writeMismatches,
+      s.segmentBreakGapPairs + s.muxStuckGapPairs);
+  return t;
+}
+
+namespace {
+
+const char* outcomeWord(Outcome o) {
+  switch (o) {
+    case Outcome::Accessible:
+      return "accessible";
+    case Outcome::Recovered:
+      return "recovered";
+    case Outcome::Lost:
+      return "lost";
+  }
+  RRSN_CHECK(false, "invalid Outcome");
+}
+
+}  // namespace
+
+TextTable mismatchTable(const rsn::Network& net,
+                        const std::vector<Mismatch>& items) {
+  TextTable t({"fault", "instrument", "access", "simulated", "reference"});
+  for (std::size_t c = 0; c < 5; ++c) t.setAlign(c, TextTable::Align::Left);
+  for (const Mismatch& m : items) {
+    t.addRow({fault::describe(net, m.fault), net.instrument(m.instrument).name,
+              m.isRead ? "read" : "write", outcomeWord(m.simulated),
+              m.referenceAccessible ? "accessible" : "lost"});
+  }
+  return t;
+}
+
+TextTable outcomeTable(const rsn::Network& net, const CampaignResult& result) {
+  TextTable t({"fault", "done", "read", "write", "struct_obs", "struct_set",
+               "expect_obs", "expect_set", "oracle_disagreements"});
+  t.setAlign(0, TextTable::Align::Left);
+  t.setAlign(2, TextTable::Align::Left);
+  t.setAlign(3, TextTable::Align::Left);
+  const auto bits = [](const DynamicBitset& b) {
+    std::string s(b.size(), '0');
+    for (std::size_t i = 0; i < b.size(); ++i)
+      if (b.test(i)) s[i] = '1';
+    return s;
+  };
+  for (const FaultRecord& rec : result.records) {
+    t.addRow({fault::describe(net, rec.fault), rec.done ? "1" : "0", rec.read,
+              rec.write, bits(rec.structObservable), bits(rec.structSettable),
+              bits(rec.expectObservable), bits(rec.expectSettable),
+              withThousands(static_cast<std::uint64_t>(rec.oracleDisagreements))});
+  }
+  return t;
+}
+
+namespace {
+
+json::Array diffsToJson(const rsn::Network& net,
+                        const std::vector<Mismatch>& items) {
+  json::Array out;
+  for (const Mismatch& m : items) {
+    json::Object o;
+    o["fault"] = json::Value(fault::describe(net, m.fault));
+    o["instrument"] = json::Value(net.instrument(m.instrument).name);
+    o["access"] = json::Value(m.isRead ? "read" : "write");
+    o["simulated"] = json::Value(outcomeWord(m.simulated));
+    o["reference_accessible"] = json::Value(m.referenceAccessible);
+    out.push_back(json::Value(std::move(o)));
+  }
+  return out;
+}
+
+}  // namespace
+
+json::Value reportJson(const rsn::Network& net, const CampaignResult& result) {
+  const CampaignSummary s = result.summary();
+  json::Object summary;
+  summary["faults_total"] = json::Value(static_cast<std::uint64_t>(s.faultsTotal));
+  summary["faults_done"] = json::Value(static_cast<std::uint64_t>(s.faultsDone));
+  summary["instruments"] = json::Value(static_cast<std::uint64_t>(s.instruments));
+  summary["read_accessible"] =
+      json::Value(static_cast<std::uint64_t>(s.readAccessible));
+  summary["read_recovered"] =
+      json::Value(static_cast<std::uint64_t>(s.readRecovered));
+  summary["read_lost"] = json::Value(static_cast<std::uint64_t>(s.readLost));
+  summary["write_accessible"] =
+      json::Value(static_cast<std::uint64_t>(s.writeAccessible));
+  summary["write_recovered"] =
+      json::Value(static_cast<std::uint64_t>(s.writeRecovered));
+  summary["write_lost"] = json::Value(static_cast<std::uint64_t>(s.writeLost));
+  summary["read_mismatches"] =
+      json::Value(static_cast<std::uint64_t>(s.readMismatches));
+  summary["write_mismatches"] =
+      json::Value(static_cast<std::uint64_t>(s.writeMismatches));
+  summary["segment_break_mismatches"] =
+      json::Value(static_cast<std::uint64_t>(s.segmentBreakMismatches));
+  summary["mux_stuck_mismatches"] =
+      json::Value(static_cast<std::uint64_t>(s.muxStuckMismatches));
+  summary["segment_break_gap_pairs"] =
+      json::Value(static_cast<std::uint64_t>(s.segmentBreakGapPairs));
+  summary["mux_stuck_gap_pairs"] =
+      json::Value(static_cast<std::uint64_t>(s.muxStuckGapPairs));
+  summary["oracle_disagreements"] =
+      json::Value(static_cast<std::uint64_t>(s.oracleDisagreements));
+
+  json::Array faults;
+  for (const FaultRecord& rec : result.records) {
+    json::Object o;
+    o["fault"] = json::Value(fault::describe(net, rec.fault));
+    o["done"] = json::Value(rec.done);
+    if (rec.done) {
+      o["read"] = json::Value(rec.read);
+      o["write"] = json::Value(rec.write);
+    }
+    faults.push_back(json::Value(std::move(o)));
+  }
+
+  json::Object root;
+  root["network"] = json::Value(net.name());
+  root["summary"] = json::Value(std::move(summary));
+  root["faults"] = json::Value(std::move(faults));
+  root["mismatches"] = json::Value(diffsToJson(net, result.mismatches()));
+  root["control_dependency_gaps"] =
+      json::Value(diffsToJson(net, result.structuralGaps()));
+  return json::Value(std::move(root));
+}
+
+}  // namespace rrsn::campaign

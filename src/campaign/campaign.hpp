@@ -1,0 +1,213 @@
+// Fault-injection campaign engine.
+//
+// The paper's central claim is that the *structural* criticality
+// analysis (Sec. IV) predicts what a real defective RSN does.  Unit
+// tests spot-check that per fault; this subsystem validates it at scale:
+// for every (fault, instrument) pair of a network's single-fault
+// universe it performs an actual retargeted access on the cycle-level
+// ScanSimulator and cross-validates the outcome against both structural
+// oracles (fault::lossUnderFaultTree and fault::lossUnderFaultGraph).
+//
+// Each probe is classified three ways:
+//  * Accessible — the nominal (fault-unaware) access recipe still works;
+//  * Recovered  — only a fault-aware alternative mux branch found by the
+//    bounded reroute search works: the access degraded gracefully;
+//  * Lost       — no retargeted access succeeds.
+// Cross-validation uses two reference predictions per pair:
+//  * the *plain structural* verdict from the paper's oracles, which
+//    assumes control bits can always be applied.  The strict engine is
+//    documented to be more pessimistic (the control-dependency gap: a
+//    SIB's open-bit must be written through the defective RSN itself),
+//    so sim-vs-structural differences are expected; they are itemized
+//    as *gaps*, never dropped.
+//  * the *expected* verdict: the structural oracle composed with a
+//    control-dependency closure (expectedAccessibility below), i.e.
+//    reachability over only those mux branches whose control registers
+//    are still settable under the fault.  A pair counts as a *mismatch*
+//    when the simulated outcome disagrees with this expected verdict —
+//    that indicates a bug in the engine or the analysis, and exhaustive
+//    campaigns must report zero mismatches for segment breaks.
+//
+// Campaigns fan out per fault over the PR-1 thread pool and are
+// deterministic at any thread count: every fault's record depends only
+// on the fault.  Long runs honor a cooperative CancellationToken
+// (deadline or explicit) and checkpoint finished faults to a JSON state
+// file, so an interrupted campaign resumes where it stopped and ends in
+// the same final report as an uninterrupted one.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "rsn/network.hpp"
+#include "sim/retarget.hpp"
+#include "support/bitset.hpp"
+#include "support/json.hpp"
+#include "support/parallel.hpp"
+#include "support/table.hpp"
+
+namespace rrsn::rsn {
+struct GraphView;
+}
+namespace rrsn::sp {
+class DecompositionTree;
+}
+
+namespace rrsn::campaign {
+
+/// Simulated outcome of one (fault, instrument, direction) probe.
+enum class Outcome : std::uint8_t { Accessible, Recovered, Lost };
+
+/// 'A' / 'R' / 'L' — the per-instrument encoding used in records,
+/// checkpoints and reports.
+char toChar(Outcome o);
+Outcome outcomeFromChar(char c);
+
+/// Control-aware expected accessibility under one fault: structural
+/// reachability restricted to mux branches that are actually steerable.
+/// A segment-controlled branch is steerable if it is the reset selection
+/// or its control register is still settable (computed as a shrinking
+/// fixpoint, since settability itself depends on steerable branches).
+/// If the broken segment is itself a control register, clocking it
+/// poisons it and collapses any path through its mux, so an access must
+/// either avoid the register entirely (full closure, strict on both
+/// sides) or need no CSU configuration round at all (reset selections,
+/// TAP-steered muxes); the expectation is the union of the two modes.
+/// Reads tolerate the break on the scan-in side of the target segment,
+/// writes on the scan-out side — mirroring the retargeting engine.
+struct Expectation {
+  DynamicBitset observable;
+  DynamicBitset settable;
+};
+Expectation expectedAccessibility(const rsn::Network& net,
+                                  const rsn::GraphView& gv,
+                                  const fault::Fault& f);
+
+/// Everything the campaign learned about one fault.
+struct FaultRecord {
+  fault::Fault fault;
+  bool done = false;
+  std::string read;   ///< toChar(Outcome) per instrument, index order
+  std::string write;  ///< likewise for write accesses
+  DynamicBitset structObservable;  ///< plain graph-oracle verdicts
+  DynamicBitset structSettable;
+  DynamicBitset expectObservable;  ///< control-aware expected verdicts
+  DynamicBitset expectSettable;
+  /// Instruments on which the tree and graph oracles disagreed (must be
+  /// zero; a nonzero count means one of the two analyses is wrong).
+  std::size_t oracleDisagreements = 0;
+
+  bool readAccessible(std::size_t i) const { return read[i] != 'L'; }
+  bool writeAccessible(std::size_t i) const { return write[i] != 'L'; }
+};
+
+/// One itemized disagreement between the simulated outcome and a
+/// reference prediction (expected oracle for mismatches(), plain
+/// structural oracle for structuralGaps()).
+struct Mismatch {
+  fault::Fault fault;
+  rsn::InstrumentId instrument = rsn::kNone;
+  bool isRead = true;              ///< read (observability) or write probe
+  Outcome simulated = Outcome::Lost;
+  bool referenceAccessible = false;
+};
+
+/// Aggregate counters over the finished part of a campaign.
+struct CampaignSummary {
+  std::size_t faultsTotal = 0;
+  std::size_t faultsDone = 0;
+  std::size_t instruments = 0;
+  std::size_t readAccessible = 0, readRecovered = 0, readLost = 0;
+  std::size_t writeAccessible = 0, writeRecovered = 0, writeLost = 0;
+  /// Simulated vs expected-oracle disagreements (engine/analysis bugs).
+  std::size_t readMismatches = 0, writeMismatches = 0;
+  std::size_t segmentBreakMismatches = 0;  ///< must be 0 (acceptance gate)
+  std::size_t muxStuckMismatches = 0;
+  /// Simulated vs plain-structural disagreements: the documented
+  /// control-dependency gap, itemized by structuralGaps().
+  std::size_t segmentBreakGapPairs = 0;
+  std::size_t muxStuckGapPairs = 0;
+  std::size_t oracleDisagreements = 0;
+
+  bool complete() const { return faultsDone == faultsTotal; }
+  std::size_t pairsDone() const { return faultsDone * instruments; }
+};
+
+/// Full campaign state: the fault list in canonical order plus one
+/// record per fault (records of not-yet-probed faults have done=false).
+struct CampaignResult {
+  std::vector<FaultRecord> records;
+  std::size_t instruments = 0;
+
+  CampaignSummary summary() const;
+  /// Simulated vs expected-oracle disagreements — must be empty for
+  /// segment breaks on a correct engine.
+  std::vector<Mismatch> mismatches() const;
+  /// Simulated vs plain-structural disagreements — the itemized
+  /// control-dependency gap.
+  std::vector<Mismatch> structuralGaps() const;
+};
+
+/// Campaign shape and bounds.
+struct CampaignConfig {
+  /// 0 = exhaustive over the single-fault universe; otherwise probe a
+  /// deterministic `sample`-sized subset (seeded by `seed`).
+  std::size_t sample = 0;
+  std::uint64_t seed = 2022;
+  /// Bounds forwarded to every Retargeter the campaign spawns.
+  sim::RetargetOptions retarget;
+  /// Faults located at these primitives (by Network::linearId) are
+  /// excluded — a hardened primitive cannot fail.  Empty = no exclusion.
+  DynamicBitset excludePrimitives;
+  /// Path of the JSON checkpoint/resume state file; empty = disabled.
+  std::string checkpointPath;
+  /// Finished faults per checkpoint flush (and per progress callback).
+  std::size_t checkpointEvery = 32;
+  /// Cooperative cancellation (deadline or external); may be null.
+  const CancellationToken* cancel = nullptr;
+  /// Called after every batch with (faultsDone, faultsTotal).
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/// Runs fault-injection campaigns on one network.
+class CampaignEngine {
+ public:
+  explicit CampaignEngine(const rsn::Network& net, CampaignConfig config = {});
+
+  /// The campaign's fault list in canonical (probe) order.
+  const std::vector<fault::Fault>& universe() const { return universe_; }
+
+  /// Runs the campaign to completion, resuming from the checkpoint file
+  /// if one exists.  Returns early (summary().complete() == false) when
+  /// the cancellation token trips; progress up to the last finished
+  /// batch is in the checkpoint, so a later run() continues from there.
+  CampaignResult run();
+
+ private:
+  FaultRecord probeFault(const rsn::GraphView& gv,
+                         const sp::DecompositionTree& tree,
+                         const fault::Fault& f) const;
+
+  const rsn::Network* net_;
+  CampaignConfig config_;
+  std::vector<fault::Fault> universe_;
+};
+
+/// Two-row summary table (read / write probes) for CLI output.
+TextTable summaryTable(const CampaignSummary& s);
+
+/// Per-pair itemization of every structural-vs-simulated mismatch.
+TextTable mismatchTable(const rsn::Network& net,
+                        const std::vector<Mismatch>& items);
+
+/// Per-fault outcome table (one row per fault), the CSV export payload.
+TextTable outcomeTable(const rsn::Network& net, const CampaignResult& result);
+
+/// Machine-readable report: summary counters, per-fault outcome strings
+/// and itemized mismatches.  Canonical (sorted keys, no timestamps), so
+/// byte-equality of two reports proves campaign determinism.
+json::Value reportJson(const rsn::Network& net, const CampaignResult& result);
+
+}  // namespace rrsn::campaign

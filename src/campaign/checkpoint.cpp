@@ -1,0 +1,172 @@
+#include "campaign/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "rsn/netlist_io.hpp"
+
+namespace rrsn::campaign {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnvMix(std::uint64_t& h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  h ^= 0xff;  // field separator, so "ab"+"c" != "a"+"bc"
+  h *= kFnvPrime;
+}
+
+void fnvMix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+std::string hex(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string bitsToString(const DynamicBitset& b) {
+  std::string s(b.size(), '0');
+  for (std::size_t i = 0; i < b.size(); ++i)
+    if (b.test(i)) s[i] = '1';
+  return s;
+}
+
+DynamicBitset bitsFromString(const std::string& s, std::size_t expect) {
+  if (s.size() != expect)
+    throw IoError("checkpoint bitset has wrong length");
+  DynamicBitset b(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '1') {
+      b.set(i);
+    } else if (s[i] != '0') {
+      throw IoError("checkpoint bitset has invalid character");
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+std::uint64_t campaignFingerprint(const rsn::Network& net,
+                                  const CampaignConfig& config) {
+  std::uint64_t h = kFnvOffset;
+  fnvMix(h, rsn::netlistToString(net));
+  fnvMix(h, static_cast<std::uint64_t>(config.sample));
+  fnvMix(h, config.seed);
+  fnvMix(h, static_cast<std::uint64_t>(config.retarget.maxRounds));
+  fnvMix(h, static_cast<std::uint64_t>(config.retarget.allowReroute ? 1 : 0));
+  fnvMix(h, static_cast<std::uint64_t>(config.retarget.maxReroutes));
+  fnvMix(h, bitsToString(config.excludePrimitives));
+  return h;
+}
+
+void saveCheckpoint(const std::string& path, std::uint64_t fingerprint,
+                    const CampaignResult& result) {
+  json::Array records;
+  for (std::size_t k = 0; k < result.records.size(); ++k) {
+    const FaultRecord& rec = result.records[k];
+    if (!rec.done) continue;
+    json::Object o;
+    o["index"] = json::Value(static_cast<std::uint64_t>(k));
+    o["read"] = json::Value(rec.read);
+    o["write"] = json::Value(rec.write);
+    o["obs"] = json::Value(bitsToString(rec.structObservable));
+    o["set"] = json::Value(bitsToString(rec.structSettable));
+    o["eobs"] = json::Value(bitsToString(rec.expectObservable));
+    o["eset"] = json::Value(bitsToString(rec.expectSettable));
+    o["disagreements"] =
+        json::Value(static_cast<std::uint64_t>(rec.oracleDisagreements));
+    records.push_back(json::Value(std::move(o)));
+  }
+  json::Object root;
+  root["fingerprint"] = json::Value(hex(fingerprint));
+  root["faults_total"] =
+      json::Value(static_cast<std::uint64_t>(result.records.size()));
+  root["instruments"] =
+      json::Value(static_cast<std::uint64_t>(result.instruments));
+  root["records"] = json::Value(std::move(records));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("cannot open checkpoint file for writing: " + tmp);
+    out << json::serialize(json::Value(std::move(root)), 1) << '\n';
+    out.flush();
+    if (!out) throw IoError("short write to checkpoint file: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw IoError("cannot move checkpoint into place: " + path);
+}
+
+std::size_t loadCheckpoint(const std::string& path, std::uint64_t fingerprint,
+                           CampaignResult& result) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;  // fresh start
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (in.bad()) throw IoError("cannot read checkpoint file: " + path);
+
+  json::Value doc;
+  try {
+    doc = json::parse(text.str());
+  } catch (const Error& e) {
+    throw IoError("corrupt checkpoint file " + path + ": " + e.what());
+  }
+  try {
+    if (doc.at("fingerprint").asString() != hex(fingerprint))
+      throw IoError(
+          "checkpoint " + path +
+          " was written for a different network or campaign configuration");
+    if (doc.at("faults_total").asUnsigned() != result.records.size() ||
+        doc.at("instruments").asUnsigned() != result.instruments)
+      throw IoError("checkpoint " + path + " has inconsistent dimensions");
+
+    std::size_t restored = 0;
+    for (const json::Value& v : doc.at("records").asArray()) {
+      const std::uint64_t k = v.at("index").asUnsigned();
+      if (k >= result.records.size())
+        throw IoError("checkpoint record index out of range");
+      FaultRecord& rec = result.records[k];
+      const std::string& read = v.at("read").asString();
+      const std::string& write = v.at("write").asString();
+      if (read.size() != result.instruments ||
+          write.size() != result.instruments)
+        throw IoError("checkpoint record has wrong instrument count");
+      for (const char c : read) outcomeFromChar(c);
+      for (const char c : write) outcomeFromChar(c);
+      rec.read = read;
+      rec.write = write;
+      rec.structObservable =
+          bitsFromString(v.at("obs").asString(), result.instruments);
+      rec.structSettable =
+          bitsFromString(v.at("set").asString(), result.instruments);
+      rec.expectObservable =
+          bitsFromString(v.at("eobs").asString(), result.instruments);
+      rec.expectSettable =
+          bitsFromString(v.at("eset").asString(), result.instruments);
+      rec.oracleDisagreements =
+          static_cast<std::size_t>(v.at("disagreements").asUnsigned());
+      rec.done = true;
+      restored += 1;
+    }
+    return restored;
+  } catch (const IoError&) {
+    throw;
+  } catch (const Error& e) {
+    throw IoError("corrupt checkpoint file " + path + ": " + e.what());
+  }
+}
+
+}  // namespace rrsn::campaign

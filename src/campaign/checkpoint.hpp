@@ -1,0 +1,35 @@
+// Resumable campaign state (JSON checkpoint files).
+//
+// A checkpoint stores every *finished* fault record together with a
+// fingerprint of the network and campaign configuration.  Loading
+// rejects checkpoints written for a different network or config (the
+// resumed campaign would silently mix incompatible results otherwise)
+// and tolerates a missing file (fresh start).  Saving is atomic:
+// write to `<path>.tmp`, then rename — a deadline that fires mid-write
+// can never leave a torn state file behind.
+#pragma once
+
+#include <string>
+
+#include "campaign/campaign.hpp"
+
+namespace rrsn::campaign {
+
+/// FNV-1a hash over the canonical netlist text and the config fields
+/// that change probe outcomes (sample, seed, retarget bounds, excluded
+/// primitives).  Checkpoint path / batch size / callbacks are excluded:
+/// they affect scheduling, not results.
+std::uint64_t campaignFingerprint(const rsn::Network& net,
+                                  const CampaignConfig& config);
+
+/// Writes finished records of `result` to `path` atomically.
+void saveCheckpoint(const std::string& path, std::uint64_t fingerprint,
+                    const CampaignResult& result);
+
+/// Merges finished records from the checkpoint at `path` into `result`
+/// and returns how many were restored.  A missing file restores 0.
+/// Throws IoError on unreadable/corrupt files or fingerprint mismatch.
+std::size_t loadCheckpoint(const std::string& path, std::uint64_t fingerprint,
+                           CampaignResult& result);
+
+}  // namespace rrsn::campaign

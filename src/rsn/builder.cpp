@@ -36,9 +36,9 @@ NetworkBuilder::Handle NetworkBuilder::mux(const std::string& name,
     for (std::size_t i = 0; i < segments_.size(); ++i)
       if (segments_[i].name == controlSegment)
         ctrl = static_cast<SegmentId>(i);
-    RRSN_CHECK(ctrl != kNone,
-               "mux '" + name + "': unknown control segment '" +
-                   controlSegment + "'");
+    if (ctrl == kNone)
+      throw ValidationError("mux '" + name + "': unknown control segment '" +
+                            controlSegment + "'");
     m.controlSegment = ctrl;
   }
   muxes_.push_back(std::move(m));

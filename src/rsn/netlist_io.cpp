@@ -13,6 +13,14 @@ namespace rrsn::rsn {
 
 namespace {
 
+// Hard input limits.  Netlists are human- or generator-written files; a
+// token or nesting level beyond these bounds is a malformed (possibly
+// adversarial) input, and the parser must reject it with a ParseError
+// instead of exhausting the stack or memory.
+constexpr std::size_t kMaxTokenLength = 1024;
+constexpr std::size_t kMaxNestingDepth = 256;
+constexpr std::uint64_t kMaxSegmentLength = 1u << 20;
+
 // ---------------------------------------------------------------- lexer
 
 struct Token {
@@ -57,6 +65,10 @@ class Lexer {
                  (std::isalnum(static_cast<unsigned char>(line[j])) ||
                   line[j] == '_' || line[j] == '.'))
             ++j;
+          if (j - i > kMaxTokenLength)
+            throw ParseError("line " + std::to_string(lineNo) +
+                             ": token longer than " +
+                             std::to_string(kMaxTokenLength) + " characters");
           tokens_.push_back({Token::Kind::Word, line.substr(i, j - i), lineNo});
           i = j - 1;
           continue;
@@ -96,7 +108,25 @@ class Parser {
   }
 
  private:
+  /// Bounds the parse recursion (parseNode / parseBody / parseMux call
+  /// each other); deeply nested input must fail, not smash the stack.
+  struct DepthGuard {
+    explicit DepthGuard(std::size_t& depth, std::size_t line) : depth_(depth) {
+      if (++depth_ > kMaxNestingDepth)
+        throw ParseError("line " + std::to_string(line) +
+                         ": nesting deeper than " +
+                         std::to_string(kMaxNestingDepth) + " levels");
+    }
+    ~DepthGuard() { --depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    std::size_t& depth_;
+  };
+
   NetworkBuilder::Handle parseNode() {
+    const DepthGuard guard(depth_, lex_.peek().line);
     const Token t = lex_.next();
     if (t.kind != Token::Kind::Word) fail(t, "a node keyword");
     if (t.text == "chain") return parseBody("chain body");
@@ -137,10 +167,14 @@ class Parser {
       const std::string key = lex_.next().text;
       expect(Token::Kind::Equals, "'=' after '" + key + "'");
       const std::string value = expectAnyWord("value of '" + key + "'");
-      if (key == "len")
-        length = static_cast<std::uint32_t>(
-            parseUnsigned(value, "segment length"));
-      else if (key == "instrument")
+      if (key == "len") {
+        const std::uint64_t raw = parseUnsigned(value, "segment length");
+        if (raw == 0 || raw > kMaxSegmentLength)
+          throw ParseError("segment '" + name + "': length " + value +
+                           " out of range [1, " +
+                           std::to_string(kMaxSegmentLength) + "]");
+        length = static_cast<std::uint32_t>(raw);
+      } else if (key == "instrument")
         instrument = value;
       else
         throw ParseError("unknown segment attribute '" + key + "'");
@@ -191,6 +225,7 @@ class Parser {
 
   Lexer lex_;
   std::optional<NetworkBuilder> builder_;
+  std::size_t depth_ = 0;
 };
 
 // --------------------------------------------------------------- writer

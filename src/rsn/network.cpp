@@ -161,6 +161,41 @@ void Network::validate() const {
                             std::to_string(muxUse[i]) +
                             " times in the structure (expected 1)");
   }
+
+  // A mux's control register must not sit inside the mux's own branches:
+  // selecting a branch would require writing a register that is only on
+  // the scan path once that very selection is already made.  (The SIB
+  // pattern is legal — its register is a serial *sibling* of the join.)
+  std::vector<std::pair<MuxId, SegmentId>> openMuxes;
+  struct WalkFrame {
+    NodeId id;
+    std::size_t next = 0;
+  };
+  std::vector<WalkFrame> walk{{structure_.root()}};
+  while (!walk.empty()) {
+    WalkFrame& fr = walk.back();
+    const auto& n = structure_.node(fr.id);
+    if (fr.next == 0 && n.kind == NodeKind::Segment) {
+      for (const auto& [mux, ctrl] : openMuxes) {
+        if (ctrl == n.prim)
+          throw ValidationError("mux '" + muxes_[mux].name +
+                                "' is controlled by segment '" +
+                                segments_[n.prim].name +
+                                "' inside its own branches");
+      }
+    }
+    if (fr.next >= n.children.size()) {
+      if (n.kind == NodeKind::MuxJoin && muxes_[n.prim].controlSegment != kNone)
+        openMuxes.pop_back();
+      walk.pop_back();
+      continue;
+    }
+    if (fr.next == 0 && n.kind == NodeKind::MuxJoin &&
+        muxes_[n.prim].controlSegment != kNone)
+      openMuxes.emplace_back(static_cast<MuxId>(n.prim),
+                             muxes_[n.prim].controlSegment);
+    walk.push_back({n.children[fr.next++]});
+  }
 }
 
 }  // namespace rrsn::rsn

@@ -10,17 +10,17 @@ namespace rrsn::sim {
 
 namespace {
 
-/// BFS with parent pointers between two vertices of the graph view,
-/// honoring the fault: stuck-mux edges are always enforced; the broken
-/// segment's vertex is impassable unless `allowBreak`.
-std::optional<std::vector<graph::VertexId>> findPath(
-    const rsn::GraphView& gv, const fault::Fault* f, graph::VertexId from,
-    graph::VertexId to, bool allowBreak) {
-  const graph::Digraph& g = gv.graph;
+/// Edge admissibility under a fault: stuck-mux edges are always
+/// enforced; the broken segment's vertex is impassable unless
+/// `allowBreak`.  Shared by the BFS below and the bounded enumeration.
+struct FaultEdges {
   graph::VertexId broken = graph::kNoVertex;
   graph::VertexId stuckMux = graph::kNoVertex;
   graph::VertexId allowedExit = graph::kNoVertex;
-  if (f != nullptr) {
+
+  FaultEdges(const rsn::GraphView& gv, const fault::Fault* f,
+             bool allowBreak) {
+    if (f == nullptr) return;
     if (f->kind == fault::FaultKind::SegmentBreak) {
       if (!allowBreak) broken = gv.segmentVertex[f->prim];
     } else {
@@ -28,7 +28,21 @@ std::optional<std::vector<graph::VertexId>> findPath(
       allowedExit = gv.muxBranchExit[f->prim][f->stuckBranch];
     }
   }
-  if (from == broken || to == broken) return std::nullopt;
+
+  bool allows(graph::VertexId from, graph::VertexId to) const {
+    if (from == broken || to == broken) return false;
+    if (to == stuckMux && from != allowedExit) return false;
+    return true;
+  }
+};
+
+/// BFS with parent pointers between two vertices of the graph view.
+std::optional<std::vector<graph::VertexId>> findPath(
+    const rsn::GraphView& gv, const fault::Fault* f, graph::VertexId from,
+    graph::VertexId to, bool allowBreak) {
+  const graph::Digraph& g = gv.graph;
+  const FaultEdges edges(gv, f, allowBreak);
+  if (from == edges.broken || to == edges.broken) return std::nullopt;
 
   std::vector<graph::VertexId> parent(g.vertexCount(), graph::kNoVertex);
   std::vector<bool> seen(g.vertexCount(), false);
@@ -39,8 +53,7 @@ std::optional<std::vector<graph::VertexId>> findPath(
     const graph::VertexId v = work.front();
     work.pop();
     for (graph::VertexId s : g.successors(v)) {
-      if (s == broken) continue;
-      if (s == stuckMux && v != allowedExit) continue;
+      if (!edges.allows(v, s)) continue;
       if (!seen[s]) {
         seen[s] = true;
         parent[s] = v;
@@ -54,6 +67,75 @@ std::optional<std::vector<graph::VertexId>> findPath(
     path.push_back(v);
   std::reverse(path.begin(), path.end());
   return path;
+}
+
+/// Bounded enumeration of distinct simple paths from `from` to `to`
+/// honoring the fault — the search space of the graceful-degradation
+/// reroute.  The scan graph is a DAG; vertices that cannot reach `to`
+/// under the fault are pruned up front, so every DFS descent yields a
+/// path and the work is O(limit * pathLength * degree).  Paths come out
+/// in deterministic successor order, shortest-ish first is NOT
+/// guaranteed — callers verify each candidate end to end anyway.
+std::vector<std::vector<graph::VertexId>> enumeratePaths(
+    const rsn::GraphView& gv, const fault::Fault* f, graph::VertexId from,
+    graph::VertexId to, bool allowBreak, std::size_t limit) {
+  std::vector<std::vector<graph::VertexId>> out;
+  if (limit == 0) return out;
+  const graph::Digraph& g = gv.graph;
+  const FaultEdges edges(gv, f, allowBreak);
+  if (from == edges.broken || to == edges.broken) return out;
+
+  // Reverse reachability: canReach[v] iff an admissible path v -> to
+  // exists.  Walking predecessor edges checks allows(pred, v).
+  std::vector<bool> canReach(g.vertexCount(), false);
+  {
+    std::queue<graph::VertexId> work;
+    canReach[to] = true;
+    work.push(to);
+    while (!work.empty()) {
+      const graph::VertexId v = work.front();
+      work.pop();
+      for (graph::VertexId p : g.predecessors(v)) {
+        if (!edges.allows(p, v) || canReach[p]) continue;
+        canReach[p] = true;
+        work.push(p);
+      }
+    }
+  }
+  if (!canReach[from]) return out;
+
+  // Iterative DFS over admissible successors that can still reach `to`.
+  struct Frame {
+    graph::VertexId vertex;
+    std::size_t nextSucc = 0;
+  };
+  std::vector<Frame> stack{{from, 0}};
+  std::vector<graph::VertexId> prefix{from};
+  while (!stack.empty() && out.size() < limit) {
+    const std::size_t idx = stack.size() - 1;  // index: push_back below
+    const graph::VertexId v = stack[idx].vertex;  // invalidates references
+    if (v == to) {
+      out.push_back(prefix);
+      stack.pop_back();
+      prefix.pop_back();
+      continue;
+    }
+    const auto& succs = g.successors(v);
+    bool descended = false;
+    while (stack[idx].nextSucc < succs.size()) {
+      const graph::VertexId s = succs[stack[idx].nextSucc++];
+      if (!edges.allows(v, s) || !canReach[s]) continue;
+      stack.push_back({s, 0});
+      prefix.push_back(s);
+      descended = true;
+      break;
+    }
+    if (!descended) {
+      stack.pop_back();
+      prefix.pop_back();
+    }
+  }
+  return out;
 }
 
 /// Derives the mux selections that make the structural walk follow a
@@ -112,9 +194,11 @@ bool replayPatterns(ScanSimulator& sim, const RetargetResult& recorded) {
   return true;
 }
 
-Retargeter::Retargeter(ScanSimulator& sim) : sim_(&sim) {
+Retargeter::Retargeter(ScanSimulator& sim, RetargetOptions options)
+    : sim_(&sim), options_(options), gv_(rsn::buildGraphView(sim.network())) {
   const rsn::Network& net = sim.network();
-  maxRounds_ = net.stats().maxMuxNesting + 2;
+  maxRounds_ = options_.maxRounds != 0 ? options_.maxRounds
+                                       : net.stats().maxMuxNesting + 2;
   ancestors_.assign(net.segments().size(), {});
 
   // One DFS assigning every segment its (mux, branch) ancestor chain.
@@ -217,6 +301,75 @@ RetargetResult Retargeter::realizeSelections(
   return res;
 }
 
+namespace {
+
+/// Joins a prefix (scan-in -> seg) and suffix (seg -> scan-out) into the
+/// mux selections realizing the combined walk.
+std::map<rsn::MuxId, std::uint32_t> joinSelections(
+    const rsn::GraphView& gv, const std::vector<graph::VertexId>& prefix,
+    const std::vector<graph::VertexId>& suffix) {
+  std::vector<graph::VertexId> whole = prefix;
+  whole.insert(whole.end(), suffix.begin() + 1, suffix.end());
+  return selectionsFromPath(gv, whole);
+}
+
+}  // namespace
+
+/// Candidate mux-selection maps for accessing `seg`, in attempt order.
+/// Entry 0 (when present) is the *nominal* recipe — the shortest
+/// fault-unaware path, exactly what a controller without fault knowledge
+/// would apply.  Subsequent entries are fault-aware alternatives from the
+/// bounded reroute enumeration; `allowBreakAtSeg` selects the read
+/// flavor (broken segment tolerable on the scan-in side) vs the write
+/// flavor (tolerable on the scan-out side).  Duplicates of earlier
+/// entries are dropped, and the total is capped at 1 + maxReroutes.
+static std::vector<std::pair<std::map<rsn::MuxId, std::uint32_t>, bool>>
+candidateSelections(const rsn::GraphView& gv, const fault::Fault* f,
+                    rsn::SegmentId seg, bool breakBeforeSegTolerable,
+                    const RetargetOptions& options) {
+  using Selections = std::map<rsn::MuxId, std::uint32_t>;
+  std::vector<std::pair<Selections, bool>> out;  // (selections, rerouted)
+  const graph::VertexId segV = gv.segmentVertex[seg];
+
+  const auto push = [&](Selections sel, bool rerouted) {
+    for (const auto& [existing, r] : out)
+      if (existing == sel) return;
+    out.emplace_back(std::move(sel), rerouted);
+  };
+
+  // Nominal: shortest path ignoring the fault.
+  {
+    const auto prefix = findPath(gv, nullptr, gv.scanIn, segV, false);
+    const auto suffix = findPath(gv, nullptr, segV, gv.scanOut, false);
+    if (prefix && suffix) push(joinSelections(gv, *prefix, *suffix), false);
+  }
+
+  if (f == nullptr || !options.allowReroute || options.maxReroutes == 0)
+    return out;
+
+  // Reroute: enumerate fault-honoring prefix/suffix pairs.  The second
+  // strategy additionally tolerates the broken segment on the side where
+  // the payload never crosses it (scan-in side for reads, scan-out side
+  // for writes).
+  const std::size_t cap = options.maxReroutes;
+  for (const bool tolerateBreak : {false, true}) {
+    if (tolerateBreak && f->kind != fault::FaultKind::SegmentBreak) break;
+    const bool allowPrefixBreak = tolerateBreak && breakBeforeSegTolerable;
+    const bool allowSuffixBreak = tolerateBreak && !breakBeforeSegTolerable;
+    const auto prefixes =
+        enumeratePaths(gv, f, gv.scanIn, segV, allowPrefixBreak, cap);
+    const auto suffixes =
+        enumeratePaths(gv, f, segV, gv.scanOut, allowSuffixBreak, cap);
+    for (const auto& prefix : prefixes) {
+      for (const auto& suffix : suffixes) {
+        if (out.size() > cap) return out;  // entry 0 is the nominal recipe
+        push(joinSelections(gv, prefix, suffix), true);
+      }
+    }
+  }
+  return out;
+}
+
 RetargetResult Retargeter::readInstrument(rsn::InstrumentId i) {
   const rsn::Network& net = sim_->network();
   const rsn::SegmentId seg = net.instrument(i).segment;
@@ -228,23 +381,10 @@ RetargetResult Retargeter::readInstrument(rsn::InstrumentId i) {
       f->prim == seg)
     return best;  // the instrument's own segment is dead
 
-  const rsn::GraphView gv = rsn::buildGraphView(net);
-  // Strategy 1: route around the defect entirely.  Strategy 2 (reads
-  // only): allow the broken segment on the scan-in side — garbage shifts
-  // in behind the marker, but the marker still reaches scan-out.
-  for (const bool allowBreakPrefix : {false, true}) {
-    if (allowBreakPrefix &&
-        (f == nullptr || f->kind != fault::FaultKind::SegmentBreak))
-      break;
-    const auto prefix =
-        findPath(gv, f, gv.scanIn, gv.segmentVertex[seg], allowBreakPrefix);
-    const auto suffix = findPath(gv, f, gv.segmentVertex[seg], gv.scanOut,
-                                 /*allowBreak=*/false);
-    if (!prefix || !suffix) continue;
-    std::vector<graph::VertexId> whole = *prefix;
-    whole.insert(whole.end(), suffix->begin() + 1, suffix->end());
-    const auto selections = selectionsFromPath(gv, whole);
-
+  // For reads the scan-out side must be clean; a broken segment on the
+  // scan-in side only shifts garbage in behind the marker.
+  for (const auto& [selections, rerouted] : candidateSelections(
+           gv_, f, seg, /*breakBeforeSegTolerable=*/true, options_)) {
     RetargetResult attempt = realizeSelections(selections);
     if (!attempt.success) continue;
 
@@ -271,6 +411,7 @@ RetargetResult Retargeter::readInstrument(rsn::InstrumentId i) {
     }
     if (ok) {
       attempt.success = true;
+      attempt.rerouted = rerouted;
       return attempt;
     }
   }
@@ -291,22 +432,10 @@ RetargetResult Retargeter::writeInstrument(rsn::InstrumentId i,
       f->prim == seg)
     return best;
 
-  const rsn::GraphView gv = rsn::buildGraphView(net);
   // For writes the scan-in side must be clean; the scan-out side may
   // contain the broken segment (the value never travels through it).
-  for (const bool allowBreakSuffix : {false, true}) {
-    if (allowBreakSuffix &&
-        (f == nullptr || f->kind != fault::FaultKind::SegmentBreak))
-      break;
-    const auto prefix = findPath(gv, f, gv.scanIn, gv.segmentVertex[seg],
-                                 /*allowBreak=*/false);
-    const auto suffix = findPath(gv, f, gv.segmentVertex[seg], gv.scanOut,
-                                 allowBreakSuffix);
-    if (!prefix || !suffix) continue;
-    std::vector<graph::VertexId> whole = *prefix;
-    whole.insert(whole.end(), suffix->begin() + 1, suffix->end());
-    const auto selections = selectionsFromPath(gv, whole);
-
+  for (const auto& [selections, rerouted] : candidateSelections(
+           gv_, f, seg, /*breakBeforeSegTolerable=*/false, options_)) {
     RetargetResult attempt = realizeSelections(selections);
     if (!attempt.success) continue;
 
@@ -333,6 +462,7 @@ RetargetResult Retargeter::writeInstrument(rsn::InstrumentId i,
 
     if (sim_->segmentUpdate(seg) == value) {
       attempt.success = true;
+      attempt.rerouted = rerouted;
       return attempt;
     }
   }

@@ -14,6 +14,7 @@
 
 #include <map>
 
+#include "rsn/graph_view.hpp"
 #include "sim/simulator.hpp"
 #include "support/bitset.hpp"
 
@@ -25,12 +26,32 @@ struct ScanPattern {
   std::vector<Bit> shiftOut;  ///< stream observed at scan-out
 };
 
+/// Bounds of one retargeting attempt.  Every limit exists so that a
+/// defective network (e.g. a stuck address register that silently drops
+/// control writes) degrades into a failed RetargetResult instead of an
+/// unbounded configuration loop.
+struct RetargetOptions {
+  /// CSU rounds allowed per realizeSelections attempt; 0 = automatic
+  /// (deepest mux nesting + 2, enough for any healthy access).
+  std::size_t maxRounds = 0;
+  /// After the nominal (fault-unaware) recipe fails, search for
+  /// alternative scan paths that route around the injected fault.
+  bool allowReroute = true;
+  /// Alternative-path realizations attempted per access; caps both the
+  /// path enumeration and the CSU work spent on graceful degradation.
+  std::size_t maxReroutes = 8;
+};
+
 /// Outcome of a retargeting attempt.  `externalSelections` records the
 /// TAP-instruction part of the access (addresses of muxes that are not
 /// segment-controlled); together with `patterns` it is the complete
 /// reproducible access recipe.
 struct RetargetResult {
   bool success = false;
+  /// Success came from a fault-aware alternative mux branch, not from
+  /// the nominal recipe — the access *degraded gracefully*.  Always
+  /// false on a fault-free simulator.
+  bool rerouted = false;
   std::size_t rounds = 0;              ///< CSU rounds spent
   std::vector<ScanPattern> patterns;   ///< in application order
   std::vector<std::pair<rsn::MuxId, std::uint32_t>> externalSelections;
@@ -50,7 +71,7 @@ bool replayPatterns(ScanSimulator& sim, const RetargetResult& recorded);
 /// Retargeting engine bound to one simulator instance.
 class Retargeter {
  public:
-  explicit Retargeter(ScanSimulator& sim);
+  explicit Retargeter(ScanSimulator& sim, RetargetOptions options = {});
 
   /// Steers the given mux selections (segment-controlled muxes through
   /// CSU rounds, TAP-controlled ones directly).  Selections of muxes not
@@ -76,7 +97,10 @@ class Retargeter {
       rsn::SegmentId seg) const;
 
   ScanSimulator* sim_;
+  RetargetOptions options_;
   std::size_t maxRounds_;
+  /// Built once per engine; the topology never changes under a fault.
+  rsn::GraphView gv_;
   /// ancestors_[seg] = (mux, branch) chain from outermost to innermost.
   std::vector<std::vector<std::pair<rsn::MuxId, std::uint32_t>>> ancestors_;
 };

@@ -31,6 +31,13 @@ class ValidationError : public Error {
   using Error::Error;
 };
 
+/// Thrown when a file the library must read or write (checkpoint, plan,
+/// report) cannot be opened or is torn/inconsistent.
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
 namespace detail {
 
 [[noreturn]] inline void throwCheckFailed(const char* expr, const char* file,

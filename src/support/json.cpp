@@ -1,0 +1,378 @@
+#include "support/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace rrsn::json {
+
+namespace {
+
+[[noreturn]] void typeError(const char* want, Kind got) {
+  throw Error(std::string("json: expected ") + want + ", got kind " +
+              std::to_string(static_cast<int>(got)));
+}
+
+}  // namespace
+
+bool Value::asBool() const {
+  if (kind_ != Kind::Bool) typeError("bool", kind_);
+  return bool_;
+}
+
+std::int64_t Value::asInt() const {
+  if (kind_ != Kind::Int) typeError("integer", kind_);
+  return int_;
+}
+
+std::uint64_t Value::asUnsigned() const {
+  if (kind_ != Kind::Int || int_ < 0) typeError("unsigned integer", kind_);
+  return static_cast<std::uint64_t>(int_);
+}
+
+double Value::asDouble() const {
+  if (kind_ == Kind::Int) return static_cast<double>(int_);
+  if (kind_ != Kind::Double) typeError("number", kind_);
+  return double_;
+}
+
+const std::string& Value::asString() const {
+  if (kind_ != Kind::String) typeError("string", kind_);
+  return string_;
+}
+
+const Array& Value::asArray() const {
+  if (kind_ != Kind::Array) typeError("array", kind_);
+  return array_;
+}
+
+Array& Value::asArray() {
+  if (kind_ != Kind::Array) typeError("array", kind_);
+  return array_;
+}
+
+const Object& Value::asObject() const {
+  if (kind_ != Kind::Object) typeError("object", kind_);
+  return object_;
+}
+
+Object& Value::asObject() {
+  if (kind_ != Kind::Object) typeError("object", kind_);
+  return object_;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Object& o = asObject();
+  const auto it = o.find(key);
+  if (it == o.end()) throw Error("json: missing key '" + key + "'");
+  return it->second;
+}
+
+const Value& Value::get(const std::string& key, const Value& fallback) const {
+  const Object& o = asObject();
+  const auto it = o.find(key);
+  return it == o.end() ? fallback : it->second;
+}
+
+bool Value::contains(const std::string& key) const {
+  const Object& o = asObject();
+  return o.find(key) != o.end();
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::Null: return true;
+    case Kind::Bool: return bool_ == other.bool_;
+    case Kind::Int: return int_ == other.int_;
+    case Kind::Double: return double_ == other.double_;
+    case Kind::String: return string_ == other.string_;
+    case Kind::Array: return array_ == other.array_;
+    case Kind::Object: return object_ == other.object_;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- parser
+
+namespace {
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(const std::string& text) : text_(text) {}
+
+  Value parseDocument() {
+    Value v = parseValue();
+    skipWhitespace();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError("json: " + msg + " at byte " + std::to_string(pos_));
+  }
+
+  void skipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    skipWhitespace();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consumeLiteral(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parseValue() {
+    // Each nested container recurses once; cap the depth so adversarial
+    // inputs cannot blow the stack.
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+    const char c = peek();
+    Value out;
+    switch (c) {
+      case '{': out = parseObject(); break;
+      case '[': out = parseArray(); break;
+      case '"': out = Value(parseString()); break;
+      case 't':
+        if (!consumeLiteral("true")) fail("invalid literal");
+        out = Value(true);
+        break;
+      case 'f':
+        if (!consumeLiteral("false")) fail("invalid literal");
+        out = Value(false);
+        break;
+      case 'n':
+        if (!consumeLiteral("null")) fail("invalid literal");
+        break;
+      default: out = parseNumber(); break;
+    }
+    --depth_;
+    return out;
+  }
+
+  Value parseObject() {
+    expect('{');
+    Object obj;
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parseString();
+      expect(':');
+      obj.emplace(std::move(key), parseValue());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return Value(std::move(obj));
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  Value parseArray() {
+    expect('[');
+    Array arr;
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parseValue());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return Value(std::move(arr));
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          // Encode as UTF-8 (surrogate pairs are not recombined — the
+          // writer below never emits them for our own files).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  Value parseNumber() {
+    skipWhitespace();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool isDouble = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        isDouble = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("invalid value");
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    if (!isDouble) {
+      std::int64_t v = 0;
+      const auto [p, ec] = std::from_chars(first, last, v);
+      if (ec == std::errc{} && p == last) return Value(v);
+      // fall through: out of int64 range, reparse as double
+    }
+    double d = 0;
+    const auto [p, ec] = std::from_chars(first, last, d);
+    if (ec != std::errc{} || p != last) fail("invalid number");
+    return Value(d);
+  }
+
+  static constexpr std::size_t kMaxDepth = 256;
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+};
+
+void writeString(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void writeValue(std::string& out, const Value& v, int indent, int depth) {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (v.kind()) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += v.asBool() ? "true" : "false"; break;
+    case Kind::Int: out += std::to_string(v.asInt()); break;
+    case Kind::Double: {
+      const double d = v.asDouble();
+      if (std::isfinite(d)) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", d);
+        out += buf;
+      } else {
+        out += "null";  // JSON has no Inf/NaN
+      }
+      break;
+    }
+    case Kind::String: writeString(out, v.asString()); break;
+    case Kind::Array: {
+      const Array& a = v.asArray();
+      out.push_back('[');
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        newline(depth + 1);
+        writeValue(out, a[i], indent, depth + 1);
+      }
+      if (!a.empty()) newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case Kind::Object: {
+      const Object& o = v.asObject();
+      out.push_back('{');
+      std::size_t i = 0;
+      for (const auto& [key, member] : o) {
+        if (i++ != 0) out.push_back(',');
+        newline(depth + 1);
+        writeString(out, key);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        writeValue(out, member, indent, depth + 1);
+      }
+      if (!o.empty()) newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Value parse(const std::string& text) { return ParserImpl(text).parseDocument(); }
+
+std::string serialize(const Value& v, int indent) {
+  std::string out;
+  writeValue(out, v, indent, 0);
+  if (indent > 0) out.push_back('\n');
+  return out;
+}
+
+}  // namespace rrsn::json

@@ -1,0 +1,84 @@
+// Minimal JSON document model (parse + serialize).
+//
+// The campaign engine persists resumable checkpoints and machine-readable
+// reports as JSON; this module is the self-contained reader/writer those
+// files go through (no third-party dependency).  It supports the full
+// JSON value grammar except that numbers are stored as either int64 or
+// double, and \uXXXX escapes outside the ASCII range are preserved as
+// UTF-8.  Parse errors throw ParseError with the byte offset.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace rrsn::json {
+
+class Value;
+
+enum class Kind : std::uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+using Array = std::vector<Value>;
+/// std::map keeps keys sorted, so serialization is canonical: two
+/// documents with equal content serialize to equal bytes (the campaign
+/// determinism check diffs serialized reports).
+using Object = std::map<std::string, Value>;
+
+/// One JSON value; a tagged union over the seven kinds above.
+class Value {
+ public:
+  Value() = default;
+  Value(std::nullptr_t) {}
+  Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Value(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+  Value(std::uint64_t v) : kind_(Kind::Int), int_(static_cast<std::int64_t>(v)) {}
+  Value(int v) : kind_(Kind::Int), int_(v) {}
+  Value(double v) : kind_(Kind::Double), double_(v) {}
+  Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+  Value(const char* s) : kind_(Kind::String), string_(s) {}
+  Value(Array elements) : kind_(Kind::Array), array_(std::move(elements)) {}
+  Value(Object members) : kind_(Kind::Object), object_(std::move(members)) {}
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::Null; }
+
+  /// Typed accessors; throw Error if the kind does not match.
+  bool asBool() const;
+  std::int64_t asInt() const;
+  std::uint64_t asUnsigned() const;
+  double asDouble() const;  ///< accepts Int too
+  const std::string& asString() const;
+  const Array& asArray() const;
+  Array& asArray();
+  const Object& asObject() const;
+  Object& asObject();
+
+  /// Object member lookup; throws Error if absent or not an object.
+  const Value& at(const std::string& key) const;
+  /// Object member lookup with a fallback for absent keys.
+  const Value& get(const std::string& key, const Value& fallback) const;
+  bool contains(const std::string& key) const;
+
+  bool operator==(const Value& other) const;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+Value parse(const std::string& text);
+
+/// Serializes compactly (no whitespace); `indent` > 0 pretty-prints.
+std::string serialize(const Value& v, int indent = 0);
+
+}  // namespace rrsn::json

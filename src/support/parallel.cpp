@@ -30,6 +30,7 @@ struct Job {
   std::function<void(std::size_t, std::size_t)> body;
   std::size_t chunks = 0;
   std::uint64_t seq = 0;
+  const CancellationToken* cancel = nullptr;
   std::atomic<std::size_t> nextChunk{0};
   std::atomic<std::size_t> doneChunks{0};
   std::mutex errorMutex;
@@ -61,7 +62,8 @@ class Pool {
   }
 
   void run(std::size_t chunks,
-           const std::function<void(std::size_t, std::size_t)>& body) {
+           const std::function<void(std::size_t, std::size_t)>& body,
+           const CancellationToken* cancel) {
     if (chunks == 0) return;
     thread_local bool insideRegion = false;
     std::shared_ptr<Job> job;
@@ -71,13 +73,17 @@ class Pool {
       // Nested regions (or a 1-thread pool) run inline on the caller.
       if (insideRegion || target_ <= 1 || job_ != nullptr) {
         lock.unlock();
-        for (std::size_t c = 0; c < chunks; ++c) body(c, 0);
+        for (std::size_t c = 0; c < chunks; ++c) {
+          if (cancel != nullptr && cancel->cancelled()) return;
+          body(c, 0);
+        }
         return;
       }
       ensureWorkersLocked();
       job = std::make_shared<Job>();
       job->body = body;
       job->chunks = chunks;
+      job->cancel = cancel;
       job->seq = ++jobSeq_;
       job_ = job;
       workCv_.notify_all();
@@ -151,7 +157,10 @@ class Pool {
           job.nextChunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= job.chunks) return;
       try {
-        job.body(c, lane);
+        // A cancelled job still drains its chunk counter (the waiter in
+        // run() blocks on doneChunks == chunks) — the bodies are just no
+        // longer invoked.
+        if (job.cancel == nullptr || !job.cancel->cancelled()) job.body(c, lane);
       } catch (...) {
         std::lock_guard<std::mutex> lock(job.errorMutex);
         if (!job.error) job.error = std::current_exception();
@@ -186,8 +195,9 @@ void setThreadCount(std::size_t n) { Pool::instance().resize(n); }
 namespace detail {
 
 void runChunks(std::size_t chunks,
-               const std::function<void(std::size_t, std::size_t)>& body) {
-  Pool::instance().run(chunks, body);
+               const std::function<void(std::size_t, std::size_t)>& body,
+               const CancellationToken* cancel) {
+  Pool::instance().run(chunks, body, cancel);
 }
 
 std::size_t chunkGrid(std::size_t n) {

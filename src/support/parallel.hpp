@@ -22,12 +22,53 @@
 // them rather than deadlocking the pool.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
 
 namespace rrsn {
+
+/// Cooperative cancellation signal, shared between a controller and any
+/// number of workers.  Cancellation is one-way and latching: once
+/// cancelled() returns true it stays true.  A token can also carry a
+/// wall-clock deadline; passing the deadline cancels it implicitly, so a
+/// long-running loop only needs a single cancelled() poll per unit of
+/// work.  All members are safe to call concurrently.
+class CancellationToken {
+ public:
+  /// Requests cancellation.
+  void cancel() noexcept { flag_.store(true, std::memory_order_release); }
+
+  /// Cancels automatically once `budget` has elapsed from now.
+  void setDeadlineFromNow(std::chrono::nanoseconds budget) noexcept {
+    const auto at = std::chrono::steady_clock::now() + budget;
+    deadlineNs_.store(at.time_since_epoch().count(), std::memory_order_release);
+  }
+  void clearDeadline() noexcept {
+    deadlineNs_.store(kNoDeadline, std::memory_order_release);
+  }
+
+  /// True once cancel() was called or the deadline passed.
+  bool cancelled() const noexcept {
+    if (flag_.load(std::memory_order_acquire)) return true;
+    const std::int64_t at = deadlineNs_.load(std::memory_order_acquire);
+    if (at != kNoDeadline &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >= at) {
+      flag_.store(true, std::memory_order_release);  // latch
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline = INT64_MIN;
+  mutable std::atomic<bool> flag_{false};
+  std::atomic<std::int64_t> deadlineNs_{kNoDeadline};
+};
 
 /// Number of workers a parallel region fans out to (>= 1).  The first
 /// call latches RRSN_THREADS / hardware_concurrency.
@@ -42,9 +83,15 @@ namespace detail {
 /// Runs body(chunk, worker) for every chunk in [0, chunks); worker is in
 /// [0, threadCount()) and identifies the executing lane for scratch
 /// indexing.  Blocks until all chunks completed; rethrows the first
-/// exception thrown by any chunk.
+/// exception thrown by any chunk.  If `cancel` is non-null and becomes
+/// cancelled, chunks that have not started yet are *skipped* (their body
+/// is never invoked); chunks already running finish normally.  Callers
+/// that pass a token must therefore track per-index completion
+/// themselves — the primitives below make no completeness guarantee
+/// under cancellation.
 void runChunks(std::size_t chunks,
-               const std::function<void(std::size_t, std::size_t)>& body);
+               const std::function<void(std::size_t, std::size_t)>& body,
+               const CancellationToken* cancel = nullptr);
 
 /// Chunk grid used by every primitive: a function of `n` only, so that
 /// per-chunk partial results do not depend on the pool size.
@@ -73,6 +120,35 @@ void parallelFor(std::size_t n, Fn&& fn) {
     const auto [begin, end] = detail::chunkRange(n, chunks, c);
     for (std::size_t i = begin; i < end; ++i) fn(i);
   });
+}
+
+/// Cancellable parallel loop: like parallelFor, but stops dispatching
+/// work once `cancel` trips.  Indices whose chunk never started are
+/// silently skipped, so fn must record its own completion (e.g. set a
+/// done flag as its last store) and fn itself should poll the token for
+/// finer-grained exits.  With a null token this is exactly parallelFor.
+template <typename Fn>
+void parallelForCancellable(std::size_t n, const CancellationToken* cancel,
+                            Fn&& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = detail::chunkGrid(n);
+  if (chunks <= 1 || threadCount() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) return;
+      fn(i);
+    }
+    return;
+  }
+  detail::runChunks(
+      chunks,
+      [&](std::size_t c, std::size_t) {
+        const auto [begin, end] = detail::chunkRange(n, chunks, c);
+        for (std::size_t i = begin; i < end; ++i) {
+          if (cancel != nullptr && cancel->cancelled()) return;
+          fn(i);
+        }
+      },
+      cancel);
 }
 
 /// Chunked variant exposing the worker lane for per-thread scratch:

@@ -1,0 +1,208 @@
+// Campaign engine tests: the acceptance gates of the fault-injection
+// subsystem.
+//  * Exhaustive campaigns on the example networks report zero
+//    expected-vs-simulated mismatches for segment breaks (and, with the
+//    control-aware oracle, for stuck muxes too); the strict-vs-plain
+//    structural differences are itemized as gaps, never dropped.
+//  * Campaign results are bitwise identical for 1 and 4 worker threads.
+//  * A deadline-interrupted campaign resumed from its checkpoint ends in
+//    exactly the report of an uninterrupted run.
+//  * On the fault-tolerant augmented topology the bounded reroute search
+//    recovers accesses (graceful degradation shows up as Recovered).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "campaign/checkpoint.hpp"
+#include "harden/fault_tolerant.hpp"
+#include "rsn/example_networks.hpp"
+#include "support/json.hpp"
+#include "support/parallel.hpp"
+
+namespace rrsn {
+namespace {
+
+std::string reportString(const rsn::Network& net,
+                         const campaign::CampaignResult& result) {
+  return json::serialize(campaign::reportJson(net, result), 1);
+}
+
+campaign::CampaignResult runCampaign(const rsn::Network& net,
+                                     campaign::CampaignConfig config = {}) {
+  return campaign::CampaignEngine(net, std::move(config)).run();
+}
+
+/// Unique-ish checkpoint path under the test's working directory.
+std::string checkpointPath(const std::string& tag) {
+  return "campaign_test_" + tag + ".ckpt.json";
+}
+
+TEST(Campaign, ExampleNetworksHaveZeroMismatches) {
+  for (const rsn::Network& net :
+       {rsn::makeFig1Network(), rsn::makeTinyNetwork()}) {
+    const campaign::CampaignResult result = runCampaign(net);
+    const campaign::CampaignSummary s = result.summary();
+    EXPECT_TRUE(s.complete()) << net.name();
+    EXPECT_EQ(s.oracleDisagreements, 0u) << net.name();
+    // The acceptance gate: simulation never disagrees with the
+    // control-aware expectation on segment breaks.
+    EXPECT_EQ(s.segmentBreakMismatches, 0u) << net.name();
+    EXPECT_EQ(s.muxStuckMismatches, 0u) << net.name();
+    // Strict-vs-structural differences are reported, not dropped: every
+    // gap pair appears in the itemized list.
+    EXPECT_EQ(result.structuralGaps().size(),
+              s.segmentBreakGapPairs + s.muxStuckGapPairs)
+        << net.name();
+  }
+}
+
+TEST(Campaign, Fig1GapsAreTheDocumentedControlDependency) {
+  // fig1: break(c0) kills multi-round accesses (c0 controls m0 and sits
+  // on the reset path), and break(sb1) blocks writing i1's guard.  Both
+  // losses are invisible to the plain structural oracle — they must be
+  // itemized as gaps with zero mismatches.
+  const rsn::Network net = rsn::makeFig1Network();
+  const campaign::CampaignResult result = runCampaign(net);
+  const auto gaps = result.structuralGaps();
+  ASSERT_EQ(gaps.size(), 2u);
+  for (const campaign::Mismatch& gap : gaps) {
+    EXPECT_EQ(gap.fault.kind, fault::FaultKind::SegmentBreak);
+    EXPECT_EQ(gap.simulated, campaign::Outcome::Lost);
+    EXPECT_TRUE(gap.referenceAccessible);
+  }
+}
+
+TEST(Campaign, DeterministicAcrossThreadCounts) {
+  const rsn::Network net = rsn::makeFig1Network();
+  setThreadCount(1);
+  const std::string serial = reportString(net, runCampaign(net));
+  setThreadCount(4);
+  const std::string parallel = reportString(net, runCampaign(net));
+  setThreadCount(0);  // restore the environment-configured pool
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Campaign, SampledCampaignIsDeterministicSubset) {
+  const rsn::Network net = rsn::makeFig1Network();
+  campaign::CampaignConfig config;
+  config.sample = 5;
+  config.seed = 7;
+  campaign::CampaignEngine a(net, config), b(net, config);
+  ASSERT_EQ(a.universe().size(), 5u);
+  const std::string ra = reportString(net, a.run());
+  const std::string rb = reportString(net, b.run());
+  EXPECT_EQ(ra, rb);
+}
+
+TEST(Campaign, CheckpointResumeMatchesUninterruptedRun) {
+  const rsn::Network net = rsn::makeFig1Network();
+  const std::string path = checkpointPath("resume");
+  std::remove(path.c_str());
+
+  const std::string uninterrupted = reportString(net, runCampaign(net));
+
+  // First run: small batches, cancel after the first finished batch.
+  CancellationToken cancel;
+  campaign::CampaignConfig config;
+  config.checkpointPath = path;
+  config.checkpointEvery = 4;
+  config.cancel = &cancel;
+  config.progress = [&](std::size_t done, std::size_t) {
+    if (done >= 4) cancel.cancel();
+  };
+  const campaign::CampaignResult partial = runCampaign(net, config);
+  const campaign::CampaignSummary ps = partial.summary();
+  EXPECT_FALSE(ps.complete());
+  EXPECT_GE(ps.faultsDone, 4u);
+
+  // Second run: fresh engine, same checkpoint, no cancellation.
+  campaign::CampaignConfig resume;
+  resume.checkpointPath = path;
+  resume.checkpointEvery = 4;
+  const campaign::CampaignResult final = runCampaign(net, resume);
+  EXPECT_TRUE(final.summary().complete());
+  EXPECT_EQ(reportString(net, final), uninterrupted);
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, CheckpointRejectsDifferentConfiguration) {
+  const rsn::Network net = rsn::makeFig1Network();
+  const std::string path = checkpointPath("fingerprint");
+  std::remove(path.c_str());
+
+  campaign::CampaignConfig config;
+  config.checkpointPath = path;
+  (void)runCampaign(net, config);
+
+  // Same file, different campaign shape: the fingerprint must not match.
+  campaign::CampaignConfig other = config;
+  other.sample = 3;
+  EXPECT_THROW((void)runCampaign(net, other), IoError);
+
+  // A different network must be rejected too.
+  campaign::CampaignConfig sameShape;
+  sameShape.checkpointPath = path;
+  EXPECT_THROW((void)runCampaign(rsn::makeTinyNetwork(), sameShape), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, ExcludedPrimitivesShrinkTheUniverse) {
+  const rsn::Network net = rsn::makeFig1Network();
+  const std::size_t all =
+      campaign::CampaignEngine(net).universe().size();
+
+  campaign::CampaignConfig config;
+  config.excludePrimitives = DynamicBitset(net.primitiveCount());
+  config.excludePrimitives.set(net.linearId(
+      rsn::PrimitiveRef{rsn::PrimitiveRef::Kind::Segment, net.findSegment("c0")}));
+  campaign::CampaignEngine engine(net, config);
+  EXPECT_LT(engine.universe().size(), all);
+  for (const fault::Fault& f : engine.universe()) {
+    EXPECT_FALSE(f.kind == fault::FaultKind::SegmentBreak &&
+                 f.prim == net.findSegment("c0"));
+  }
+  // The excluded-universe campaign reports no break(c0) record at all.
+  const campaign::CampaignResult result =
+      campaign::CampaignEngine(net, config).run();
+  EXPECT_EQ(result.records.size(), engine.universe().size());
+}
+
+TEST(Campaign, AugmentedTopologyRecoversAccesses) {
+  // The fault-tolerant baseline adds TAP-controlled skip paths; the
+  // bounded reroute search must use them, classifying accesses that the
+  // nominal recipe loses as Recovered — and still match the expectation.
+  const harden::FaultTolerantRsn ft =
+      harden::augmentFaultTolerant(rsn::makeFig1Network());
+  const campaign::CampaignResult result = runCampaign(ft.network);
+  const campaign::CampaignSummary s = result.summary();
+  EXPECT_TRUE(s.complete());
+  EXPECT_GT(s.readRecovered + s.writeRecovered, 0u);
+  EXPECT_EQ(s.segmentBreakMismatches, 0u);
+  EXPECT_EQ(s.muxStuckMismatches, 0u);
+}
+
+TEST(Campaign, NoRerouteMeansNoRecovered) {
+  const harden::FaultTolerantRsn ft =
+      harden::augmentFaultTolerant(rsn::makeFig1Network());
+  campaign::CampaignConfig config;
+  config.retarget.allowReroute = false;
+  const campaign::CampaignSummary s = runCampaign(ft.network, config).summary();
+  EXPECT_EQ(s.readRecovered + s.writeRecovered, 0u);
+}
+
+TEST(Campaign, ReportJsonIsCanonical) {
+  const rsn::Network net = rsn::makeTinyNetwork();
+  const campaign::CampaignResult result = runCampaign(net);
+  const std::string a = reportString(net, result);
+  const std::string b = reportString(net, result);
+  EXPECT_EQ(a, b);
+  const json::Value doc = json::parse(a);
+  EXPECT_EQ(doc.at("network").asString(), "tiny");
+  EXPECT_EQ(doc.at("summary").at("segment_break_mismatches").asUnsigned(), 0u);
+  EXPECT_EQ(doc.at("summary").at("mux_stuck_mismatches").asUnsigned(), 0u);
+}
+
+}  // namespace
+}  // namespace rrsn

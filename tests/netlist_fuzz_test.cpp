@@ -1,0 +1,181 @@
+// Robustness corpus for the netlist front end.
+//
+// Every malformed input below must be rejected with ParseError or
+// ValidationError — never a crash, a hang, an uncaught std exception or
+// a silently mis-built network.  The corpus covers the failure classes
+// a fuzzer finds first: truncated blocks, duplicate names, muxes
+// controlled from inside their own branches, absurd or truncating
+// segment lengths, NUL bytes and overlong tokens, and pathological
+// nesting that would otherwise exhaust the parser stack.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rsn/netlist_io.hpp"
+#include "rsn/network.hpp"
+#include "support/error.hpp"
+
+namespace rrsn {
+namespace {
+
+/// The netlist must be rejected with the library's input-error types.
+void expectRejected(const std::string& text, const std::string& label) {
+  try {
+    (void)rsn::parseNetlistString(text);
+    FAIL() << label << ": malformed netlist was accepted";
+  } catch (const ParseError&) {
+  } catch (const ValidationError&) {
+  } catch (const std::exception& e) {
+    FAIL() << label << ": wrong exception type: " << e.what();
+  }
+}
+
+TEST(NetlistFuzz, TruncatedBlocks) {
+  const std::vector<std::string> corpus = {
+      "",
+      "network",
+      "network n",
+      "network n {",
+      "network n { chain {",
+      "network n { segment s",
+      "network n { segment s len=",
+      "network n { segment s len=4",
+      "network n { sib s {",
+      "network n { sib s { segment a; }",
+      "network n { mux m { branch { wire; }",
+      "network n { mux m { branch { segment a; } branch {",
+      "network n { chain { segment a; } ",  // missing closing '}'
+  };
+  for (const std::string& text : corpus) expectRejected(text, text);
+}
+
+TEST(NetlistFuzz, TrailingGarbage) {
+  expectRejected("network n { segment a; } }", "extra brace");
+  expectRejected("network n { segment a; } network m { segment b; }",
+                 "second network");
+  expectRejected("network n { segment a; } garbage", "trailing word");
+}
+
+TEST(NetlistFuzz, DuplicateNames) {
+  expectRejected("network n { chain { segment a; segment a; } }",
+                 "duplicate segment");
+  expectRejected(
+      "network n { chain {"
+      " mux m { branch { segment a; } branch { wire; } }"
+      " mux m { branch { segment b; } branch { wire; } } } }",
+      "duplicate mux");
+  expectRejected(
+      "network n { chain {"
+      " segment a instrument=i; segment b instrument=i; } }",
+      "duplicate instrument");
+  expectRejected("network n { chain { sib s { wire; } segment s; } }",
+                 "sib register name reused by a segment");
+}
+
+TEST(NetlistFuzz, SelfReferentialMuxControl) {
+  // The control register sits inside the mux's own branch: selecting the
+  // branch would require a write that needs the selection already made.
+  expectRejected(
+      "network n { mux m ctrl=c {"
+      " branch { segment c; } branch { wire; } } }",
+      "control segment in first branch");
+  expectRejected(
+      "network n { mux m ctrl=c {"
+      " branch { wire; } branch { chain { segment x; segment c; } } } }",
+      "control segment nested in second branch");
+  // Forward reference to a segment declared after the mux is equally
+  // invalid (the builder resolves ctrl against already-known segments).
+  expectRejected(
+      "network n { chain {"
+      " mux m ctrl=later { branch { segment a; } branch { wire; } }"
+      " segment later; } }",
+      "forward control reference");
+  expectRejected("network n { mux m ctrl=ghost { branch { segment a; }"
+                 " branch { wire; } } }",
+                 "unknown control segment");
+}
+
+TEST(NetlistFuzz, AbsurdSegmentLengths) {
+  expectRejected("network n { segment s len=0; }", "zero length");
+  expectRejected("network n { segment s len=4294967297; }",
+                 "length that truncates to 1 in 32 bits");
+  expectRejected("network n { segment s len=18446744073709551615; }",
+                 "uint64 max length");
+  expectRejected("network n { segment s len=99999999999999999999999999; }",
+                 "length overflowing uint64");
+  expectRejected("network n { segment s len=1048577; }",
+                 "length beyond the documented cap");
+  // The cap itself is representable and must still parse.
+  EXPECT_NO_THROW(
+      (void)rsn::parseNetlistString("network n { segment s len=1048576; }"));
+}
+
+TEST(NetlistFuzz, HostileTokens) {
+  expectRejected(std::string("network n { segment ") + '\0' + "; }",
+                 "NUL byte as a name");
+  expectRejected(std::string("network n { segment a") + '\0' + "b; }",
+                 "NUL byte inside a name");
+  expectRejected(std::string("network n { segment ") + '\x01' + "bad; }",
+                 "control character");
+  expectRejected("network n { segment s len=--4; }", "mangled number");
+  expectRejected("network n { segment s foo=1; }", "unknown attribute");
+  expectRejected("network n { mux m foo=1 { branch { segment a; }"
+                 " branch { wire; } } }",
+                 "unknown mux attribute");
+  const std::string longName(5000, 'a');
+  expectRejected("network n { segment " + longName + "; }", "overlong token");
+  expectRejected("network " + longName + " { segment s; }",
+                 "overlong network name");
+}
+
+TEST(NetlistFuzz, PathologicalNesting) {
+  // Deeper than any real design; must fail fast, not smash the stack.
+  std::string deep = "network n { ";
+  for (int i = 0; i < 5000; ++i) deep += "chain { ";
+  deep += "segment s;";
+  for (int i = 0; i < 5000; ++i) deep += " }";
+  deep += " }";
+  expectRejected(deep, "5000-deep chain nesting");
+
+  std::string deepSib = "network n { ";
+  for (int i = 0; i < 5000; ++i)
+    deepSib += "sib s" + std::to_string(i) + " { ";
+  deepSib += "segment x;";
+  for (int i = 0; i < 5000; ++i) deepSib += " }";
+  deepSib += " }";
+  expectRejected(deepSib, "5000-deep sib nesting");
+}
+
+TEST(NetlistFuzz, DegenerateMuxes) {
+  expectRejected("network n { mux m { } }", "mux without branches");
+  expectRejected("network n { mux m { branch { segment a; } } }",
+                 "single-branch mux");
+  expectRejected("network n { mux m { branch { wire; } branch { wire; } } }",
+                 "mux selecting only wires");
+}
+
+TEST(NetlistFuzz, ValidInputsStillParse) {
+  // The hardening must not reject the constructs the writer emits.
+  const std::string text =
+      "network ok {\n"
+      "  chain {\n"
+      "    segment head len=2;\n"
+      "    sib gate {\n"
+      "      mux sel ctrl=head {\n"
+      "        branch { segment a len=4 instrument=ia; }\n"
+      "        branch { segment b len=8 instrument=ib; }\n"
+      "      }\n"
+      "    }\n"
+      "  }\n"
+      "}\n";
+  const rsn::Network net = rsn::parseNetlistString(text);
+  EXPECT_EQ(net.name(), "ok");
+  EXPECT_EQ(net.instruments().size(), 2u);
+  // Round trip: writer output re-parses to an identical netlist.
+  const std::string out = rsn::netlistToString(net);
+  EXPECT_EQ(out, rsn::netlistToString(rsn::parseNetlistString(out)));
+}
+
+}  // namespace
+}  // namespace rrsn

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "harden/fault_tolerant.hpp"
 #include "rsn/example_networks.hpp"
 #include "sim/retarget.hpp"
 #include "sim/simulator.hpp"
@@ -258,6 +259,118 @@ TEST(PatternCompatibility, ReplayDetectsDivergentNetwork) {
   const rsn::Network other = rsn::makeTinyNetwork();
   ScanSimulator simB(other);
   EXPECT_FALSE(replayPatterns(simB, res));
+}
+
+// Pattern compatibility under an injected fault: a recorded access whose
+// path avoids the defect replays bit-exactly on the (topology-identical)
+// hardened network even when the same fault is present there.  Checked
+// on both example networks.
+TEST(PatternCompatibility, ReplaysUnderFaultOnHardenedTopology) {
+  struct Case {
+    rsn::Network net;
+    const char* instrument;
+    const char* brokenSegment;
+  };
+  // fig1: break seg_i3, access i2 (different branch of the inner chain);
+  // tiny: break seg_a, access inst_b (mx can bypass seg_a entirely).
+  Case cases[] = {{makeFig1Network(), "i2", "seg_i3"},
+                  {rsn::makeTinyNetwork(), "inst_b", "seg_a"}};
+  for (Case& c : cases) {
+    const Fault f = Fault::segmentBreak(c.net.findSegment(c.brokenSegment));
+    ScanSimulator simA(c.net);
+    simA.injectFault(f);
+    Retargeter rtA(simA);
+    const auto i = c.net.findInstrument(c.instrument);
+    const auto res = rtA.readInstrument(i);
+    ASSERT_TRUE(res.success) << c.net.name();
+
+    // The hardened network shares the topology (hardening never changes
+    // it); the recorded patterns must replay bit for bit, fault and all.
+    ScanSimulator simB(c.net);
+    simB.injectFault(f);
+    simB.setInstrumentValue(
+        i, accessMarker(c.net.segment(c.net.instrument(i).segment).length));
+    EXPECT_TRUE(replayPatterns(simB, res)) << c.net.name();
+  }
+}
+
+TEST(PatternCompatibility, ReplayFailsOnAugmentedTopology) {
+  // The fault-tolerant augmentation inserts skip multiplexers, changing
+  // the scan path lengths: patterns recorded on the original network
+  // must NOT replay (the paper's compatibility argument, Sec. II).
+  for (const rsn::Network& net : {makeFig1Network(), rsn::makeTinyNetwork()}) {
+    ScanSimulator simA(net);
+    Retargeter rtA(simA);
+    ASSERT_FALSE(net.instruments().empty());
+    const auto res = rtA.readInstrument(static_cast<rsn::InstrumentId>(0));
+    ASSERT_TRUE(res.success) << net.name();
+
+    const harden::FaultTolerantRsn ft = harden::augmentFaultTolerant(net);
+    ScanSimulator simB(ft.network);
+    EXPECT_FALSE(replayPatterns(simB, res)) << net.name();
+  }
+}
+
+// ------------------------------------------------- bounded retargeting
+
+TEST(RetargetBounds, StuckAddressFaultFailsInsteadOfLooping) {
+  // break(c0) leaves m0's address register permanently poisoned after
+  // the first CSU round — the configuration can never converge.  The
+  // engine must give up within its round budget and report failure, not
+  // iterate forever.
+  const rsn::Network net = makeFig1Network();
+  ScanSimulator sim(net);
+  sim.injectFault(Fault::segmentBreak(net.findSegment("c0")));
+  RetargetOptions options;
+  options.maxRounds = 3;
+  Retargeter engine(sim, options);
+  const auto res = engine.readInstrument(net.findInstrument("i1"));
+  EXPECT_FALSE(res.success);
+  EXPECT_LE(res.rounds, 3u);
+}
+
+TEST(RetargetBounds, StuckMuxWriteFailsWithinRoundCap) {
+  // m_sb1 stuck on the bypass: the SIB can never open, so i1 stays
+  // unreachable no matter how many rounds are granted.
+  const rsn::Network net = makeFig1Network();
+  ScanSimulator sim(net);
+  sim.injectFault(Fault::muxStuck(net.findMux("sb1_mux"), 0));
+  RetargetOptions options;
+  options.maxRounds = 5;
+  Retargeter engine(sim, options);
+  const auto res = engine.writeInstrument(
+      net.findInstrument("i1"),
+      accessMarker(net.segment(net.findSegment("seg_i1")).length));
+  EXPECT_FALSE(res.success);
+  EXPECT_LE(res.rounds, 5u);
+}
+
+TEST(RetargetBounds, RerouteBudgetIsHonored) {
+  // With rerouting disabled the engine only tries the nominal recipe;
+  // allowing it again on the augmented topology recovers the access.
+  const harden::FaultTolerantRsn ft =
+      harden::augmentFaultTolerant(makeFig1Network());
+  const rsn::Network& net = ft.network;
+  const Fault f = Fault::segmentBreak(net.findSegment("c2"));
+
+  ScanSimulator noReroute(net);
+  noReroute.injectFault(f);
+  RetargetOptions off;
+  off.allowReroute = false;
+  const auto denied =
+      Retargeter(noReroute, off).readInstrument(net.findInstrument("i3"));
+
+  ScanSimulator withReroute(net);
+  withReroute.injectFault(f);
+  const auto recovered =
+      Retargeter(withReroute).readInstrument(net.findInstrument("i3"));
+  ASSERT_TRUE(recovered.success);
+  if (denied.success) {
+    // If even the nominal recipe works, the reroute flag must be clear.
+    EXPECT_FALSE(denied.rerouted);
+  } else {
+    EXPECT_TRUE(recovered.rerouted);
+  }
 }
 
 }  // namespace

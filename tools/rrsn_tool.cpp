@@ -12,22 +12,35 @@
 //                                                stuck:<mux>:<branch>)
 //   rrsn_tool diagnose <netlist> --fault F       build the fault dictionary and
 //                                                diagnose the injected fault
+//   rrsn_tool campaign <netlist> [options]       fault-injection campaign:
+//                                                simulate every (fault,
+//                                                instrument) access, classify
+//                                                accessible / recovered / lost
+//                                                and cross-validate against the
+//                                                structural oracles.  Options:
+//                                                --sample N, --deadline-ms N,
+//                                                --checkpoint file, --batch N,
+//                                                --csv file, --json file,
+//                                                --max-reroutes N, --no-reroute
 //   rrsn_tool bench   <name>                     emit a Table-I benchmark as a
 //                                                netlist on stdout
 //
 // Common options: --spec <file> (explicit damage weights), --seed N
 // (random spec / EA seed), --generations N, --population N, --top K.
-// `<netlist>` of "-" reads from stdin.
+// `<netlist>` of "-" reads from stdin; "example:fig1" / "example:tiny"
+// resolve the built-in example networks.
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 
 #include "benchgen/registry.hpp"
+#include "campaign/campaign.hpp"
 #include "crit/analyzer.hpp"
 #include "diag/diagnosis.hpp"
 #include "harden/hardening.hpp"
 #include "moo/spea2.hpp"
+#include "rsn/example_networks.hpp"
 #include "rsn/graph_view.hpp"
 #include "rsn/netlist_io.hpp"
 #include "sim/retarget.hpp"
@@ -49,13 +62,25 @@ struct Options {
   std::size_t generations = 300;
   std::size_t population = 100;
   std::size_t top = 10;
+  // campaign options
+  std::size_t sample = 0;
+  std::size_t deadlineMs = 0;
+  std::size_t batch = 32;
+  std::size_t maxReroutes = 8;
+  bool noReroute = false;
+  std::optional<std::string> checkpoint;
+  std::optional<std::string> csvOut;
+  std::optional<std::string> jsonOut;
 };
 
 [[noreturn]] void usage() {
   std::cerr
       << "usage: rrsn_tool <info|dot|tree|analyze|harden|access|diagnose|"
-         "bench> <netlist|name> [args] [--spec file] [--fault F] [--seed N] "
-         "[--generations N] [--population N] [--top K] [--plan-out file]\n";
+         "campaign|bench> <netlist|name> [args] [--spec file] [--fault F] "
+         "[--seed N] [--generations N] [--population N] [--top K] "
+         "[--plan-out file] [--sample N] [--deadline-ms N] [--checkpoint file] "
+         "[--batch N] [--csv file] [--json file] [--max-reroutes N] "
+         "[--no-reroute]\n";
   std::exit(2);
 }
 
@@ -78,6 +103,16 @@ Options parseArgs(int argc, char** argv) {
     else if (arg == "--population")
       opt.population = parseUnsigned(value(), "--population");
     else if (arg == "--top") opt.top = parseUnsigned(value(), "--top");
+    else if (arg == "--sample") opt.sample = parseUnsigned(value(), "--sample");
+    else if (arg == "--deadline-ms")
+      opt.deadlineMs = parseUnsigned(value(), "--deadline-ms");
+    else if (arg == "--batch") opt.batch = parseUnsigned(value(), "--batch");
+    else if (arg == "--max-reroutes")
+      opt.maxReroutes = parseUnsigned(value(), "--max-reroutes");
+    else if (arg == "--no-reroute") opt.noReroute = true;
+    else if (arg == "--checkpoint") opt.checkpoint = value();
+    else if (arg == "--csv") opt.csvOut = value();
+    else if (arg == "--json") opt.jsonOut = value();
     else if (!arg.empty() && arg[0] == '-' && arg != "-") usage();
     else opt.positional.push_back(arg);
   }
@@ -87,6 +122,10 @@ Options parseArgs(int argc, char** argv) {
 
 rsn::Network loadNetwork(const std::string& path) {
   if (path == "-") return rsn::parseNetlist(std::cin);
+  // `example:<name>` resolves the built-in example networks, so every
+  // command (campaign in particular) can run on them without a file.
+  if (path == "example:fig1") return rsn::makeFig1Network();
+  if (path == "example:tiny") return rsn::makeTinyNetwork();
   std::ifstream in(path);
   if (!in) throw Error("cannot open netlist '" + path + "'");
   return rsn::parseNetlist(in);
@@ -244,6 +283,78 @@ int cmdDiagnose(const Options& opt) {
   return 0;
 }
 
+int cmdCampaign(const Options& opt) {
+  const rsn::Network net = loadNetwork(opt.positional[0]);
+
+  campaign::CampaignConfig config;
+  config.sample = opt.sample;
+  config.seed = opt.seed;
+  config.retarget.allowReroute = !opt.noReroute;
+  config.retarget.maxReroutes = opt.maxReroutes;
+  config.checkpointEvery = opt.batch;
+  if (opt.checkpoint) config.checkpointPath = *opt.checkpoint;
+
+  CancellationToken cancel;
+  if (opt.deadlineMs != 0)
+    cancel.setDeadlineFromNow(
+        std::chrono::milliseconds(static_cast<std::int64_t>(opt.deadlineMs)));
+  config.cancel = &cancel;
+  config.progress = [](std::size_t done, std::size_t total) {
+    std::cerr << "campaign: " << done << "/" << total << " faults\n";
+  };
+
+  campaign::CampaignEngine engine(net, std::move(config));
+  const campaign::CampaignResult result = engine.run();
+  const campaign::CampaignSummary s = result.summary();
+
+  std::cout << "network: " << net.name() << " — " << s.faultsDone << "/"
+            << s.faultsTotal << " faults x " << s.instruments
+            << " instruments\n\n"
+            << campaign::summaryTable(s).render() << '\n';
+  const auto items = result.mismatches();
+  if (!items.empty()) {
+    std::cout << "\nexpected-vs-simulated MISMATCHES (" << items.size()
+              << "; these indicate an engine or analysis bug):\n"
+              << campaign::mismatchTable(net, items).render();
+  } else if (s.faultsDone > 0) {
+    std::cout << "\nno expected-vs-simulated mismatches\n";
+  }
+  const auto gaps = result.structuralGaps();
+  if (!gaps.empty()) {
+    std::cout << "\ncontrol-dependency gaps vs the plain structural oracle ("
+              << gaps.size() << "; documented, itemized):\n"
+              << campaign::mismatchTable(net, gaps).render();
+  }
+  if (s.oracleDisagreements != 0) {
+    std::cout << "\nWARNING: tree and graph oracles disagreed on "
+              << s.oracleDisagreements << " (fault, instrument) pairs\n";
+  }
+
+  if (opt.csvOut) {
+    std::ofstream out(*opt.csvOut);
+    RRSN_CHECK(static_cast<bool>(out),
+               "cannot write csv '" + *opt.csvOut + "'");
+    out << campaign::outcomeTable(net, result).renderCsv();
+    std::cout << "\nper-fault outcomes written to " << *opt.csvOut << '\n';
+  }
+  if (opt.jsonOut) {
+    std::ofstream out(*opt.jsonOut);
+    RRSN_CHECK(static_cast<bool>(out),
+               "cannot write json '" + *opt.jsonOut + "'");
+    out << json::serialize(campaign::reportJson(net, result), 1) << '\n';
+    std::cout << "report written to " << *opt.jsonOut << '\n';
+  }
+  if (!s.complete()) {
+    std::cout << "\ncampaign interrupted by deadline after " << s.faultsDone
+              << "/" << s.faultsTotal << " faults";
+    if (opt.checkpoint)
+      std::cout << "; rerun with the same --checkpoint to resume";
+    std::cout << '\n';
+    return 1;
+  }
+  return 0;
+}
+
 int cmdBench(const Options& opt) {
   const rsn::Network net = benchgen::buildBenchmark(opt.positional[0]);
   rsn::writeNetlist(std::cout, net);
@@ -262,6 +373,7 @@ int main(int argc, char** argv) {
     if (opt.command == "harden") return cmdHarden(opt);
     if (opt.command == "access") return cmdAccess(opt);
     if (opt.command == "diagnose") return cmdDiagnose(opt);
+    if (opt.command == "campaign") return cmdCampaign(opt);
     if (opt.command == "bench") return cmdBench(opt);
     usage();
   } catch (const rrsn::Error& e) {
