@@ -4,8 +4,10 @@
 // avoid), genome variation operators and one SPEA-2 generation.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <fstream>
 #include <map>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "benchgen/registry.hpp"
@@ -84,11 +86,14 @@ void BM_GraphOracleSingleFault(benchmark::State& state,
   }
 }
 
-void BM_GenomeCrossover(benchmark::State& state) {
+// Density 0.05 keeps the parents in the sparse representation; 0.3 puts
+// them in the dense (word-packed) one — the two rows of the hybrid
+// genome's crossover matrix.
+void runGenomeCrossover(benchmark::State& state, double density) {
   const auto bits = static_cast<std::size_t>(state.range(0));
   Rng rng(5);
-  const auto a = moo::Genome::random(bits, 0.05, rng);
-  const auto b = moo::Genome::random(bits, 0.05, rng);
+  const auto a = moo::Genome::random(bits, density, rng);
+  const auto b = moo::Genome::random(bits, density, rng);
   std::size_t point = 0;
   for (auto _ : state) {
     auto child = moo::Genome::crossover(a, b, point);
@@ -97,13 +102,133 @@ void BM_GenomeCrossover(benchmark::State& state) {
   }
 }
 
-void BM_GenomeMutate(benchmark::State& state) {
+void BM_GenomeCrossover(benchmark::State& state) {
+  runGenomeCrossover(state, 0.05);
+}
+
+void BM_GenomeCrossoverDense(benchmark::State& state) {
+  runGenomeCrossover(state, 0.3);
+}
+
+void runGenomeMutate(benchmark::State& state, double density) {
   const auto bits = static_cast<std::size_t>(state.range(0));
   Rng rng(5);
-  auto g = moo::Genome::random(bits, 0.05, rng);
+  auto g = moo::Genome::random(bits, density, rng);
   for (auto _ : state) {
     g.mutatePerBit(0.01, rng);
     benchmark::DoNotOptimize(g.ones());
+  }
+}
+
+void BM_GenomeMutate(benchmark::State& state) { runGenomeMutate(state, 0.05); }
+
+void BM_GenomeMutateDense(benchmark::State& state) {
+  runGenomeMutate(state, 0.3);
+}
+
+moo::LinearBiProblem syntheticProblem(std::size_t bits) {
+  Rng rng(11);
+  moo::LinearBiProblem p;
+  p.cost.reserve(bits);
+  p.gain.reserve(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    p.cost.push_back(rng.below(1000) + 1);
+    p.gain.push_back(rng.below(1000) + 1);
+  }
+  return p;
+}
+
+/// A crossover child's objectives the old way: materialize the child and
+/// re-scan all of its one-bits.
+void runCrossoverObjectivesFull(benchmark::State& state, double density) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const auto problem = syntheticProblem(bits);
+  const std::uint64_t damageTotal = problem.damageTotal();
+  Rng rng(5);
+  const auto a = moo::Genome::random(bits, density, rng);
+  const auto b = moo::Genome::random(bits, density, rng);
+  std::size_t point = 0;
+  for (auto _ : state) {
+    const auto child = moo::Genome::crossover(a, b, point);
+    const auto obj = moo::evaluate(problem, child, damageTotal);
+    benchmark::DoNotOptimize(obj.cost);
+    point = (point + bits / 7 + 1) % (bits + 1);
+  }
+}
+
+/// The same objectives from the parents' WeightIndex prefix sums — two
+/// O(log ones) lookups, no child scan.
+void runCrossoverObjectivesIndexed(benchmark::State& state, double density) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const auto problem = syntheticProblem(bits);
+  const std::uint64_t damageTotal = problem.damageTotal();
+  Rng rng(5);
+  const auto a = moo::Genome::random(bits, density, rng);
+  const auto b = moo::Genome::random(bits, density, rng);
+  const moo::WeightIndex& ia = a.weightIndex(problem);
+  const moo::WeightIndex& ib = b.weightIndex(problem);
+  std::size_t point = 0;
+  for (auto _ : state) {
+    const auto pa = ia.below(a, point);
+    const auto pb = ib.below(b, point);
+    moo::Objectives obj;
+    obj.cost = pa.cost + (ib.total().cost - pb.cost);
+    obj.damage = damageTotal - (pa.gain + (ib.total().gain - pb.gain));
+    benchmark::DoNotOptimize(obj.cost);
+    point = (point + bits / 7 + 1) % (bits + 1);
+  }
+}
+
+void BM_CrossoverObjectivesFullSparse(benchmark::State& state) {
+  runCrossoverObjectivesFull(state, 0.05);
+}
+void BM_CrossoverObjectivesFullDense(benchmark::State& state) {
+  runCrossoverObjectivesFull(state, 0.3);
+}
+void BM_CrossoverObjectivesIndexedSparse(benchmark::State& state) {
+  runCrossoverObjectivesIndexed(state, 0.05);
+}
+void BM_CrossoverObjectivesIndexedDense(benchmark::State& state) {
+  runCrossoverObjectivesIndexed(state, 0.3);
+}
+
+/// Post-mutation objectives the old way: full O(ones) re-evaluation.
+void BM_MutateObjectivesFull(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const auto problem = syntheticProblem(bits);
+  const std::uint64_t damageTotal = problem.damageTotal();
+  Rng rng(5);
+  auto g = moo::Genome::random(bits, 0.3, rng);
+  for (auto _ : state) {
+    g.mutatePerBit(0.01, rng);
+    const auto obj = moo::evaluate(problem, g, damageTotal);
+    benchmark::DoNotOptimize(obj.cost);
+  }
+}
+
+/// Post-mutation objectives incrementally: +-weight deltas in O(flips).
+void BM_MutateObjectivesIncremental(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const auto problem = syntheticProblem(bits);
+  const std::uint64_t damageTotal = problem.damageTotal();
+  Rng rng(5);
+  auto g = moo::Genome::random(bits, 0.3, rng);
+  moo::Objectives obj = moo::evaluate(problem, g, damageTotal);
+  for (auto _ : state) {
+    const std::uint64_t draw = rng.binomial(bits, 0.01);
+    const auto sampled =
+        rng.sampleIndices(bits, std::min<std::size_t>(draw, bits));
+    const std::vector<std::uint32_t> flips(sampled.begin(), sampled.end());
+    g.applyFlips(flips, [&](std::uint32_t idx, bool nowSet) {
+      if (nowSet) {
+        obj.cost += problem.cost[idx];
+        obj.damage -= problem.gain[idx];
+      } else {
+        obj.cost -= problem.cost[idx];
+        obj.damage += problem.gain[idx];
+      }
+    });
+    benchmark::DoNotOptimize(obj.cost);
   }
 }
 
@@ -182,8 +307,39 @@ int main(int argc, char** argv) {
       ->Arg(1 << 10)
       ->Arg(1 << 16)
       ->Arg(1 << 20);
+  benchmark::RegisterBenchmark("GenomeCrossoverDense", BM_GenomeCrossoverDense)
+      ->Arg(1 << 10)
+      ->Arg(1 << 16)
+      ->Arg(1 << 20);
   benchmark::RegisterBenchmark("GenomeMutate", BM_GenomeMutate)
       ->Arg(1 << 10)
+      ->Arg(1 << 16)
+      ->Arg(1 << 20);
+  benchmark::RegisterBenchmark("GenomeMutateDense", BM_GenomeMutateDense)
+      ->Arg(1 << 10)
+      ->Arg(1 << 16)
+      ->Arg(1 << 20);
+  benchmark::RegisterBenchmark("CrossoverObjectivesFull/sparse",
+                               BM_CrossoverObjectivesFullSparse)
+      ->Arg(1 << 16)
+      ->Arg(1 << 20);
+  benchmark::RegisterBenchmark("CrossoverObjectivesFull/dense",
+                               BM_CrossoverObjectivesFullDense)
+      ->Arg(1 << 16)
+      ->Arg(1 << 20);
+  benchmark::RegisterBenchmark("CrossoverObjectivesIndexed/sparse",
+                               BM_CrossoverObjectivesIndexedSparse)
+      ->Arg(1 << 16)
+      ->Arg(1 << 20);
+  benchmark::RegisterBenchmark("CrossoverObjectivesIndexed/dense",
+                               BM_CrossoverObjectivesIndexedDense)
+      ->Arg(1 << 16)
+      ->Arg(1 << 20);
+  benchmark::RegisterBenchmark("MutateObjectivesFull", BM_MutateObjectivesFull)
+      ->Arg(1 << 16)
+      ->Arg(1 << 20);
+  benchmark::RegisterBenchmark("MutateObjectivesIncremental",
+                               BM_MutateObjectivesIncremental)
       ->Arg(1 << 16)
       ->Arg(1 << 20);
   registerNamed("Spea2Generation/q12710", BM_Spea2Generation, "q12710");

@@ -1,5 +1,24 @@
 // Shared scaffolding of the evolutionary optimizers (SPEA-2, NSGA-II):
 // option block, population initialization and variation operators.
+//
+// Variation is split into two halves so the mating loop can fan out on
+// the thread pool without losing reproducibility:
+//
+//  * drawVariationPlan — consumes ALL randomness for one offspring
+//    (tournament indices, crossover coin and point, mutation positions)
+//    on the calling thread, in exactly the order of the historical
+//    serial loop;
+//  * applyVariationPlan — materializes one plan into an offspring.
+//    Deterministic and side-effect-free given the plan, so plans can be
+//    applied concurrently in any order with results bit-identical at
+//    any RRSN_THREADS — including byte-identical Pareto fronts against
+//    the old fully-serial loop at a fixed seed.
+//
+// applyVariationPlan also never re-scans the child: a crossover child's
+// objectives come from the parents' WeightIndex prefix sums (two
+// O(log ones) lookups), and each mutation flip adjusts them by the
+// flipped bit's +-(cost, gain) in O(1).  Debug builds cross-check the
+// incremental objectives against a full evaluate() of every offspring.
 #pragma once
 
 #include <cstddef>
@@ -7,6 +26,7 @@
 #include <vector>
 
 #include "moo/pareto.hpp"
+#include "support/parallel.hpp"
 
 namespace rrsn::moo {
 
@@ -51,12 +71,90 @@ std::vector<Individual> initialPopulation(const LinearBiProblem& problem,
                                           const EvolutionOptions& options,
                                           Rng& rng);
 
-/// One offspring from two parents: one-point crossover with probability
-/// crossoverProb (otherwise clone of `a`), then per-bit mutation.
-Individual makeOffspring(const LinearBiProblem& problem,
-                         std::uint64_t damageTotal, const Individual& a,
-                         const Individual& b, const EvolutionOptions& options,
-                         Rng& rng);
+/// The pre-drawn recipe for one offspring: parent indices into the
+/// mating pool, the crossover decision, and the sorted distinct bit
+/// positions to flip afterwards.
+struct VariationPlan {
+  std::size_t parentA = 0;
+  std::size_t parentB = 0;
+  bool crossover = false;
+  std::size_t point = 0;               ///< meaningful iff crossover
+  std::vector<std::uint32_t> flips;    ///< ascending distinct positions
+};
+
+/// Draws one plan.  `tournament` returns an index into the mating pool
+/// and may itself consume randomness (binary tournament draws two).
+/// The draw order replays the replaced serial call site byte for byte:
+/// parent B's tournament ran first there (the offspring expression
+/// evaluated its arguments right to left), then parent A's, then the
+/// crossover coin, the cut point, the binomial flip count and the flip
+/// positions.  Keep this order — it is what makes new runs byte-
+/// identical to the committed baseline fronts at a fixed seed.
+template <typename TournamentFn>
+VariationPlan drawVariationPlan(std::size_t bits,
+                                const EvolutionOptions& options,
+                                TournamentFn&& tournament, Rng& rng) {
+  VariationPlan plan;
+  plan.parentB = tournament();
+  plan.parentA = tournament();
+  plan.crossover = rng.chance(options.crossoverProb);
+  if (plan.crossover)
+    plan.point = bits == 0 ? 0 : static_cast<std::size_t>(rng.below(bits + 1));
+  if (bits > 0 && options.mutationProbPerBit > 0.0) {
+    const std::uint64_t draw =
+        rng.binomial(bits, std::min(options.mutationProbPerBit, 1.0));
+    if (draw > 0) {
+      const auto sampled =
+          rng.sampleIndices(bits, std::min<std::size_t>(draw, bits));
+      plan.flips.assign(sampled.begin(), sampled.end());
+    }
+  }
+  return plan;
+}
+
+/// Builds the WeightIndex of every distinct parent referenced by a
+/// crossover plan, fanning the O(ones) builds out on the pool.  Must run
+/// before applyVariationPlan calls are issued concurrently: the lazy
+/// weightIndex() cache is not thread-safe per genome, and two plans may
+/// share a parent.
+void prepareParents(const LinearBiProblem& problem,
+                    const std::vector<Individual>& pool,
+                    const std::vector<VariationPlan>& plans);
+
+/// Materializes one plan: crossover (or clone of parent A), mutation,
+/// objectives — all incremental, no full re-evaluation.  Thread-safe for
+/// concurrent calls over a shared pool once prepareParents ran.
+Individual applyVariationPlan(const LinearBiProblem& problem,
+                              std::uint64_t damageTotal,
+                              const std::vector<Individual>& pool,
+                              const VariationPlan& plan);
+
+/// The full mating step both EAs share: draws `count` plans serially
+/// (preserving the historical randomness order), pre-builds the parent
+/// weight indexes, then materializes all offspring on the thread pool.
+template <typename TournamentFn>
+std::vector<Individual> makeOffspringBatch(const LinearBiProblem& problem,
+                                           std::uint64_t damageTotal,
+                                           const std::vector<Individual>& pool,
+                                           std::size_t count,
+                                           const EvolutionOptions& options,
+                                           TournamentFn&& tournament,
+                                           Rng& rng) {
+  const std::size_t bits = problem.size();
+  std::vector<VariationPlan> plans;
+  plans.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    plans.push_back(drawVariationPlan(bits, options, tournament, rng));
+  prepareParents(problem, pool, plans);
+  std::vector<Individual> offspring(count);
+  parallelFor(
+      count,
+      [&](std::size_t i) {
+        offspring[i] = applyVariationPlan(problem, damageTotal, pool, plans[i]);
+      },
+      /*grain=*/1);
+  return offspring;
+}
 
 }  // namespace detail
 }  // namespace rrsn::moo

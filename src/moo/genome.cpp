@@ -1,73 +1,273 @@
 #include "moo/genome.hpp"
 
-#include <algorithm>
-
 namespace rrsn::moo {
 
 Genome::Genome(std::size_t bits, std::vector<std::uint32_t> ones)
-    : bits_(bits), ones_(std::move(ones)) {
-  std::sort(ones_.begin(), ones_.end());
-  ones_.erase(std::unique(ones_.begin(), ones_.end()), ones_.end());
-  RRSN_CHECK(ones_.empty() || ones_.back() < bits_,
+    : bits_(bits), sparse_(std::move(ones)) {
+  std::sort(sparse_.begin(), sparse_.end());
+  sparse_.erase(std::unique(sparse_.begin(), sparse_.end()), sparse_.end());
+  RRSN_CHECK(sparse_.empty() || sparse_.back() < bits_,
              "genome one-position out of range");
+  count_ = sparse_.size();
+  normalizeRep();
+}
+
+Genome Genome::allOnes(std::size_t bits) {
+  Genome g(bits);
+  if (bits == 0) return g;
+  g.dense_ = DynamicBitset(bits);
+  g.dense_.setAll();
+  g.count_ = bits;
+  g.rep_ = Rep::Dense;
+  return g;
 }
 
 Genome Genome::random(std::size_t bits, double density, Rng& rng) {
   Genome g(bits);
   if (bits == 0 || density <= 0.0) return g;
-  const std::uint64_t k = rng.binomial(bits, std::min(density, 1.0));
-  for (std::size_t idx : rng.sampleIndices(bits, std::min<std::size_t>(k, bits)))
-    g.ones_.push_back(static_cast<std::uint32_t>(idx));
+  const std::uint64_t draw = rng.binomial(bits, std::min(density, 1.0));
+  const std::size_t k = std::min<std::size_t>(draw, bits);
+  if (k == 0) return g;
+  // Floyd's draw sequence depends only on (bits, k, rng state), so the
+  // two branches consume identical randomness; dense samples fill the
+  // word storage directly instead of materializing k indices twice.
+  if (k * kDenseBitsPerOne >= bits) {
+    rng.sampleIndicesInto(bits, k, g.dense_);
+    g.count_ = k;
+    g.rep_ = Rep::Dense;
+  } else {
+    const auto sampled = rng.sampleIndices(bits, k);
+    g.sparse_.assign(sampled.begin(), sampled.end());
+    g.count_ = g.sparse_.size();
+  }
   return g;
 }
 
 bool Genome::test(std::uint32_t idx) const {
   RRSN_CHECK(idx < bits_, "genome index out of range");
-  return std::binary_search(ones_.begin(), ones_.end(), idx);
+  if (rep_ == Rep::Dense) return dense_.test(idx);
+  return std::binary_search(sparse_.begin(), sparse_.end(), idx);
 }
 
 void Genome::flip(std::uint32_t idx) {
   RRSN_CHECK(idx < bits_, "genome index out of range");
-  const auto it = std::lower_bound(ones_.begin(), ones_.end(), idx);
-  if (it != ones_.end() && *it == idx)
-    ones_.erase(it);
-  else
-    ones_.insert(it, idx);
+  cache_.reset();
+  if (rep_ == Rep::Dense) {
+    count_ = dense_.flip(idx) ? count_ + 1 : count_ - 1;
+  } else {
+    const auto it = std::lower_bound(sparse_.begin(), sparse_.end(), idx);
+    if (it != sparse_.end() && *it == idx)
+      sparse_.erase(it);
+    else
+      sparse_.insert(it, idx);
+    count_ = sparse_.size();
+  }
+  normalizeRep();
+}
+
+std::vector<std::uint32_t> Genome::indices() const {
+  if (rep_ == Rep::Sparse) return sparse_;
+  std::vector<std::uint32_t> out;
+  out.reserve(count_);
+  dense_.forEachSet(
+      [&](std::size_t i) { out.push_back(static_cast<std::uint32_t>(i)); });
+  return out;
+}
+
+std::size_t Genome::countBelow(std::size_t point) const {
+  RRSN_CHECK(point <= bits_, "prefix point out of range");
+  if (rep_ == Rep::Dense) return dense_.countBelow(point);
+  return static_cast<std::size_t>(
+      std::lower_bound(sparse_.begin(), sparse_.end(),
+                       static_cast<std::uint32_t>(point)) -
+      sparse_.begin());
 }
 
 Genome Genome::crossover(const Genome& a, const Genome& b, std::size_t point) {
   RRSN_CHECK(a.bits_ == b.bits_, "crossover operands must have equal length");
   RRSN_CHECK(point <= a.bits_, "crossover point out of range");
+  return crossoverWithCounts(a, b, point, a.countBelow(point),
+                             b.count_ - b.countBelow(point));
+}
+
+Genome Genome::crossoverWithCounts(const Genome& a, const Genome& b,
+                                   std::size_t point, std::size_t onesPrefixA,
+                                   std::size_t onesSuffixB) {
+  RRSN_CHECK(a.bits_ == b.bits_, "crossover operands must have equal length");
+  RRSN_CHECK(point <= a.bits_, "crossover point out of range");
   Genome child(a.bits_);
-  const auto aEnd = std::lower_bound(a.ones_.begin(), a.ones_.end(),
-                                     static_cast<std::uint32_t>(point));
-  const auto bBegin = std::lower_bound(b.ones_.begin(), b.ones_.end(),
-                                       static_cast<std::uint32_t>(point));
-  child.ones_.assign(a.ones_.begin(), aEnd);
-  child.ones_.insert(child.ones_.end(), bBegin, b.ones_.end());
+  const std::size_t childOnes = onesPrefixA + onesSuffixB;
+  if (childOnes == 0) return child;
+  // Knowing the exact ones count up front lets the child pick its final
+  // representation before any bit is written — no convert-after-build.
+  if (childOnes * kDenseBitsPerOne >= child.bits_) {
+    child.rep_ = Rep::Dense;
+    child.dense_ = DynamicBitset(child.bits_);
+    if (a.rep_ == Rep::Dense && b.rep_ == Rep::Dense) {
+      child.dense_.spliceFrom(a.dense_, b.dense_, point);
+    } else {
+      if (a.rep_ == Rep::Dense)
+        child.dense_.orPrefixFrom(a.dense_, point);
+      else
+        a.forEachOneInRange(0, point,
+                            [&](std::uint32_t i) { child.dense_.set(i); });
+      if (b.rep_ == Rep::Dense)
+        child.dense_.orSuffixFrom(b.dense_, point);
+      else
+        b.forEachOneInRange(point, b.bits_,
+                            [&](std::uint32_t i) { child.dense_.set(i); });
+    }
+    child.count_ = childOnes;
+  } else {
+    child.sparse_.reserve(childOnes);
+    a.forEachOneInRange(
+        0, point, [&](std::uint32_t i) { child.sparse_.push_back(i); });
+    b.forEachOneInRange(
+        point, b.bits_, [&](std::uint32_t i) { child.sparse_.push_back(i); });
+    RRSN_CHECK(child.sparse_.size() == childOnes,
+               "crossover half counts do not match the parents");
+    child.count_ = childOnes;
+  }
   return child;
 }
 
 void Genome::mutatePerBit(double pBit, Rng& rng) {
   if (bits_ == 0 || pBit <= 0.0) return;
-  const std::uint64_t flips = rng.binomial(bits_, std::min(pBit, 1.0));
-  if (flips == 0) return;
-  const auto positions =
-      rng.sampleIndices(bits_, std::min<std::size_t>(flips, bits_));
-  // Symmetric difference of two sorted ranges — O(ones + flips).
-  std::vector<std::uint32_t> merged;
-  merged.reserve(ones_.size() + positions.size());
-  auto it = ones_.begin();
-  for (std::size_t pos : positions) {
-    const auto p = static_cast<std::uint32_t>(pos);
-    while (it != ones_.end() && *it < p) merged.push_back(*it++);
-    if (it != ones_.end() && *it == p)
-      ++it;  // was set -> cleared
-    else
-      merged.push_back(p);  // was clear -> set
+  const std::uint64_t draw = rng.binomial(bits_, std::min(pBit, 1.0));
+  if (draw == 0) return;
+  const auto sampled =
+      rng.sampleIndices(bits_, std::min<std::size_t>(draw, bits_));
+  std::vector<std::uint32_t> flips(sampled.begin(), sampled.end());
+  applyFlips(flips);
+}
+
+bool Genome::operator==(const Genome& other) const {
+  if (bits_ != other.bits_ || count_ != other.count_) return false;
+  if (rep_ == other.rep_) {
+    return rep_ == Rep::Dense ? dense_ == other.dense_
+                              : sparse_ == other.sparse_;
   }
-  merged.insert(merged.end(), it, ones_.end());
-  ones_ = std::move(merged);
+  // Mixed representations: with equal counts, the sparse side being a
+  // subset of the dense side implies equality.
+  const Genome& s = rep_ == Rep::Sparse ? *this : other;
+  const Genome& d = rep_ == Rep::Sparse ? other : *this;
+  for (std::uint32_t i : s.sparse_)
+    if (!d.dense_.test(i)) return false;
+  return true;
+}
+
+void Genome::normalizeRep() {
+  if (bits_ == 0) return;
+  if (rep_ == Rep::Sparse) {
+    if (count_ * kDenseBitsPerOne >= bits_) toDense();
+  } else {
+    if (count_ * kSparseBitsPerOne < bits_) toSparse();
+  }
+}
+
+void Genome::toDense() {
+  dense_ = DynamicBitset(bits_);
+  for (std::uint32_t i : sparse_) dense_.set(i);
+  sparse_.clear();
+  sparse_.shrink_to_fit();
+  rep_ = Rep::Dense;
+}
+
+void Genome::toSparse() {
+  sparse_.clear();
+  sparse_.reserve(count_);
+  dense_.forEachSet(
+      [&](std::size_t i) { sparse_.push_back(static_cast<std::uint32_t>(i)); });
+  dense_ = DynamicBitset();
+  rep_ = Rep::Sparse;
+}
+
+const WeightIndex& Genome::weightIndex(const LinearBiProblem& problem) const {
+  if (cache_ == nullptr)
+    cache_ = std::make_shared<const WeightIndex>(problem, *this);
+  return *cache_;
+}
+
+WeightIndex::WeightIndex(const LinearBiProblem& problem, const Genome& g)
+    : dense_(g.rep_ == Genome::Rep::Dense),
+      cost_(problem.cost.data()),
+      gain_(problem.gain.data()) {
+  RRSN_CHECK(problem.size() == g.bits_,
+             "weight index problem/genome size mismatch");
+  if (dense_) {
+    // Per-word running sums: prefix*_[w] covers bits [0, 64*w).  The
+    // partial word at a query point is resolved by below()'s gather.
+    const std::size_t words = g.dense_.wordCount();
+    prefixCost_.resize(words + 1);
+    prefixGain_.resize(words + 1);
+    prefixOnes_.resize(words + 1);
+    std::uint64_t cost = 0;
+    std::uint64_t gain = 0;
+    std::uint32_t ones = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      prefixCost_[w] = cost;
+      prefixGain_[w] = gain;
+      prefixOnes_[w] = ones;
+      std::uint64_t word = g.dense_.word(w);
+      while (word != 0) {
+        const auto idx = w * 64 + static_cast<std::size_t>(__builtin_ctzll(word));
+        cost += cost_[idx];
+        gain += gain_[idx];
+        ++ones;
+        word &= word - 1;
+      }
+    }
+    prefixCost_[words] = cost;
+    prefixGain_[words] = gain;
+    prefixOnes_[words] = ones;
+    total_ = {cost, gain, ones};
+  } else {
+    // Rank-aligned running sums: prefix*_[r] covers the first r one-bits.
+    const auto& ones = g.sparse_;
+    prefixCost_.resize(ones.size() + 1);
+    prefixGain_.resize(ones.size() + 1);
+    prefixCost_[0] = 0;
+    prefixGain_[0] = 0;
+    for (std::size_t r = 0; r < ones.size(); ++r) {
+      prefixCost_[r + 1] = prefixCost_[r] + cost_[ones[r]];
+      prefixGain_[r + 1] = prefixGain_[r] + gain_[ones[r]];
+    }
+    total_ = {prefixCost_.back(), prefixGain_.back(), ones.size()};
+  }
+}
+
+WeightIndex::Prefix WeightIndex::below(const Genome& g,
+                                       std::size_t point) const {
+  RRSN_CHECK(point <= g.bits_, "prefix point out of range");
+  RRSN_CHECK(dense_ == (g.rep() == Genome::Rep::Dense),
+             "weight index was built for a different representation");
+  Prefix p;
+  if (dense_) {
+    const std::size_t w = point >> 6;
+    p.cost = prefixCost_[w];
+    p.gain = prefixGain_[w];
+    p.ones = prefixOnes_[w];
+    const std::size_t rem = point & 63;
+    if (rem != 0) {
+      std::uint64_t word = g.dense_.word(w) & ((1ULL << rem) - 1);
+      while (word != 0) {
+        const auto idx = w * 64 + static_cast<std::size_t>(__builtin_ctzll(word));
+        p.cost += cost_[idx];
+        p.gain += gain_[idx];
+        ++p.ones;
+        word &= word - 1;
+      }
+    }
+  } else {
+    const auto rank = static_cast<std::size_t>(
+        std::lower_bound(g.sparse_.begin(), g.sparse_.end(),
+                         static_cast<std::uint32_t>(point)) -
+        g.sparse_.begin());
+    p.cost = prefixCost_[rank];
+    p.gain = prefixGain_[rank];
+    p.ones = rank;
+  }
+  return p;
 }
 
 Objectives evaluate(const LinearBiProblem& problem, const Genome& g,
@@ -76,10 +276,10 @@ Objectives evaluate(const LinearBiProblem& problem, const Genome& g,
              "genome length does not match the problem");
   Objectives obj;
   std::uint64_t avoided = 0;
-  for (std::uint32_t idx : g.indices()) {
+  g.forEachOne([&](std::uint32_t idx) {
     obj.cost += problem.cost[idx];
     avoided += problem.gain[idx];
-  }
+  });
   RRSN_CHECK(avoided <= damageTotal, "gain sum exceeds total damage");
   obj.damage = damageTotal - avoided;
   return obj;

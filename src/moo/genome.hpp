@@ -1,21 +1,55 @@
-// Sparse binary genome.
+// Hybrid binary genome.
 //
 // Good hardening solutions set only a small fraction of the up-to-670k
-// decision bits, so genomes are stored as sorted index vectors; one-point
-// crossover and per-bit mutation then run in O(ones) instead of O(bits).
+// decision bits, but the Pareto archive also carries the expensive end
+// of the front — the all-ones anchor and its crossover lineage at 40%+
+// density.  A single representation loses either way, so the genome is
+// adaptive:
+//
+//  * sparse — sorted index vector; crossover and mutation in O(ones);
+//  * dense  — 64-bit-word storage (DynamicBitset); crossover is a
+//    word-level splice in O(bits/64) and a mutation flip is O(1),
+//    independent of how many bits are set.
+//
+// A genome converts automatically when its density crosses 1/8 upward
+// (sparse -> dense) or 1/16 downward (dense -> sparse); the hysteresis
+// band keeps mutation from thrashing between representations.  All
+// observable behaviour (test/flip/crossover/ == /evaluate) is identical
+// in both representations — only the complexity changes.
+//
+// Because both objectives are linear in the decision bits (problem.hpp),
+// each genome can lazily cache a WeightIndex of weighted prefix sums
+// over its one-bits.  A one-point crossover child's objectives then come
+// from two prefix lookups — O(log ones) sparse, O(1) + one partial word
+// dense — instead of a full O(ones) re-scan, and a mutation updates the
+// objectives by +-weight deltas in O(flips).  The cache is dropped on
+// any mutation and shared (not deep-copied) on genome copy.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "moo/problem.hpp"
+#include "support/bitset.hpp"
 #include "support/rng.hpp"
 
 namespace rrsn::moo {
 
-/// A fixed-universe binary string stored as the sorted set of one-bits.
+class WeightIndex;
+
+/// A fixed-universe binary string with adaptive sparse/dense storage.
 class Genome {
  public:
+  enum class Rep : std::uint8_t { Sparse, Dense };
+
+  /// Representation thresholds (ones per bit): a genome goes dense at
+  /// density >= 1/kDenseBitsPerOne and back to sparse below
+  /// 1/kSparseBitsPerOne.
+  static constexpr std::size_t kDenseBitsPerOne = 8;
+  static constexpr std::size_t kSparseBitsPerOne = 16;
+
   Genome() = default;
 
   /// Empty genome (all zero) over `bits` positions.
@@ -25,31 +59,171 @@ class Genome {
   /// unsorted input are normalized).
   Genome(std::size_t bits, std::vector<std::uint32_t> ones);
 
+  /// All-ones genome, built directly in the dense representation — no
+  /// index vector of every position is ever materialized.
+  static Genome allOnes(std::size_t bits);
+
   /// Random genome: each bit set independently with probability density.
+  /// Draws are identical for both representations; dense samples go
+  /// straight into the word storage (Rng::sampleIndicesInto).
   static Genome random(std::size_t bits, double density, Rng& rng);
 
   std::size_t bits() const { return bits_; }
-  std::size_t ones() const { return ones_.size(); }
-  const std::vector<std::uint32_t>& indices() const { return ones_; }
+  std::size_t ones() const { return count_; }
+  Rep rep() const { return rep_; }
 
   bool test(std::uint32_t idx) const;
 
-  /// Flips one bit in place.
+  /// Flips one bit in place (drops any cached WeightIndex).
   void flip(std::uint32_t idx);
 
+  /// Sorted indices of all set bits (materialized; O(ones)).
+  std::vector<std::uint32_t> indices() const;
+
+  /// Invokes fn(index) for every set bit, ascending.
+  template <typename Fn>
+  void forEachOne(Fn&& fn) const {
+    if (rep_ == Rep::Dense) {
+      dense_.forEachSet(
+          [&](std::size_t i) { fn(static_cast<std::uint32_t>(i)); });
+    } else {
+      for (std::uint32_t i : sparse_) fn(i);
+    }
+  }
+
+  /// Invokes fn(index) for every set bit in [from, to), ascending.
+  template <typename Fn>
+  void forEachOneInRange(std::size_t from, std::size_t to, Fn&& fn) const {
+    if (rep_ == Rep::Dense) {
+      dense_.forEachSetInRange(
+          from, to, [&](std::size_t i) { fn(static_cast<std::uint32_t>(i)); });
+    } else {
+      auto it = std::lower_bound(sparse_.begin(), sparse_.end(),
+                                 static_cast<std::uint32_t>(from));
+      for (; it != sparse_.end() && *it < to; ++it) fn(*it);
+    }
+  }
+
+  /// Number of set bits with index < point.  O(log ones) sparse,
+  /// O(point/64) dense; the WeightIndex answers the same query in O(1).
+  std::size_t countBelow(std::size_t point) const;
+
   /// One-point crossover (Sec. V step 6): bits [0, point) from `a`,
-  /// bits [point, n) from `b`.
+  /// bits [point, n) from `b`.  The child representation is chosen from
+  /// its exact ones count; a dense x dense splice is pure word copies.
   static Genome crossover(const Genome& a, const Genome& b, std::size_t point);
+
+  /// Crossover with the two half counts already known (from the parents'
+  /// WeightIndex prefix sums) — skips the rank scans.
+  static Genome crossoverWithCounts(const Genome& a, const Genome& b,
+                                    std::size_t point, std::size_t onesPrefixA,
+                                    std::size_t onesSuffixB);
 
   /// Independent per-bit mutation with probability `pBit`: the number of
   /// flips is drawn binomially, positions uniformly without replacement.
   void mutatePerBit(double pBit, Rng& rng);
 
-  bool operator==(const Genome&) const = default;
+  /// Applies strictly ascending, distinct flip positions; invokes
+  /// fn(idx, nowSet) per flip in order.  O(flips) dense, O(ones + flips)
+  /// sparse.  Drops any cached WeightIndex (no-op on an empty list).
+  template <typename Fn>
+  void applyFlips(const std::vector<std::uint32_t>& flips, Fn&& fn) {
+    if (flips.empty()) return;
+    cache_.reset();
+    if (rep_ == Rep::Dense) {
+      for (std::uint32_t idx : flips) {
+        RRSN_CHECK(idx < bits_, "flip position out of range");
+        const bool nowSet = dense_.flip(idx);
+        count_ = nowSet ? count_ + 1 : count_ - 1;
+        fn(idx, nowSet);
+      }
+    } else {
+      std::vector<std::uint32_t> merged;
+      merged.reserve(sparse_.size() + flips.size());
+      auto it = sparse_.begin();
+      std::uint32_t prev = 0;
+      bool first = true;
+      for (std::uint32_t p : flips) {
+        RRSN_CHECK(p < bits_, "flip position out of range");
+        RRSN_CHECK(first || p > prev, "flip positions must be ascending");
+        first = false;
+        prev = p;
+        while (it != sparse_.end() && *it < p) merged.push_back(*it++);
+        if (it != sparse_.end() && *it == p) {
+          ++it;  // was set -> cleared
+          fn(p, false);
+        } else {
+          merged.push_back(p);  // was clear -> set
+          fn(p, true);
+        }
+      }
+      merged.insert(merged.end(), it, sparse_.end());
+      sparse_ = std::move(merged);
+      count_ = sparse_.size();
+    }
+    normalizeRep();
+  }
+
+  void applyFlips(const std::vector<std::uint32_t>& flips) {
+    applyFlips(flips, [](std::uint32_t, bool) {});
+  }
+
+  /// The weighted prefix index over this genome's one-bits, built
+  /// lazily and cached until the next mutation.  Copies of a genome
+  /// share the cache.  NOT safe to call concurrently on the same object
+  /// — pre-build indexes before fanning out (see prepareParents).
+  const WeightIndex& weightIndex(const LinearBiProblem& problem) const;
+  bool hasWeightIndex() const { return cache_ != nullptr; }
+
+  /// Logical equality: same universe and same set of one-bits, whatever
+  /// the representations.
+  bool operator==(const Genome& other) const;
 
  private:
+  friend class WeightIndex;
+
+  /// Converts across the density thresholds (with hysteresis).
+  void normalizeRep();
+  void toDense();
+  void toSparse();
+
   std::size_t bits_ = 0;
-  std::vector<std::uint32_t> ones_;
+  std::size_t count_ = 0;
+  Rep rep_ = Rep::Sparse;
+  std::vector<std::uint32_t> sparse_;  ///< sorted one-positions (sparse)
+  DynamicBitset dense_;                ///< word storage (dense)
+  mutable std::shared_ptr<const WeightIndex> cache_;
+};
+
+/// Weighted prefix sums of (cost, gain, popcount) over a genome's
+/// one-bits.  For a sparse genome the arrays are indexed by rank; for a
+/// dense genome by word, with the partial word resolved by a <=63-bit
+/// gather.  Enables O(log ones) one-point crossover objectives.
+class WeightIndex {
+ public:
+  /// Sums over the genome's set bits with index < some point.
+  struct Prefix {
+    std::uint64_t cost = 0;
+    std::uint64_t gain = 0;
+    std::size_t ones = 0;
+  };
+
+  WeightIndex(const LinearBiProblem& problem, const Genome& g);
+
+  /// Prefix sums over set bits with index < point.  `g` must hold the
+  /// same bit content the index was built from (a copy is fine).
+  Prefix below(const Genome& g, std::size_t point) const;
+
+  const Prefix& total() const { return total_; }
+
+ private:
+  bool dense_;
+  const std::uint64_t* cost_;  ///< problem weight arrays (non-owning)
+  const std::uint64_t* gain_;
+  std::vector<std::uint64_t> prefixCost_;
+  std::vector<std::uint64_t> prefixGain_;
+  std::vector<std::uint32_t> prefixOnes_;  ///< dense only (per-word rank)
+  Prefix total_;
 };
 
 /// Exact objective evaluation in O(ones).

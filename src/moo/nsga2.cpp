@@ -116,19 +116,23 @@ RunResult runNsga2(const LinearBiProblem& problem,
   rescore(population, rank, crowd);
 
   for (std::size_t gen = 0; gen < options.generations; ++gen) {
-    // Variation: binary tournament on (rank, crowding).
-    const auto tournament = [&]() -> const Individual& {
+    // Variation: binary tournament on (rank, crowding).  Plans are drawn
+    // serially, offspring materialize on the pool (makeOffspringBatch).
+    const auto tournament = [&]() -> std::size_t {
       const auto a = static_cast<std::size_t>(rng.below(population.size()));
       const auto b = static_cast<std::size_t>(rng.below(population.size()));
-      if (rank[a] != rank[b]) return population[rank[a] < rank[b] ? a : b];
-      return population[crowd[a] >= crowd[b] ? a : b];
+      if (rank[a] != rank[b]) return rank[a] < rank[b] ? a : b;
+      return crowd[a] >= crowd[b] ? a : b;
     };
-    std::vector<Individual> combined = population;
-    for (std::size_t i = 0; i < options.populationSize; ++i) {
-      combined.push_back(detail::makeOffspring(
-          problem, damageTotal, tournament(), tournament(), options, rng));
-    }
+    std::vector<Individual> offspring = detail::makeOffspringBatch(
+        problem, damageTotal, population, options.populationSize, options,
+        tournament, rng);
     result.stats.evaluations += options.populationSize;
+    // The parent population is consumed into the combined pool by move —
+    // no deep copy of up-to-670k-bit genomes per generation.
+    std::vector<Individual> combined = std::move(population);
+    combined.reserve(combined.size() + offspring.size());
+    for (Individual& ind : offspring) combined.push_back(std::move(ind));
 
     // Environmental selection: best fronts, crowding to split the last.
     std::vector<std::size_t> combinedRank;

@@ -201,21 +201,19 @@ RunResult runSpea2(const LinearBiProblem& problem,
 
     if (progress) progress(gen, nextArchive);
 
-    // Mating selection (binary tournament on fitness) + variation.
-    std::vector<Individual> offspring;
-    offspring.reserve(options.populationSize);
-    const auto tournament = [&]() -> const Individual& {
+    // Mating selection (binary tournament on fitness) + variation.  All
+    // randomness is drawn serially into plans; the offspring then
+    // materialize on the pool (makeOffspringBatch).
+    const auto tournament = [&]() -> std::size_t {
       const std::size_t a =
           static_cast<std::size_t>(rng.below(nextArchive.size()));
       const std::size_t b =
           static_cast<std::size_t>(rng.below(nextArchive.size()));
-      return archiveFitness[a] <= archiveFitness[b] ? nextArchive[a]
-                                                    : nextArchive[b];
+      return archiveFitness[a] <= archiveFitness[b] ? a : b;
     };
-    for (std::size_t i = 0; i < options.populationSize; ++i) {
-      offspring.push_back(detail::makeOffspring(
-          problem, damageTotal, tournament(), tournament(), options, rng));
-    }
+    std::vector<Individual> offspring = detail::makeOffspringBatch(
+        problem, damageTotal, nextArchive, options.populationSize, options,
+        tournament, rng);
     result.stats.evaluations += offspring.size();
     population = std::move(offspring);
     archive = std::move(nextArchive);

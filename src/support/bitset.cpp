@@ -66,6 +66,26 @@ void DynamicBitset::spliceFrom(const DynamicBitset& a, const DynamicBitset& b,
   }
 }
 
+void DynamicBitset::orPrefixFrom(const DynamicBitset& a, std::size_t point) {
+  RRSN_CHECK(a.bits_ == bits_, "prefix operand must have equal size");
+  RRSN_CHECK(point <= bits_, "prefix point out of range");
+  const std::size_t wordPoint = point >> 6;
+  for (std::size_t w = 0; w < wordPoint; ++w) words_[w] |= a.words_[w];
+  const std::size_t rem = point & 63;
+  if (rem != 0) words_[wordPoint] |= a.words_[wordPoint] & ((1ULL << rem) - 1);
+}
+
+void DynamicBitset::orSuffixFrom(const DynamicBitset& b, std::size_t point) {
+  RRSN_CHECK(b.bits_ == bits_, "suffix operand must have equal size");
+  RRSN_CHECK(point <= bits_, "suffix point out of range");
+  const std::size_t wordPoint = point >> 6;
+  const std::size_t rem = point & 63;
+  if (rem != 0 && wordPoint < words_.size())
+    words_[wordPoint] |= b.words_[wordPoint] & ~((1ULL << rem) - 1);
+  for (std::size_t w = wordPoint + (rem != 0 ? 1 : 0); w < words_.size(); ++w)
+    words_[w] |= b.words_[w];
+}
+
 DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
   RRSN_CHECK(other.bits_ == bits_, "bitset size mismatch");
   for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];

@@ -49,6 +49,16 @@ class DynamicBitset {
   void clearAll() { words_.assign(words_.size(), 0); }
   void setAll();
 
+  /// Number of 64-bit words backing the bitset.
+  std::size_t wordCount() const { return words_.size(); }
+
+  /// Raw backing word `w`; bit i of the set lives at word(i >> 6),
+  /// bit position i & 63.  Unused tail bits are always zero.
+  std::uint64_t word(std::size_t w) const {
+    RRSN_CHECK(w < words_.size(), "word index out of range");
+    return words_[w];
+  }
+
   /// Number of set bits.
   std::size_t count() const;
 
@@ -71,6 +81,26 @@ class DynamicBitset {
     }
   }
 
+  /// Invokes fn(index) for every set bit in [from, to), ascending.
+  /// Touches only the words overlapping the range.
+  template <typename Fn>
+  void forEachSetInRange(std::size_t from, std::size_t to, Fn&& fn) const {
+    RRSN_CHECK(from <= to && to <= bits_, "bit range out of bounds");
+    if (from >= to) return;
+    const std::size_t firstWord = from >> 6;
+    const std::size_t lastWord = (to - 1) >> 6;
+    for (std::size_t w = firstWord; w <= lastWord; ++w) {
+      std::uint64_t word = words_[w];
+      if (w == firstWord && (from & 63) != 0) word &= ~0ULL << (from & 63);
+      if (w == lastWord && (to & 63) != 0) word &= (1ULL << (to & 63)) - 1;
+      while (word != 0) {
+        const int b = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<std::size_t>(b));
+        word &= word - 1;
+      }
+    }
+  }
+
   /// Returns the sorted indices of all set bits.
   std::vector<std::size_t> toIndices() const;
 
@@ -78,6 +108,13 @@ class DynamicBitset {
   /// [point, size)).  All three bitsets must have equal size.
   void spliceFrom(const DynamicBitset& a, const DynamicBitset& b,
                   std::size_t point);
+
+  /// ORs bits [0, point) of `a` into this, word at a time.  Equal sizes
+  /// required.  With a zeroed destination this copies the prefix.
+  void orPrefixFrom(const DynamicBitset& a, std::size_t point);
+
+  /// ORs bits [point, size) of `b` into this, word at a time.
+  void orSuffixFrom(const DynamicBitset& b, std::size_t point);
 
   bool operator==(const DynamicBitset& other) const = default;
 

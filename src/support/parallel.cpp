@@ -192,6 +192,18 @@ std::size_t threadCount() { return Pool::instance().threads(); }
 
 void setThreadCount(std::size_t n) { Pool::instance().resize(n); }
 
+std::size_t defaultGrain() {
+  static const std::size_t grain = [] {
+    if (const char* env = std::getenv("RRSN_GRAIN");
+        env != nullptr && *env != '\0') {
+      const long v = std::atol(env);
+      if (v >= 1) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{16};
+  }();
+  return grain;
+}
+
 namespace detail {
 
 void runChunks(std::size_t chunks,
@@ -200,14 +212,16 @@ void runChunks(std::size_t chunks,
   Pool::instance().run(chunks, body, cancel);
 }
 
-std::size_t chunkGrid(std::size_t n) {
-  // A function of n only (determinism: reduce partials must not depend
-  // on the pool size).  Small inputs stay serial; large inputs get
-  // enough chunks for load balancing on any realistic machine.
-  constexpr std::size_t kGrain = 16;      // minimum indices per chunk
-  constexpr std::size_t kMaxChunks = 256; // caps scheduling overhead
-  if (n < 2 * kGrain) return 1;
-  return std::min(kMaxChunks, n / kGrain);
+std::size_t chunkGrid(std::size_t n, std::size_t grain) {
+  // A function of n and the grain only (determinism: reduce partials
+  // must not depend on the pool size).  Inputs below twice the grain
+  // stay serial — the grain is the work threshold under which per-task
+  // dispatch overhead beats any parallel win; large inputs get enough
+  // chunks for load balancing on any realistic machine.
+  constexpr std::size_t kMaxChunks = 256;  // caps scheduling overhead
+  if (grain == 0) grain = defaultGrain();
+  if (n < 2 * grain) return 1;
+  return std::min(kMaxChunks, n / grain);
 }
 
 }  // namespace detail

@@ -78,6 +78,14 @@ std::size_t threadCount();
 /// environment).  Must not be called from inside a parallel region.
 void setThreadCount(std::size_t n);
 
+/// Default minimum number of indices per chunk before a primitive fans
+/// out (the RRSN_GRAIN environment variable; 16 when unset).  Inputs
+/// smaller than twice the grain run serially on the caller — per-task
+/// dispatch overhead (~µs) otherwise dominates sub-millisecond sweeps,
+/// making the pooled run *slower* than the serial one.  Call sites with
+/// cheap per-index bodies should pass an explicit larger grain.
+std::size_t defaultGrain();
+
 namespace detail {
 
 /// Runs body(chunk, worker) for every chunk in [0, chunks); worker is in
@@ -93,9 +101,12 @@ void runChunks(std::size_t chunks,
                const std::function<void(std::size_t, std::size_t)>& body,
                const CancellationToken* cancel = nullptr);
 
-/// Chunk grid used by every primitive: a function of `n` only, so that
-/// per-chunk partial results do not depend on the pool size.
-std::size_t chunkGrid(std::size_t n);
+/// Chunk grid used by every primitive: a function of `n` and the grain
+/// only (never of the pool size), so that per-chunk partial results do
+/// not depend on the thread count.  `grain` is the minimum indices per
+/// chunk; 0 means defaultGrain().  Returns 1 (serial fallback) when the
+/// input is below twice the grain.
+std::size_t chunkGrid(std::size_t n, std::size_t grain = 0);
 
 /// Half-open index range of chunk `c` in a grid of `chunks` over [0, n).
 inline std::pair<std::size_t, std::size_t> chunkRange(std::size_t n,
@@ -108,10 +119,12 @@ inline std::pair<std::size_t, std::size_t> chunkRange(std::size_t n,
 
 /// Deterministic parallel loop: fn(i) for every i in [0, n), in
 /// unspecified order.  fn must only write state owned by index i.
+/// `grain` is the minimum work (indices) per chunk — inputs below twice
+/// the grain fall back to the plain serial loop; 0 uses defaultGrain().
 template <typename Fn>
-void parallelFor(std::size_t n, Fn&& fn) {
+void parallelFor(std::size_t n, Fn&& fn, std::size_t grain = 0) {
   if (n == 0) return;
-  const std::size_t chunks = detail::chunkGrid(n);
+  const std::size_t chunks = detail::chunkGrid(n, grain);
   if (chunks <= 1 || threadCount() <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
@@ -129,9 +142,9 @@ void parallelFor(std::size_t n, Fn&& fn) {
 /// finer-grained exits.  With a null token this is exactly parallelFor.
 template <typename Fn>
 void parallelForCancellable(std::size_t n, const CancellationToken* cancel,
-                            Fn&& fn) {
+                            Fn&& fn, std::size_t grain = 0) {
   if (n == 0) return;
-  const std::size_t chunks = detail::chunkGrid(n);
+  const std::size_t chunks = detail::chunkGrid(n, grain);
   if (chunks <= 1 || threadCount() <= 1) {
     for (std::size_t i = 0; i < n; ++i) {
       if (cancel != nullptr && cancel->cancelled()) return;
@@ -155,9 +168,9 @@ void parallelForCancellable(std::size_t n, const CancellationToken* cancel,
 /// fn(begin, end, worker) with worker < threadCount().  The [begin, end)
 /// ranges tile [0, n) and depend only on n.
 template <typename Fn>
-void parallelForChunks(std::size_t n, Fn&& fn) {
+void parallelForChunks(std::size_t n, Fn&& fn, std::size_t grain = 0) {
   if (n == 0) return;
-  const std::size_t chunks = detail::chunkGrid(n);
+  const std::size_t chunks = detail::chunkGrid(n, grain);
   if (chunks <= 1 || threadCount() <= 1) {
     fn(std::size_t{0}, n, std::size_t{0});
     return;
@@ -170,9 +183,9 @@ void parallelForChunks(std::size_t n, Fn&& fn) {
 
 /// out[i] = fn(i) for every i in [0, n); T must be default-constructible.
 template <typename T, typename Fn>
-std::vector<T> parallelMap(std::size_t n, Fn&& fn) {
+std::vector<T> parallelMap(std::size_t n, Fn&& fn, std::size_t grain = 0) {
   std::vector<T> out(n);
-  parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+  parallelFor(n, [&](std::size_t i) { out[i] = fn(i); }, grain);
   return out;
 }
 
@@ -180,9 +193,10 @@ std::vector<T> parallelMap(std::size_t n, Fn&& fn) {
 /// thread-count-independent association: partials are accumulated per
 /// chunk of the fixed grid and folded in chunk order on the caller.
 template <typename T, typename Fn, typename Combine>
-T parallelReduce(std::size_t n, T init, Fn&& fn, Combine&& combine) {
+T parallelReduce(std::size_t n, T init, Fn&& fn, Combine&& combine,
+                 std::size_t grain = 0) {
   if (n == 0) return init;
-  const std::size_t chunks = detail::chunkGrid(n);
+  const std::size_t chunks = detail::chunkGrid(n, grain);
   std::vector<T> partial(chunks, T{});
   std::vector<char> nonEmpty(chunks, 0);
   // The per-chunk association is identical on the serial and the pooled

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <set>
 
+#include "support/bitset.hpp"
+
 namespace rrsn {
 namespace {
 
@@ -103,13 +105,33 @@ std::uint64_t Rng::binomial(std::uint64_t n, double p) {
 
 std::vector<std::size_t> Rng::sampleIndices(std::size_t n, std::size_t k) {
   RRSN_CHECK(k <= n, "cannot sample more indices than available");
-  // Floyd's algorithm: O(k) draws, each landing in a growing set.
+  // Floyd's algorithm: O(k) draws, each landing in a growing set.  The
+  // membership container is an implementation detail — the draws are
+  // below(j + 1) for j in [n - k, n) either way — so dense samples use
+  // a bit array (no node allocations) and sparse ones a tree set.
+  if (k >= n / 256) {
+    DynamicBitset chosen;
+    sampleIndicesInto(n, k, chosen);
+    return chosen.toIndices();
+  }
   std::set<std::size_t> chosen;
   for (std::size_t j = n - k; j < n; ++j) {
     std::size_t t = static_cast<std::size_t>(below(j + 1));
     if (!chosen.insert(t).second) chosen.insert(j);
   }
   return {chosen.begin(), chosen.end()};
+}
+
+void Rng::sampleIndicesInto(std::size_t n, std::size_t k, DynamicBitset& out) {
+  RRSN_CHECK(k <= n, "cannot sample more indices than available");
+  out = DynamicBitset(n);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::size_t>(below(j + 1));
+    if (out.test(t))
+      out.set(j);
+    else
+      out.set(t);
+  }
 }
 
 Rng Rng::fork() {

@@ -14,6 +14,8 @@
 
 namespace rrsn {
 
+class DynamicBitset;
+
 /// xoshiro256** by Blackman & Vigna — fast, high-quality, 2^256-1 period.
 /// Seeded through splitmix64 so that any 64-bit seed (including 0) yields
 /// a well-mixed state.
@@ -66,8 +68,18 @@ class Rng {
   }
 
   /// k distinct indices drawn uniformly from [0, n).  k must be <= n.
-  /// O(k) expected time via Floyd's algorithm; result is sorted.
+  /// O(k) expected draws via Floyd's algorithm; result is sorted.  The
+  /// draw sequence depends only on (n, k, state), never on the backing
+  /// container, so all sampleIndices* variants are interchangeable
+  /// without perturbing downstream randomness.
   std::vector<std::size_t> sampleIndices(std::size_t n, std::size_t k);
+
+  /// Same draws as sampleIndices(n, k), but marks the chosen positions
+  /// in `out` (reset to n zero bits first) instead of materializing an
+  /// index vector — O(n/64 + k) time, no per-element allocation.  The
+  /// preferred form when the caller wants a bit-parallel representation
+  /// (dense genomes) or k is a sizable fraction of n.
+  void sampleIndicesInto(std::size_t n, std::size_t k, DynamicBitset& out);
 
   /// Forks an independent stream (e.g. one per benchmark row) whose
   /// sequence does not overlap with this generator for practical lengths.

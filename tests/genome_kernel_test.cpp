@@ -1,0 +1,265 @@
+// Property tests of the hybrid genome kernel: sparse/dense path
+// equivalence across the representation-switch threshold, incremental
+// objective bookkeeping against full evaluation, and the weighted
+// prefix index against its brute-force definition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "moo/ea_common.hpp"
+#include "moo/genome.hpp"
+#include "support/parallel.hpp"
+
+namespace rrsn::moo {
+namespace {
+
+LinearBiProblem randomProblem(std::size_t bits, Rng& rng) {
+  LinearBiProblem p;
+  p.cost.reserve(bits);
+  p.gain.reserve(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    p.cost.push_back(rng.below(1000) + 1);
+    p.gain.push_back(rng.below(1000) + 1);
+  }
+  return p;
+}
+
+std::vector<std::uint32_t> randomOnes(std::size_t bits, std::size_t count,
+                                      Rng& rng) {
+  const auto sampled = rng.sampleIndices(bits, count);
+  return {sampled.begin(), sampled.end()};
+}
+
+/// A genome logically equal to `g` but held in the dense representation,
+/// parked inside the hysteresis band: bits are added until the genome
+/// converts upward, then removed again.  Requires ones*16 >= bits so the
+/// removals do not convert it back.
+Genome denseTwin(const Genome& g) {
+  Genome d(g.bits(), g.indices());
+  std::vector<std::uint32_t> extra;
+  for (std::uint32_t i = 0;
+       i < g.bits() && d.rep() != Genome::Rep::Dense; ++i) {
+    if (!d.test(i)) {
+      d.flip(i);
+      extra.push_back(i);
+    }
+  }
+  for (std::uint32_t i : extra) d.flip(i);
+  return d;
+}
+
+constexpr std::size_t kBits = 1024;
+// 90 ones: 90 * 8 < 1024 (a fresh build stays sparse) and 90 * 16 >=
+// 1024 (a dense genome stays dense) — squarely inside the hysteresis
+// band, so the same bit content exists in both representations.
+constexpr std::size_t kBandOnes = 90;
+
+TEST(HybridRep, ThresholdsWithHysteresis) {
+  // Fresh construction crosses to dense at ones * 8 >= bits.
+  Rng rng(7);
+  EXPECT_EQ(Genome(kBits, randomOnes(kBits, kBits / 8 - 1, rng)).rep(),
+            Genome::Rep::Sparse);
+  EXPECT_EQ(Genome(kBits, randomOnes(kBits, kBits / 8, rng)).rep(),
+            Genome::Rep::Dense);
+  // Going back down, the conversion waits for ones * 16 < bits.
+  Genome g(kBits, randomOnes(kBits, kBits / 8, rng));
+  while (g.ones() >= kBits / 16) {
+    ASSERT_EQ(g.rep(), Genome::Rep::Dense) << "ones=" << g.ones();
+    const auto idx = g.indices();
+    g.flip(idx.front());
+  }
+  EXPECT_EQ(g.rep(), Genome::Rep::Sparse);
+}
+
+TEST(HybridRep, TwinsInsideTheBandAgreeEverywhere) {
+  Rng rng(21);
+  const LinearBiProblem problem = randomProblem(kBits, rng);
+  const std::uint64_t damageTotal = problem.damageTotal();
+  const Genome s(kBits, randomOnes(kBits, kBandOnes, rng));
+  const Genome d = denseTwin(s);
+  ASSERT_EQ(s.rep(), Genome::Rep::Sparse);
+  ASSERT_EQ(d.rep(), Genome::Rep::Dense);
+  EXPECT_TRUE(s == d);
+  EXPECT_TRUE(d == s);
+  EXPECT_EQ(s.ones(), d.ones());
+  EXPECT_EQ(s.indices(), d.indices());
+  for (std::uint32_t i = 0; i < kBits; ++i)
+    ASSERT_EQ(s.test(i), d.test(i)) << "bit " << i;
+  for (std::size_t p = 0; p <= kBits; p += 13)
+    ASSERT_EQ(s.countBelow(p), d.countBelow(p)) << "point " << p;
+  EXPECT_EQ(evaluate(problem, s, damageTotal),
+            evaluate(problem, d, damageTotal));
+}
+
+TEST(HybridRep, CrossoverAgreesAcrossAllRepCombinations) {
+  Rng rng(33);
+  const Genome a(kBits, randomOnes(kBits, kBandOnes, rng));
+  const Genome b(kBits, randomOnes(kBits, kBandOnes, rng));
+  const Genome da = denseTwin(a);
+  const Genome db = denseTwin(b);
+  ASSERT_EQ(da.rep(), Genome::Rep::Dense);
+  ASSERT_EQ(db.rep(), Genome::Rep::Dense);
+  for (std::size_t point = 0; point <= kBits; point += 61) {
+    const Genome ref = Genome::crossover(a, b, point);
+    // Bitwise definition: child bit i comes from a below the point,
+    // from b at or above it.
+    for (std::uint32_t i = 0; i < kBits; ++i)
+      ASSERT_EQ(ref.test(i), i < point ? a.test(i) : b.test(i))
+          << "point " << point << " bit " << i;
+    EXPECT_TRUE(Genome::crossover(a, db, point) == ref) << "point " << point;
+    EXPECT_TRUE(Genome::crossover(da, b, point) == ref) << "point " << point;
+    EXPECT_TRUE(Genome::crossover(da, db, point) == ref) << "point " << point;
+  }
+}
+
+TEST(HybridRep, MutationStreamsAgreeAcrossReps) {
+  Rng setup(45);
+  const Genome s(kBits, randomOnes(kBits, kBandOnes, setup));
+  const Genome d = denseTwin(s);
+  Genome ms = s;
+  Genome md = d;
+  Rng r1(99);
+  Rng r2(99);
+  for (int round = 0; round < 20; ++round) {
+    ms.mutatePerBit(0.02, r1);
+    md.mutatePerBit(0.02, r2);
+    ASSERT_TRUE(ms == md) << "round " << round;
+  }
+}
+
+TEST(WeightIndexTest, BelowMatchesBruteForceInBothReps) {
+  Rng rng(57);
+  const LinearBiProblem problem = randomProblem(kBits, rng);
+  const Genome s(kBits, randomOnes(kBits, kBandOnes, rng));
+  const Genome d = denseTwin(s);
+  for (const Genome* g : {&s, &d}) {
+    const WeightIndex& wi = g->weightIndex(problem);
+    for (std::size_t point = 0; point <= kBits;
+         point += (point % 3) + 1) {  // dense-ish sweep incl. word edges
+      WeightIndex::Prefix want;
+      g->forEachOneInRange(0, point, [&](std::uint32_t i) {
+        want.cost += problem.cost[i];
+        want.gain += problem.gain[i];
+        ++want.ones;
+      });
+      const WeightIndex::Prefix got = wi.below(*g, point);
+      ASSERT_EQ(got.cost, want.cost) << "point " << point;
+      ASSERT_EQ(got.gain, want.gain) << "point " << point;
+      ASSERT_EQ(got.ones, want.ones) << "point " << point;
+    }
+    const WeightIndex::Prefix total = wi.below(*g, kBits);
+    EXPECT_EQ(wi.total().cost, total.cost);
+    EXPECT_EQ(wi.total().gain, total.gain);
+    EXPECT_EQ(wi.total().ones, total.ones);
+  }
+}
+
+TEST(IncrementalObjectives, RandomFlipSequencesMatchFullEvaluate) {
+  Rng rng(69);
+  const LinearBiProblem problem = randomProblem(kBits, rng);
+  const std::uint64_t damageTotal = problem.damageTotal();
+  // Start in the band so the walk crosses representation switches in
+  // both directions while the bookkeeping must stay exact.
+  Genome g(kBits, randomOnes(kBits, kBandOnes, rng));
+  Objectives obj = evaluate(problem, g, damageTotal);
+  for (int round = 0; round < 200; ++round) {
+    const auto sampled = rng.sampleIndices(kBits, rng.below(40));
+    const std::vector<std::uint32_t> flips(sampled.begin(), sampled.end());
+    g.applyFlips(flips, [&](std::uint32_t idx, bool nowSet) {
+      if (nowSet) {
+        obj.cost += problem.cost[idx];
+        obj.damage -= problem.gain[idx];
+      } else {
+        obj.cost -= problem.cost[idx];
+        obj.damage += problem.gain[idx];
+      }
+    });
+    ASSERT_EQ(obj, evaluate(problem, g, damageTotal)) << "round " << round;
+  }
+}
+
+TEST(IncrementalObjectives, CrossoverObjectivesFromPrefixSums) {
+  Rng rng(81);
+  const LinearBiProblem problem = randomProblem(kBits, rng);
+  const std::uint64_t damageTotal = problem.damageTotal();
+  std::vector<Individual> pool(4);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    pool[i].genome = Genome::random(kBits, 0.05 + 0.1 * static_cast<double>(i),
+                                    rng);
+    pool[i].obj = evaluate(problem, pool[i].genome, damageTotal);
+  }
+  for (int round = 0; round < 100; ++round) {
+    detail::VariationPlan plan;
+    plan.parentA = rng.below(pool.size());
+    plan.parentB = rng.below(pool.size());
+    plan.crossover = rng.chance(0.9);
+    plan.point = rng.below(kBits + 1);
+    const auto sampled = rng.sampleIndices(kBits, rng.below(10));
+    plan.flips.assign(sampled.begin(), sampled.end());
+    const Individual child =
+        detail::applyVariationPlan(problem, damageTotal, pool, plan);
+    ASSERT_EQ(child.obj, evaluate(problem, child.genome, damageTotal))
+        << "round " << round;
+  }
+}
+
+TEST(OffspringBatch, BitIdenticalAtAnyThreadCount) {
+  Rng rng(93);
+  const LinearBiProblem problem = randomProblem(kBits, rng);
+  const std::uint64_t damageTotal = problem.damageTotal();
+  EvolutionOptions options;
+  options.populationSize = 24;
+  Rng init(5);
+  std::vector<Individual> pool =
+      detail::initialPopulation(problem, damageTotal, options, init);
+  const auto batch = [&](std::size_t threads) {
+    setThreadCount(threads);
+    Rng r(11);
+    const auto tournament = [&]() -> std::size_t {
+      const std::size_t a = r.below(pool.size());
+      const std::size_t b = r.below(pool.size());
+      return pool[a].obj.cost <= pool[b].obj.cost ? a : b;
+    };
+    return detail::makeOffspringBatch(problem, damageTotal, pool, 48, options,
+                                      tournament, r);
+  };
+  const auto serial = batch(1);
+  const auto pooled = batch(4);
+  setThreadCount(0);  // restore the environment-configured pool
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].genome == pooled[i].genome) << "offspring " << i;
+    ASSERT_EQ(serial[i].obj, pooled[i].obj) << "offspring " << i;
+  }
+}
+
+TEST(GenomeBuilders, AllOnesMatchesExplicitIndexList) {
+  for (std::size_t bits : {std::size_t{0}, std::size_t{1}, std::size_t{63},
+                           std::size_t{64}, std::size_t{1000}}) {
+    const Genome g = Genome::allOnes(bits);
+    EXPECT_EQ(g.ones(), bits);
+    std::vector<std::uint32_t> all(bits);
+    for (std::uint32_t i = 0; i < bits; ++i) all[i] = i;
+    EXPECT_TRUE(g == Genome(bits, std::move(all))) << "bits " << bits;
+  }
+}
+
+TEST(GenomeBuilders, SampleIndicesIntoMatchesVectorPath) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    for (std::size_t k : {std::size_t{0}, std::size_t{5}, std::size_t{200},
+                          std::size_t{900}}) {
+      Rng r1(seed);
+      Rng r2(seed);
+      const auto viaVector = r1.sampleIndices(1000, k);
+      DynamicBitset viaBitset;
+      r2.sampleIndicesInto(1000, k, viaBitset);
+      EXPECT_EQ(viaVector, viaBitset.toIndices()) << "seed " << seed;
+      // Identical draws => identical generator states afterwards.
+      EXPECT_EQ(r1.next(), r2.next()) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rrsn::moo
