@@ -165,6 +165,7 @@ int main() {
       json.endObject();
     }
     json.endArray();
+    bench::writeObsMetrics(json);
     json.endObject();
     out << '\n';
   }

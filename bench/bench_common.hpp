@@ -16,6 +16,7 @@
 #include "harden/hardening.hpp"
 #include "moo/baselines.hpp"
 #include "moo/spea2.hpp"
+#include "obs/obs.hpp"
 #include "support/timer.hpp"
 
 namespace rrsn::bench {
@@ -147,6 +148,27 @@ class JsonWriter {
   std::vector<char> nested_;  ///< per nesting level: element written yet?
   bool afterKey_ = false;
 };
+
+/// Folds the current observability aggregates into a BENCH_*.json
+/// emitter as one "obs" object (counters, span totals in ns, drop and
+/// violation accounting).  No-op unless tracing is enabled (RRSN_TRACE=1
+/// or obs::enable()), so default bench output is unchanged.  The writer
+/// must be positioned inside an object, between members.
+inline void writeObsMetrics(JsonWriter& w) {
+  if (!obs::enabled()) return;
+  const obs::Snapshot snap = obs::snapshot();
+  w.key("obs").beginObject();
+  w.key("counters").beginObject();
+  for (const auto& [id, v] : snap.counters) w.kv(snap.names[id], v);
+  w.endObject();
+  w.key("span_total_ns").beginObject();
+  for (const auto& [id, s] : snap.spans) w.kv(snap.names[id], s.totalNs);
+  w.endObject();
+  w.kv("dropped_events", snap.droppedEvents);
+  w.kv("threads", snap.threadsSeen);
+  w.kv("violations", static_cast<std::uint64_t>(snap.violations.size()));
+  w.endObject();
+}
 
 /// Everything one Table-I row produces.
 struct RowResult {

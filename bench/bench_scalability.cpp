@@ -185,7 +185,9 @@ int main() {
     json.endObject().endObject();
     std::cout << "." << std::flush;
   }
-  json.endArray().kv("all_identical", allIdentical).endObject();
+  json.endArray().kv("all_identical", allIdentical);
+  bench::writeObsMetrics(json);
+  json.endObject();
   jsonFile << "\n";
 
   std::cout << "\n\nScalability over the MBIST family (set=" << set

@@ -1,14 +1,17 @@
 #include "campaign/campaign.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <queue>
 
 #include "campaign/checkpoint.hpp"
 #include "fault/effects.hpp"
+#include "obs/obs.hpp"
 #include "rsn/graph_view.hpp"
 #include "sim/simulator.hpp"
 #include "sp/decomposition.hpp"
 #include "support/rng.hpp"
+#include "support/status.hpp"
 
 namespace rrsn::campaign {
 
@@ -415,7 +418,8 @@ CampaignEngine::CampaignEngine(const rsn::Network& net, CampaignConfig config)
 
 FaultRecord CampaignEngine::probeFault(const rsn::GraphView& gv,
                                        const sp::DecompositionTree& tree,
-                                       const fault::Fault& f) const {
+                                       const fault::Fault& f,
+                                       std::atomic<std::uint64_t>& probes) const {
   FaultRecord rec;
   rec.fault = f;
   const std::size_t n = net_->instruments().size();
@@ -443,12 +447,14 @@ FaultRecord CampaignEngine::probeFault(const rsn::GraphView& gv,
     const auto inst = static_cast<rsn::InstrumentId>(i);
     rec.read[i] = toChar(probeAccess(sim, engine, f, inst, /*isRead=*/true));
     rec.write[i] = toChar(probeAccess(sim, engine, f, inst, /*isRead=*/false));
+    probes.fetch_add(2, std::memory_order_relaxed);
   }
   rec.done = true;
   return rec;
 }
 
 CampaignResult CampaignEngine::run() {
+  RRSN_OBS_SPAN("campaign.run");
   CampaignResult result;
   result.instruments = net_->instruments().size();
   result.records.resize(universe_.size());
@@ -456,8 +462,21 @@ CampaignResult CampaignEngine::run() {
     result.records[k].fault = universe_[k];
 
   const std::uint64_t fingerprint = campaignFingerprint(*net_, config_);
-  if (!config_.checkpointPath.empty())
-    loadCheckpoint(config_.checkpointPath, fingerprint, result);
+  std::size_t restored = 0;
+  if (!config_.checkpointPath.empty()) {
+    RRSN_OBS_SPAN("campaign.checkpoint_load");
+    const CheckpointLoad load =
+        loadCheckpoint(config_.checkpointPath, fingerprint, result);
+    if (!load.status.ok()) {
+      // A damaged or stale state file downgrades to a fresh start: the
+      // checkpoint exists to save work, never to abort the campaign.
+      std::fprintf(stderr, "campaign: checkpoint ignored, restarting: %s\n",
+                   load.status.message().c_str());
+    }
+    restored = load.restored;
+  }
+  static const obs::MetricId kRestored = obs::counter("campaign.restored");
+  obs::count(kRestored, restored);
 
   const rsn::GraphView gv = rsn::buildGraphView(*net_);
   const sp::DecompositionTree tree = sp::DecompositionTree::build(*net_);
@@ -468,25 +487,64 @@ CampaignResult CampaignEngine::run() {
   std::size_t done = result.records.size() - pending.size();
   if (config_.progress) config_.progress(done, result.records.size());
 
+  // Always-on accounting oracle: every fault probed this run must issue
+  // exactly two probes per instrument, and every finished record must
+  // classify every instrument.  Checked after the sweep; a mismatch is
+  // an engine bug (skipped or double-issued probes), not a user error.
+  std::atomic<std::uint64_t> probes{0};
+  std::size_t faultsProbed = 0;
+
+  static const obs::MetricId kProbes = obs::counter("campaign.probes");
+  static const obs::MetricId kFaults = obs::counter("campaign.faults_probed");
   const std::size_t batchSize =
       config_.checkpointEvery != 0 ? config_.checkpointEvery
                                    : std::max<std::size_t>(pending.size(), 1);
   for (std::size_t at = 0; at < pending.size(); at += batchSize) {
     if (config_.cancel != nullptr && config_.cancel->cancelled()) break;
     const std::size_t end = std::min(at + batchSize, pending.size());
-    parallelForCancellable(end - at, config_.cancel, [&](std::size_t j) {
-      const std::size_t k = pending[at + j];
-      result.records[k] = probeFault(gv, tree, universe_[k]);
-    });
+    {
+      RRSN_OBS_SPAN("campaign.batch");
+      parallelForCancellable(end - at, config_.cancel, [&](std::size_t j) {
+        const std::size_t k = pending[at + j];
+        result.records[k] = probeFault(gv, tree, universe_[k], probes);
+      });
+    }
     // Under cancellation some records of the batch may not have run;
     // count what actually finished and persist exactly that.
     std::size_t finished = 0;
     for (std::size_t j = at; j < end; ++j)
       if (result.records[pending[j]].done) finished += 1;
     done += finished;
-    if (!config_.checkpointPath.empty())
+    faultsProbed += finished;
+    if (!config_.checkpointPath.empty()) {
+      RRSN_OBS_SPAN("campaign.checkpoint_save");
       saveCheckpoint(config_.checkpointPath, fingerprint, result);
+    }
     if (config_.progress) config_.progress(done, result.records.size());
+  }
+  obs::count(kProbes, probes.load(std::memory_order_relaxed));
+  obs::count(kFaults, faultsProbed);
+
+  const std::uint64_t expectProbes =
+      2 * static_cast<std::uint64_t>(result.instruments) *
+      static_cast<std::uint64_t>(faultsProbed);
+  if (probes.load(std::memory_order_relaxed) != expectProbes) {
+    obs::raiseIfError(Status::internal(
+        "campaign probe accounting mismatch: issued " +
+        std::to_string(probes.load(std::memory_order_relaxed)) +
+        " probes for " + std::to_string(faultsProbed) + " faults x " +
+        std::to_string(result.instruments) + " instruments (expected " +
+        std::to_string(expectProbes) + ")"));
+  }
+  std::size_t classified = 0;
+  for (const FaultRecord& rec : result.records)
+    if (rec.done) classified += rec.read.size() + rec.write.size();
+  if (classified != 2 * result.instruments * done) {
+    obs::raiseIfError(Status::internal(
+        "campaign classification accounting mismatch: " +
+        std::to_string(classified) + " outcomes recorded for " +
+        std::to_string(done) + " finished faults x " +
+        std::to_string(result.instruments) + " instruments"));
   }
   return result;
 }

@@ -36,6 +36,8 @@
 // the same final report as an uninterrupted one.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -186,9 +188,14 @@ class CampaignEngine {
   CampaignResult run();
 
  private:
+  /// Probes one fault against every instrument.  `probes` counts every
+  /// simulator probe issued (two per instrument); run() cross-checks the
+  /// total against the classification count after the sweep — a mismatch
+  /// means probes were silently skipped or double-issued.
   FaultRecord probeFault(const rsn::GraphView& gv,
                          const sp::DecompositionTree& tree,
-                         const fault::Fault& f) const;
+                         const fault::Fault& f,
+                         std::atomic<std::uint64_t>& probes) const;
 
   const rsn::Network* net_;
   CampaignConfig config_;

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "rsn/netlist_io.hpp"
 
@@ -110,44 +112,57 @@ void saveCheckpoint(const std::string& path, std::uint64_t fingerprint,
     throw IoError("cannot move checkpoint into place: " + path);
 }
 
-std::size_t loadCheckpoint(const std::string& path, std::uint64_t fingerprint,
-                           CampaignResult& result) {
+CheckpointLoad loadCheckpoint(const std::string& path,
+                              std::uint64_t fingerprint,
+                              CampaignResult& result) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return 0;  // fresh start
+  if (!in) return {Status{}, 0};  // fresh start
   std::ostringstream text;
   text << in.rdbuf();
-  if (in.bad()) throw IoError("cannot read checkpoint file: " + path);
+  if (in.bad())
+    return {Status::dataLoss("cannot read checkpoint file: " + path), 0};
 
   json::Value doc;
   try {
     doc = json::parse(text.str());
   } catch (const Error& e) {
-    throw IoError("corrupt checkpoint file " + path + ": " + e.what());
+    return {Status::dataLoss("corrupt checkpoint file " + path + ": " +
+                             e.what()),
+            0};
   }
+  // Decode everything into staged copies first and merge into `result`
+  // only when the whole file checked out — a record that turns out torn
+  // halfway through must not leave earlier records half-applied.
+  std::vector<std::pair<std::size_t, FaultRecord>> staged;
   try {
     if (doc.at("fingerprint").asString() != hex(fingerprint))
-      throw IoError(
-          "checkpoint " + path +
-          " was written for a different network or campaign configuration");
+      return {Status::failedPrecondition(
+                  "checkpoint " + path +
+                  " was written for a different network or campaign "
+                  "configuration"),
+              0};
     if (doc.at("faults_total").asUnsigned() != result.records.size() ||
         doc.at("instruments").asUnsigned() != result.instruments)
-      throw IoError("checkpoint " + path + " has inconsistent dimensions");
+      return {Status::failedPrecondition("checkpoint " + path +
+                                         " has inconsistent dimensions"),
+              0};
 
-    std::size_t restored = 0;
     for (const json::Value& v : doc.at("records").asArray()) {
       const std::uint64_t k = v.at("index").asUnsigned();
       if (k >= result.records.size())
-        throw IoError("checkpoint record index out of range");
-      FaultRecord& rec = result.records[k];
-      const std::string& read = v.at("read").asString();
-      const std::string& write = v.at("write").asString();
-      if (read.size() != result.instruments ||
-          write.size() != result.instruments)
-        throw IoError("checkpoint record has wrong instrument count");
-      for (const char c : read) outcomeFromChar(c);
-      for (const char c : write) outcomeFromChar(c);
-      rec.read = read;
-      rec.write = write;
+        return {Status::dataLoss("checkpoint " + path +
+                                 " has a record index out of range"),
+                0};
+      FaultRecord rec;
+      rec.read = v.at("read").asString();
+      rec.write = v.at("write").asString();
+      if (rec.read.size() != result.instruments ||
+          rec.write.size() != result.instruments)
+        return {Status::dataLoss("checkpoint " + path +
+                                 " has a record with wrong instrument count"),
+                0};
+      for (const char c : rec.read) outcomeFromChar(c);
+      for (const char c : rec.write) outcomeFromChar(c);
       rec.structObservable =
           bitsFromString(v.at("obs").asString(), result.instruments);
       rec.structSettable =
@@ -159,14 +174,18 @@ std::size_t loadCheckpoint(const std::string& path, std::uint64_t fingerprint,
       rec.oracleDisagreements =
           static_cast<std::size_t>(v.at("disagreements").asUnsigned());
       rec.done = true;
-      restored += 1;
+      staged.emplace_back(static_cast<std::size_t>(k), std::move(rec));
     }
-    return restored;
-  } catch (const IoError&) {
-    throw;
   } catch (const Error& e) {
-    throw IoError("corrupt checkpoint file " + path + ": " + e.what());
+    return {Status::dataLoss("corrupt checkpoint file " + path + ": " +
+                             e.what()),
+            0};
   }
+  for (auto& [k, rec] : staged) {
+    rec.fault = result.records[k].fault;  // decoded records carry no fault id
+    result.records[k] = std::move(rec);
+  }
+  return {Status{}, staged.size()};
 }
 
 }  // namespace rrsn::campaign

@@ -4,14 +4,18 @@
 // fingerprint of the network and campaign configuration.  Loading
 // rejects checkpoints written for a different network or config (the
 // resumed campaign would silently mix incompatible results otherwise)
-// and tolerates a missing file (fresh start).  Saving is atomic:
-// write to `<path>.tmp`, then rename — a deadline that fires mid-write
-// can never leave a torn state file behind.
+// and tolerates a missing file (fresh start).  Rejection is a typed
+// Status, not an exception: a truncated, hand-edited or stale state
+// file must degrade into "checkpoint ignored, restarting" — it would
+// otherwise abort the multi-hour campaign it exists to protect.
+// Saving is atomic: write to `<path>.tmp`, then rename — a deadline
+// that fires mid-write can never leave a torn state file behind.
 #pragma once
 
 #include <string>
 
 #include "campaign/campaign.hpp"
+#include "support/status.hpp"
 
 namespace rrsn::campaign {
 
@@ -26,10 +30,21 @@ std::uint64_t campaignFingerprint(const rsn::Network& net,
 void saveCheckpoint(const std::string& path, std::uint64_t fingerprint,
                     const CampaignResult& result);
 
-/// Merges finished records from the checkpoint at `path` into `result`
-/// and returns how many were restored.  A missing file restores 0.
-/// Throws IoError on unreadable/corrupt files or fingerprint mismatch.
-std::size_t loadCheckpoint(const std::string& path, std::uint64_t fingerprint,
-                           CampaignResult& result);
+/// Outcome of a checkpoint load: how many finished records were merged
+/// into the result, and why the file was ignored if none were.
+struct CheckpointLoad {
+  Status status;              ///< non-OK: file ignored, result untouched
+  std::size_t restored = 0;   ///< finished records merged (0 if ignored)
+};
+
+/// Merges finished records from the checkpoint at `path` into `result`.
+/// A missing file is OK with 0 restored (fresh start).  An unreadable,
+/// torn or hand-edited file yields kDataLoss; a fingerprint or
+/// dimension mismatch (different network / config) yields
+/// kFailedPrecondition.  On any non-OK status `result` is untouched —
+/// partial corrupt records are never merged.
+CheckpointLoad loadCheckpoint(const std::string& path,
+                              std::uint64_t fingerprint,
+                              CampaignResult& result);
 
 }  // namespace rrsn::campaign

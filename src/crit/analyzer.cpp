@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "fault/fault.hpp"
+#include "obs/obs.hpp"
 #include "rsn/graph_view.hpp"
 #include "support/parallel.hpp"
 
@@ -85,6 +86,8 @@ CriticalityAnalyzer::CriticalityAnalyzer(const rsn::Network& net,
 }
 
 CriticalityResult CriticalityAnalyzer::run() const {
+  RRSN_OBS_SPAN("crit.run");
+  static const obs::MetricId kFaults = obs::counter("crit.faults_evaluated");
   std::vector<std::uint64_t> d(net_->primitiveCount(), 0);
   // Every fault is evaluated against the immutable annotated tree and
   // writes only its own primitive's slot, so the sweep fans out over the
@@ -95,30 +98,38 @@ CriticalityResult CriticalityAnalyzer::run() const {
   // than serial (0.48–1.07x) on every medium design because per-task
   // dispatch overhead dominated the sub-millisecond total.
   // Segments: one break fault each; O(tree depth) per segment.
-  parallelFor(
-      net_->segments().size(),
-      [&](std::size_t s) {
-        d[net_->linearId({rsn::PrimitiveRef::Kind::Segment,
-                          static_cast<rsn::SegmentId>(s)})] =
-            fault::damageUnderFaultTree(
-                tree_, Fault::segmentBreak(static_cast<rsn::SegmentId>(s)));
-      },
-      /*grain=*/2048);
+  {
+    RRSN_OBS_SPAN("crit.segments");
+    parallelFor(
+        net_->segments().size(),
+        [&](std::size_t s) {
+          d[net_->linearId({rsn::PrimitiveRef::Kind::Segment,
+                            static_cast<rsn::SegmentId>(s)})] =
+              fault::damageUnderFaultTree(
+                  tree_, Fault::segmentBreak(static_cast<rsn::SegmentId>(s)));
+        },
+        /*grain=*/2048);
+    obs::count(kFaults, net_->segments().size());
+  }
   // Muxes: k stuck-at faults combined by policy; O(#branches) per mux.
-  parallelFor(
-      net_->muxes().size(),
-      [&](std::size_t mi) {
-        const auto m = static_cast<rsn::MuxId>(mi);
-        const auto& branches = tree_.branchesOfMux(m);
-        std::vector<std::uint64_t> perBranch;
-        perBranch.reserve(branches.size());
-        for (std::uint32_t b = 0; b < branches.size(); ++b)
-          perBranch.push_back(
-              fault::damageUnderFaultTree(tree_, Fault::muxStuck(m, b)));
-        d[net_->linearId({rsn::PrimitiveRef::Kind::Mux, m})] =
-            combine(options_.muxPolicy, perBranch);
-      },
-      /*grain=*/256);
+  {
+    RRSN_OBS_SPAN("crit.muxes");
+    parallelFor(
+        net_->muxes().size(),
+        [&](std::size_t mi) {
+          const auto m = static_cast<rsn::MuxId>(mi);
+          const auto& branches = tree_.branchesOfMux(m);
+          std::vector<std::uint64_t> perBranch;
+          perBranch.reserve(branches.size());
+          for (std::uint32_t b = 0; b < branches.size(); ++b)
+            perBranch.push_back(
+                fault::damageUnderFaultTree(tree_, Fault::muxStuck(m, b)));
+          d[net_->linearId({rsn::PrimitiveRef::Kind::Mux, m})] =
+              combine(options_.muxPolicy, perBranch);
+          obs::count(kFaults, branches.size());
+        },
+        /*grain=*/256);
+  }
   return CriticalityResult(*net_, std::move(d));
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/obs.hpp"
 #include "sim/retarget.hpp"
 #include "support/parallel.hpp"
 
@@ -41,6 +42,8 @@ Syndrome FaultDictionary::measure(const rsn::Network& net,
 }
 
 FaultDictionary FaultDictionary::build(const rsn::Network& net) {
+  RRSN_OBS_SPAN("diag.dictionary_build");
+  static const obs::MetricId kSyndromes = obs::counter("diag.syndromes");
   FaultDictionary dict;
   dict.net_ = &net;
   dict.faultFree_ = measure(net, nullptr);
@@ -52,6 +55,7 @@ FaultDictionary FaultDictionary::build(const rsn::Network& net) {
   dict.syndromes_ = parallelMap<Syndrome>(
       dict.faults_.size(),
       [&](std::size_t k) { return measure(net, &dict.faults_[k]); });
+  obs::count(kSyndromes, dict.syndromes_.size());
   return dict;
 }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "support/parallel.hpp"
+#include "support/status.hpp"
 
 namespace rrsn::moo::detail {
 
@@ -76,7 +78,8 @@ void prepareParents(const LinearBiProblem& problem,
 Individual applyVariationPlan(const LinearBiProblem& problem,
                               std::uint64_t damageTotal,
                               const std::vector<Individual>& pool,
-                              const VariationPlan& plan) {
+                              const VariationPlan& plan,
+                              bool verifyObjectives) {
   const Individual& a = pool[plan.parentA];
   Individual ind;
   if (plan.crossover) {
@@ -115,9 +118,19 @@ Individual applyVariationPlan(const LinearBiProblem& problem,
 #ifndef NDEBUG
   // Debug builds re-derive every offspring's objectives from scratch;
   // any divergence of the incremental bookkeeping fails loudly here.
-  RRSN_CHECK(ind.obj == evaluate(problem, ind.genome, damageTotal),
-             "incremental objectives diverged from full evaluation");
+  verifyObjectives = true;
 #endif
+  if (verifyObjectives) {
+    const Objectives full = evaluate(problem, ind.genome, damageTotal);
+    if (!(ind.obj == full)) {
+      obs::raiseIfError(Status::internal(
+          "incremental objectives diverged from full evaluation: got (cost " +
+          std::to_string(ind.obj.cost) + ", damage " +
+          std::to_string(ind.obj.damage) + "), expected (cost " +
+          std::to_string(full.cost) + ", damage " +
+          std::to_string(full.damage) + ")"));
+    }
+  }
   return ind;
 }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "moo/pareto.hpp"
+#include "obs/obs.hpp"
 #include "support/parallel.hpp"
 
 namespace rrsn::moo {
@@ -124,10 +125,18 @@ void prepareParents(const LinearBiProblem& problem,
 /// Materializes one plan: crossover (or clone of parent A), mutation,
 /// objectives — all incremental, no full re-evaluation.  Thread-safe for
 /// concurrent calls over a shared pool once prepareParents ran.
+///
+/// `verifyObjectives` requests a full evaluate() cross-check of the
+/// incremental objectives *in release builds too* — the EAs sample every
+/// 64th offspring (deterministic by index, consuming no randomness), so
+/// a drifting incremental update is caught within one generation at
+/// ~1.6 % of the O(ones) re-scan cost.  A mismatch throws
+/// obs::InvariantError.  Debug builds still verify every offspring.
 Individual applyVariationPlan(const LinearBiProblem& problem,
                               std::uint64_t damageTotal,
                               const std::vector<Individual>& pool,
-                              const VariationPlan& plan);
+                              const VariationPlan& plan,
+                              bool verifyObjectives = false);
 
 /// The full mating step both EAs share: draws `count` plans serially
 /// (preserving the historical randomness order), pre-builds the parent
@@ -141,18 +150,34 @@ std::vector<Individual> makeOffspringBatch(const LinearBiProblem& problem,
                                            TournamentFn&& tournament,
                                            Rng& rng) {
   const std::size_t bits = problem.size();
+  static const obs::MetricId kOffspring = obs::counter("moo.offspring");
   std::vector<VariationPlan> plans;
   plans.reserve(count);
-  for (std::size_t i = 0; i < count; ++i)
-    plans.push_back(drawVariationPlan(bits, options, tournament, rng));
-  prepareParents(problem, pool, plans);
+  {
+    RRSN_OBS_SPAN("moo.plan");
+    for (std::size_t i = 0; i < count; ++i)
+      plans.push_back(drawVariationPlan(bits, options, tournament, rng));
+  }
+  {
+    RRSN_OBS_SPAN("moo.prepare_parents");
+    prepareParents(problem, pool, plans);
+  }
   std::vector<Individual> offspring(count);
-  parallelFor(
-      count,
-      [&](std::size_t i) {
-        offspring[i] = applyVariationPlan(problem, damageTotal, pool, plans[i]);
-      },
-      /*grain=*/1);
+  {
+    RRSN_OBS_SPAN("moo.materialize");
+    parallelFor(
+        count,
+        [&](std::size_t i) {
+          // Every 64th offspring is re-evaluated from scratch as an
+          // always-on oracle for the incremental objective bookkeeping;
+          // the index-based sample keeps the check deterministic and
+          // consumes no randomness.
+          offspring[i] = applyVariationPlan(problem, damageTotal, pool,
+                                            plans[i], (i % 64) == 0);
+        },
+        /*grain=*/1);
+  }
+  obs::count(kOffspring, count);
   return offspring;
 }
 

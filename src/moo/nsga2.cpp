@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.hpp"
+
 namespace rrsn::moo {
 
 namespace {
@@ -116,6 +118,7 @@ RunResult runNsga2(const LinearBiProblem& problem,
   rescore(population, rank, crowd);
 
   for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    RRSN_OBS_SPAN("moo.nsga2.generation");
     // Variation: binary tournament on (rank, crowding).  Plans are drawn
     // serially, offspring materialize on the pool (makeOffspringBatch).
     const auto tournament = [&]() -> std::size_t {
@@ -137,7 +140,11 @@ RunResult runNsga2(const LinearBiProblem& problem,
     // Environmental selection: best fronts, crowding to split the last.
     std::vector<std::size_t> combinedRank;
     std::vector<double> combinedCrowd;
-    rescore(combined, combinedRank, combinedCrowd);
+    {
+      RRSN_OBS_SPAN("moo.nsga2.rescore");
+      rescore(combined, combinedRank, combinedCrowd);
+    }
+    RRSN_OBS_SPAN("moo.nsga2.selection");
     std::vector<std::size_t> order(combined.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/obs.hpp"
 #include "support/parallel.hpp"
 
 namespace rrsn::moo {
@@ -182,21 +183,28 @@ RunResult runSpea2(const LinearBiProblem& problem,
   std::vector<Individual> archive;
 
   for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    RRSN_OBS_SPAN("moo.spea2.generation");
     // Fitness assignment over P + A.
     std::vector<Scored> all;
     all.reserve(population.size() + archive.size());
     for (Individual& ind : population) all.push_back({std::move(ind), 0.0});
     for (Individual& ind : archive) all.push_back({std::move(ind), 0.0});
-    computeFitness(all);
+    {
+      RRSN_OBS_SPAN("moo.spea2.fitness");
+      computeFitness(all);
+    }
 
     // Environmental selection -> next archive.
-    const auto keep = environmentalSelection(all, archiveSize);
     std::vector<Individual> nextArchive;
     std::vector<double> archiveFitness;
-    nextArchive.reserve(keep.size());
-    for (std::size_t i : keep) {
-      nextArchive.push_back(std::move(all[i].ind));
-      archiveFitness.push_back(all[i].fitness);
+    {
+      RRSN_OBS_SPAN("moo.spea2.archive");
+      const auto keep = environmentalSelection(all, archiveSize);
+      nextArchive.reserve(keep.size());
+      for (std::size_t i : keep) {
+        nextArchive.push_back(std::move(all[i].ind));
+        archiveFitness.push_back(all[i].fitness);
+      }
     }
 
     if (progress) progress(gen, nextArchive);

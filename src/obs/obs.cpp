@@ -1,0 +1,494 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace rrsn::obs {
+
+namespace {
+
+// ------------------------------------------------------------ registry
+
+/// Process-lifetime metric registry.  Append-only; ids are indices.
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::string> names;
+  std::vector<MetricKind> kinds;
+  std::map<std::string, MetricId> byName;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+MetricId registerMetric(const char* name, MetricKind kind) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.byName.find(name);
+  if (it != r.byName.end()) {
+    RRSN_CHECK(r.kinds[it->second] == kind,
+               std::string("metric '") + name +
+                   "' registered with two different kinds");
+    return it->second;
+  }
+  const auto id = static_cast<MetricId>(r.names.size());
+  r.names.emplace_back(name);
+  r.kinds.push_back(kind);
+  r.byName.emplace(name, id);
+  return id;
+}
+
+std::uint64_t nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace
+
+namespace detail {
+
+/// One raw recorded interval (ring slot).
+struct RawEvent {
+  MetricId name = 0;
+  std::uint32_t depth = 0;
+  std::uint64_t beginNs = 0;
+  std::uint64_t endNs = 0;
+  std::uint64_t seq = 0;
+};
+
+struct OpenSpan {
+  MetricId name = 0;
+  std::uint64_t beginNs = 0;
+};
+
+struct SpanAgg {
+  std::uint64_t count = 0;
+  std::uint64_t totalNs = 0;
+  std::uint64_t maxNs = 0;
+};
+
+struct HistAgg {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t buckets[64] = {};
+};
+
+/// Per-thread recording state.  Single writer (the owning thread); read
+/// by snapshot() only while the pool is quiescent.  Owned by the
+/// recorder so it outlives worker-thread exit and pool resizes.
+struct ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::vector<RawEvent> ring;   ///< capacity fixed at registration
+  std::size_t head = 0;         ///< next write slot
+  std::uint64_t pushed = 0;     ///< total events ever pushed
+  std::uint64_t seq = 0;        ///< completion sequence counter
+  std::vector<OpenSpan> stack;  ///< open spans, innermost last
+  std::uint64_t unbalancedEnds = 0;
+  // Aggregates indexed by MetricId (grown on demand; exact even when
+  // the ring wraps).
+  std::vector<std::uint64_t> counters;
+  std::vector<SpanAgg> spans;
+  std::vector<HistAgg> hists;
+};
+
+}  // namespace detail
+
+namespace {
+
+/// The process recorder.  Created once, intentionally never destroyed
+/// (worker threads may outlive static destruction order); reachable via
+/// g_instance so leak checkers see it as live.
+struct Recorder {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<detail::ThreadBuffer>> buffers;
+  std::uint64_t epochNs = 0;
+  std::size_t ringCapacity = 0;
+};
+
+Recorder* g_instance = nullptr;
+std::mutex g_lifecycleMutex;
+/// Non-null while recording; the hot-path gate.
+std::atomic<Recorder*> g_active{nullptr};
+/// 0 = RRSN_TRACE not consulted yet, 1 = decision latched.
+std::atomic<int> g_envLatched{0};
+
+detail::ThreadBuffer* registerThread(Recorder* r) {
+  std::lock_guard<std::mutex> lock(r->mutex);
+  auto buf = std::make_unique<detail::ThreadBuffer>();
+  buf->tid = static_cast<std::uint32_t>(r->buffers.size());
+  buf->ring.resize(r->ringCapacity);
+  detail::ThreadBuffer* raw = buf.get();
+  r->buffers.push_back(std::move(buf));
+  return raw;
+}
+
+detail::ThreadBuffer* slowPathTls() {
+  // First hot-path hit with no explicit enable()/disable() yet: consult
+  // RRSN_TRACE exactly once for the whole process.
+  {
+    std::lock_guard<std::mutex> lock(g_lifecycleMutex);
+    if (g_envLatched.load(std::memory_order_acquire) == 0) {
+      const char* env = std::getenv("RRSN_TRACE");
+      const bool on = env != nullptr && *env != '\0' &&
+                      !(env[0] == '0' && env[1] == '\0');
+      g_envLatched.store(1, std::memory_order_release);
+      if (on) {
+        if (g_instance == nullptr) g_instance = new Recorder();
+        g_instance->ringCapacity = Options{}.ringCapacity;
+        g_instance->epochNs = nowNs();
+        g_active.store(g_instance, std::memory_order_release);
+      }
+    }
+  }
+  return detail::tls();
+}
+
+}  // namespace
+
+namespace detail {
+
+ThreadBuffer* tls() {
+  Recorder* r = g_active.load(std::memory_order_acquire);
+  if (r == nullptr) {
+    if (g_envLatched.load(std::memory_order_acquire) != 0) return nullptr;
+    return slowPathTls();
+  }
+  // Cache keyed by recorder identity: a reset() keeps buffers, so the
+  // cached pointer stays valid for the thread's whole lifetime.
+  thread_local struct Slot {
+    Recorder* owner = nullptr;
+    ThreadBuffer* buf = nullptr;
+  } slot;
+  if (slot.owner != r) {
+    slot.buf = registerThread(r);
+    slot.owner = r;
+  }
+  return slot.buf;
+}
+
+void spanBeginImpl(ThreadBuffer* b, MetricId id) {
+  b->stack.push_back({id, nowNs()});
+}
+
+void spanEndImpl(ThreadBuffer* b, MetricId id) {
+  const std::uint64_t end = nowNs();
+  if (b->stack.empty() || b->stack.back().name != id) {
+    // End without a matching begin: record the violation, drop the
+    // event.  Never throws — this runs inside destructors.
+    b->unbalancedEnds += 1;
+    return;
+  }
+  const OpenSpan open = b->stack.back();
+  b->stack.pop_back();
+  const std::uint64_t dur = end >= open.beginNs ? end - open.beginNs : 0;
+  if (b->spans.size() <= id) b->spans.resize(id + 1);
+  SpanAgg& agg = b->spans[id];
+  agg.count += 1;
+  agg.totalNs += dur;
+  agg.maxNs = std::max(agg.maxNs, dur);
+  RawEvent ev;
+  ev.name = id;
+  ev.depth = static_cast<std::uint32_t>(b->stack.size());
+  ev.beginNs = open.beginNs;
+  ev.endNs = end;
+  ev.seq = b->seq++;
+  if (!b->ring.empty()) {
+    b->ring[b->head] = ev;
+    b->head = (b->head + 1) % b->ring.size();
+  }
+  b->pushed += 1;
+}
+
+void countImpl(ThreadBuffer* b, MetricId id, std::uint64_t n) {
+  if (b->counters.size() <= id) b->counters.resize(id + 1, 0);
+  b->counters[id] += n;
+}
+
+void sampleImpl(ThreadBuffer* b, MetricId id, std::uint64_t value) {
+  if (b->hists.size() <= id) b->hists.resize(id + 1);
+  HistAgg& h = b->hists[id];
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  h.count += 1;
+  h.sum += value;
+  // Bucket k holds samples with bit_width == k, i.e. [2^(k-1), 2^k).
+  int width = 0;
+  for (std::uint64_t v = value; v != 0; v >>= 1) ++width;
+  h.buckets[width] += 1;
+}
+
+}  // namespace detail
+
+MetricId span(const char* name) {
+  return registerMetric(name, MetricKind::Span);
+}
+MetricId counter(const char* name) {
+  return registerMetric(name, MetricKind::Counter);
+}
+MetricId histogram(const char* name) {
+  return registerMetric(name, MetricKind::Histogram);
+}
+
+void enable(const Options& options) {
+  std::lock_guard<std::mutex> lock(g_lifecycleMutex);
+  g_envLatched.store(1, std::memory_order_release);
+  if (g_instance == nullptr) g_instance = new Recorder();
+  if (g_active.load(std::memory_order_acquire) == nullptr) {
+    g_instance->ringCapacity = options.ringCapacity;
+    // Existing buffers (re-enable after disable) keep their capacity;
+    // new threads pick up the new one.
+    g_instance->epochNs = nowNs();
+    g_active.store(g_instance, std::memory_order_release);
+  }
+}
+
+void disable() {
+  std::lock_guard<std::mutex> lock(g_lifecycleMutex);
+  g_envLatched.store(1, std::memory_order_release);
+  g_active.store(nullptr, std::memory_order_release);
+}
+
+bool enabled() {
+  if (g_envLatched.load(std::memory_order_acquire) == 0) {
+    (void)detail::tls();  // latch the RRSN_TRACE decision
+  }
+  return g_active.load(std::memory_order_acquire) != nullptr;
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(g_lifecycleMutex);
+  if (g_instance == nullptr) return;
+  std::lock_guard<std::mutex> rlock(g_instance->mutex);
+  for (auto& buf : g_instance->buffers) {
+    buf->head = 0;
+    buf->pushed = 0;
+    buf->seq = 0;
+    buf->stack.clear();
+    buf->unbalancedEnds = 0;
+    buf->counters.clear();
+    buf->spans.clear();
+    buf->hists.clear();
+    buf->ring.assign(buf->ring.size(), detail::RawEvent{});
+    if (buf->ring.size() != g_instance->ringCapacity)
+      buf->ring.assign(g_instance->ringCapacity, detail::RawEvent{});
+  }
+  g_instance->epochNs = nowNs();
+}
+
+Snapshot snapshot() {
+  Snapshot snap;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    snap.names = r.names;
+    snap.kinds = r.kinds;
+  }
+  std::lock_guard<std::mutex> lifecycle(g_lifecycleMutex);
+  if (g_instance == nullptr) return snap;
+  Recorder& rec = *g_instance;
+  std::lock_guard<std::mutex> lock(rec.mutex);
+
+  const std::size_t metricCount = snap.names.size();
+  std::vector<std::uint64_t> counters(metricCount, 0);
+  std::vector<SpanStats> spans(metricCount);
+  std::vector<HistogramStats> hists(metricCount);
+  snap.threadsSeen = rec.buffers.size();
+
+  for (const auto& buf : rec.buffers) {
+    // Guard with metricCount: a metric registered between the registry
+    // read above and this loop has no name slot yet and is skipped.
+    for (std::size_t id = 0;
+         id < std::min(buf->counters.size(), metricCount); ++id)
+      counters[id] += buf->counters[id];
+    for (std::size_t id = 0; id < std::min(buf->spans.size(), metricCount);
+         ++id) {
+      const detail::SpanAgg& a = buf->spans[id];
+      spans[id].count += a.count;
+      spans[id].totalNs += a.totalNs;
+      spans[id].maxNs = std::max(spans[id].maxNs, a.maxNs);
+    }
+    for (std::size_t id = 0; id < std::min(buf->hists.size(), metricCount);
+         ++id) {
+      const detail::HistAgg& h = buf->hists[id];
+      if (h.count == 0) continue;
+      HistogramStats& out = hists[id];
+      if (out.count == 0) {
+        out.min = h.min;
+        out.max = h.max;
+        out.buckets.assign(64, 0);
+      } else {
+        out.min = std::min(out.min, h.min);
+        out.max = std::max(out.max, h.max);
+      }
+      out.count += h.count;
+      out.sum += h.sum;
+      for (std::size_t k = 0; k < 64; ++k) out.buckets[k] += h.buckets[k];
+    }
+    // Ring contents: the oldest surviving event sits at `head` once the
+    // ring has wrapped.
+    const std::size_t cap = buf->ring.size();
+    const std::size_t live = static_cast<std::size_t>(
+        std::min<std::uint64_t>(buf->pushed, cap));
+    snap.droppedEvents += buf->pushed - live;
+    for (std::size_t k = 0; k < live; ++k) {
+      const std::size_t at = (buf->head + cap - live + k) % cap;
+      const detail::RawEvent& raw = buf->ring[at];
+      TraceEvent ev;
+      ev.name = raw.name;
+      ev.tid = buf->tid;
+      ev.depth = raw.depth;
+      ev.beginNs = raw.beginNs >= rec.epochNs ? raw.beginNs - rec.epochNs : 0;
+      ev.endNs = raw.endNs >= rec.epochNs ? raw.endNs - rec.epochNs : 0;
+      ev.seq = raw.seq;
+      snap.events.push_back(ev);
+    }
+    for (const detail::OpenSpan& open : buf->stack) {
+      snap.violations.push_back(
+          "span '" + (open.name < snap.names.size() ? snap.names[open.name]
+                                                    : std::string("?")) +
+          "' still open on thread " + std::to_string(buf->tid));
+    }
+    if (buf->unbalancedEnds != 0) {
+      snap.violations.push_back(
+          std::to_string(buf->unbalancedEnds) +
+          " span end(s) without a matching begin on thread " +
+          std::to_string(buf->tid));
+    }
+  }
+
+  for (MetricId id = 0; id < metricCount; ++id) {
+    if (snap.kinds[id] == MetricKind::Counter && counters[id] != 0)
+      snap.counters.emplace_back(id, counters[id]);
+    if (spans[id].count != 0) snap.spans.emplace_back(id, spans[id]);
+    if (hists[id].count != 0) snap.histograms.emplace_back(id, hists[id]);
+  }
+
+  // Deterministic merge order: wall time first, then recording thread
+  // and its completion sequence as total tiebreak.
+  std::sort(snap.events.begin(), snap.events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.beginNs != b.beginNs) return a.beginNs < b.beginNs;
+              if (a.endNs != b.endNs) return a.endNs < b.endNs;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.seq < b.seq;
+            });
+  return snap;
+}
+
+std::string traceEventJson(const Snapshot& snap) {
+  json::Array events;
+  for (const TraceEvent& ev : snap.events) {
+    json::Object o;
+    o["name"] = json::Value(ev.name < snap.names.size()
+                                ? snap.names[ev.name]
+                                : "metric#" + std::to_string(ev.name));
+    o["cat"] = json::Value("rrsn");
+    o["ph"] = json::Value("X");
+    o["ts"] = json::Value(static_cast<double>(ev.beginNs) / 1e3);
+    o["dur"] =
+        json::Value(static_cast<double>(ev.endNs - ev.beginNs) / 1e3);
+    o["pid"] = json::Value(std::int64_t{0});
+    o["tid"] = json::Value(static_cast<std::int64_t>(ev.tid));
+    events.push_back(json::Value(std::move(o)));
+  }
+  json::Object root;
+  root["displayTimeUnit"] = json::Value("ms");
+  root["traceEvents"] = json::Value(std::move(events));
+  root["otherData"] = json::Value(json::Object{
+      {"producer", json::Value("rrsn_obs")},
+      {"dropped_events",
+       json::Value(static_cast<std::uint64_t>(snap.droppedEvents))}});
+  return json::serialize(json::Value(std::move(root)), 1);
+}
+
+json::Value metricsJson(const Snapshot& snap) {
+  json::Object counters;
+  for (const auto& [id, v] : snap.counters)
+    counters[snap.names[id]] = json::Value(v);
+  json::Object spans;
+  for (const auto& [id, s] : snap.spans) {
+    json::Object o;
+    o["count"] = json::Value(s.count);
+    o["total_ns"] = json::Value(s.totalNs);
+    o["max_ns"] = json::Value(s.maxNs);
+    spans[snap.names[id]] = json::Value(std::move(o));
+  }
+  json::Object hists;
+  for (const auto& [id, h] : snap.histograms) {
+    json::Object o;
+    o["count"] = json::Value(h.count);
+    o["sum"] = json::Value(h.sum);
+    o["min"] = json::Value(h.min);
+    o["max"] = json::Value(h.max);
+    json::Array buckets;
+    for (std::uint64_t b : h.buckets) buckets.push_back(json::Value(b));
+    o["log2_buckets"] = json::Value(std::move(buckets));
+    hists[snap.names[id]] = json::Value(std::move(o));
+  }
+  json::Array violations;
+  for (const std::string& v : snap.violations)
+    violations.push_back(json::Value(v));
+  json::Object root;
+  root["counters"] = json::Value(std::move(counters));
+  root["spans"] = json::Value(std::move(spans));
+  root["histograms"] = json::Value(std::move(hists));
+  root["dropped_events"] = json::Value(snap.droppedEvents);
+  root["threads"] = json::Value(snap.threadsSeen);
+  root["violations"] = json::Value(std::move(violations));
+  return json::Value(std::move(root));
+}
+
+TextTable summaryTable(const Snapshot& snap) {
+  TextTable t({"metric", "kind", "count", "total [ms]", "mean [us]",
+               "max [us]"});
+  t.setAlign(0, TextTable::Align::Left);
+  t.setAlign(1, TextTable::Align::Left);
+  const auto fixed = [](double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    return std::string(buf);
+  };
+  for (const auto& [id, s] : snap.spans) {
+    t.addRow({snap.names[id], "span", withThousands(s.count),
+              fixed(static_cast<double>(s.totalNs) / 1e6),
+              fixed(static_cast<double>(s.totalNs) /
+                    (1e3 * static_cast<double>(s.count))),
+              fixed(static_cast<double>(s.maxNs) / 1e3)});
+  }
+  for (const auto& [id, v] : snap.counters) {
+    t.addRow({snap.names[id], "counter", withThousands(v), "-", "-", "-"});
+  }
+  for (const auto& [id, h] : snap.histograms) {
+    t.addRow({snap.names[id], "histogram", withThousands(h.count),
+              withThousands(h.sum),
+              fixed(static_cast<double>(h.sum) /
+                    std::max<double>(1.0, static_cast<double>(h.count))),
+              withThousands(h.max)});
+  }
+  return t;
+}
+
+Status checkSpanBalance() {
+  const Snapshot snap = snapshot();
+  if (snap.violations.empty()) return Status{};
+  std::string msg = "span balance violated: " + snap.violations.front();
+  if (snap.violations.size() > 1) {
+    msg += " (+" + std::to_string(snap.violations.size() - 1) + " more)";
+  }
+  return Status::internal(std::move(msg));
+}
+
+}  // namespace rrsn::obs

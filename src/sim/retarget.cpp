@@ -4,11 +4,24 @@
 #include <queue>
 
 #include "fault/effects.hpp"
+#include "obs/obs.hpp"
 #include "rsn/graph_view.hpp"
 
 namespace rrsn::sim {
 
 namespace {
+
+/// One finished instrument access, for the observability layer: total
+/// accesses, how many needed a fault-aware reroute, and the CSU-round
+/// distribution per access.
+void recordAccess(const RetargetResult& res) {
+  static const obs::MetricId kAccesses = obs::counter("sim.accesses");
+  static const obs::MetricId kReroutes = obs::counter("sim.reroutes");
+  static const obs::MetricId kRounds = obs::histogram("sim.rounds_per_access");
+  obs::count(kAccesses);
+  if (res.rerouted) obs::count(kReroutes);
+  obs::sample(kRounds, res.rounds);
+}
 
 /// Edge admissibility under a fault: stuck-mux edges are always
 /// enforced; the broken segment's vertex is impassable unless
@@ -371,6 +384,7 @@ candidateSelections(const rsn::GraphView& gv, const fault::Fault* f,
 }
 
 RetargetResult Retargeter::readInstrument(rsn::InstrumentId i) {
+  RRSN_OBS_SPAN("sim.read");
   const rsn::Network& net = sim_->network();
   const rsn::SegmentId seg = net.instrument(i).segment;
   const auto& faultOpt = sim_->injectedFault();
@@ -378,8 +392,10 @@ RetargetResult Retargeter::readInstrument(rsn::InstrumentId i) {
 
   RetargetResult best;
   if (f != nullptr && f->kind == fault::FaultKind::SegmentBreak &&
-      f->prim == seg)
+      f->prim == seg) {
+    recordAccess(best);
     return best;  // the instrument's own segment is dead
+  }
 
   // For reads the scan-out side must be clean; a broken segment on the
   // scan-in side only shifts garbage in behind the marker.
@@ -412,14 +428,17 @@ RetargetResult Retargeter::readInstrument(rsn::InstrumentId i) {
     if (ok) {
       attempt.success = true;
       attempt.rerouted = rerouted;
+      recordAccess(attempt);
       return attempt;
     }
   }
+  recordAccess(best);
   return best;
 }
 
 RetargetResult Retargeter::writeInstrument(rsn::InstrumentId i,
                                            const std::vector<Bit>& value) {
+  RRSN_OBS_SPAN("sim.write");
   const rsn::Network& net = sim_->network();
   const rsn::SegmentId seg = net.instrument(i).segment;
   RRSN_CHECK(value.size() == net.segment(seg).length,
@@ -429,8 +448,10 @@ RetargetResult Retargeter::writeInstrument(rsn::InstrumentId i,
 
   RetargetResult best;
   if (f != nullptr && f->kind == fault::FaultKind::SegmentBreak &&
-      f->prim == seg)
+      f->prim == seg) {
+    recordAccess(best);
     return best;
+  }
 
   // For writes the scan-in side must be clean; the scan-out side may
   // contain the broken segment (the value never travels through it).
@@ -463,9 +484,11 @@ RetargetResult Retargeter::writeInstrument(rsn::InstrumentId i,
     if (sim_->segmentUpdate(seg) == value) {
       attempt.success = true;
       attempt.rerouted = rerouted;
+      recordAccess(attempt);
       return attempt;
     }
   }
+  recordAccess(best);
   return best;
 }
 

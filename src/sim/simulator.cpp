@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace rrsn::sim {
 
 char toChar(Bit b) {
@@ -129,6 +131,8 @@ std::optional<PathInfo> ScanSimulator::activePath() const {
 }
 
 std::vector<Bit> ScanSimulator::csu(const std::vector<Bit>& in) {
+  static const obs::MetricId kCsuRounds = obs::counter("sim.csu_rounds");
+  obs::count(kCsuRounds);
   const auto path = activePath();
   if (!path)
     throw ValidationError(

@@ -4,8 +4,9 @@
 // reports as JSON; this module is the self-contained reader/writer those
 // files go through (no third-party dependency).  It supports the full
 // JSON value grammar except that numbers are stored as either int64 or
-// double, and \uXXXX escapes outside the ASCII range are preserved as
-// UTF-8.  Parse errors throw ParseError with the byte offset.
+// double; \uXXXX escapes decode to UTF-8, with UTF-16 surrogate pairs
+// recombined into one code point (lone surrogates are a parse error).
+// Parse errors throw ParseError with the byte offset.
 #pragma once
 
 #include <cstdint>

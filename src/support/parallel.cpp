@@ -1,7 +1,10 @@
 #include "support/parallel.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <memory>
@@ -14,14 +17,31 @@ namespace rrsn {
 
 namespace {
 
-std::size_t threadsFromEnvironment() {
-  if (const char* env = std::getenv("RRSN_THREADS");
-      env != nullptr && *env != '\0') {
-    const long v = std::atol(env);
-    if (v >= 1) return static_cast<std::size_t>(v);
+/// Reads one environment count through the strict parser and warns on
+/// stderr once per variable when the value was rejected or clamped —
+/// a silently mis-parsed RRSN_THREADS turns every "parallel" run serial
+/// (or worse), so the correction must be visible.
+std::size_t envCountOr(const char* name, std::size_t fallback, std::size_t lo,
+                       std::size_t hi, bool* warnedOnce) {
+  const char* text = std::getenv(name);
+  const detail::EnvParse p = detail::parseEnvCount(text, fallback, lo, hi);
+  if ((p.usedFallback && text != nullptr && *text != '\0') || p.clamped) {
+    if (!*warnedOnce) {
+      *warnedOnce = true;
+      std::fprintf(stderr,
+                   "rrsn: warning: %s=\"%s\" is %s; using %zu\n", name, text,
+                   p.clamped ? "out of range" : "not a positive integer",
+                   p.value);
+    }
   }
+  return p.value;
+}
+
+std::size_t threadsFromEnvironment() {
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  const std::size_t fallback = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  static bool warned = false;
+  return envCountOr("RRSN_THREADS", fallback, 1, detail::kMaxThreads, &warned);
 }
 
 /// One parallel region in flight.  Chunks are claimed from an atomic
@@ -194,17 +214,60 @@ void setThreadCount(std::size_t n) { Pool::instance().resize(n); }
 
 std::size_t defaultGrain() {
   static const std::size_t grain = [] {
-    if (const char* env = std::getenv("RRSN_GRAIN");
-        env != nullptr && *env != '\0') {
-      const long v = std::atol(env);
-      if (v >= 1) return static_cast<std::size_t>(v);
-    }
-    return std::size_t{16};
+    static bool warned = false;
+    return envCountOr("RRSN_GRAIN", 16, 1, detail::kMaxGrain, &warned);
   }();
   return grain;
 }
 
 namespace detail {
+
+EnvParse parseEnvCount(const char* text, std::size_t fallback, std::size_t lo,
+                       std::size_t hi) {
+  EnvParse out;
+  out.value = fallback;
+  if (text == nullptr || *text == '\0') {
+    out.usedFallback = true;
+    return out;
+  }
+  if (std::isspace(static_cast<unsigned char>(*text)) != 0) {
+    // strtoll would silently skip leading whitespace; the contract is a
+    // bare decimal integer, nothing else.
+    out.usedFallback = true;
+    return out;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') {
+    // Garbage or trailing characters ("abc", "4x", "1.5"): fall back.
+    out.usedFallback = true;
+    return out;
+  }
+  if (errno == ERANGE) {
+    // Overflowed long long: clamp to the matching bound.
+    out.clamped = true;
+    out.value = v > 0 ? hi : lo;
+    return out;
+  }
+  if (v <= 0) {
+    // 0 and negative counts are nonsense, not "minimum": fall back so a
+    // stray RRSN_THREADS=0 keeps the hardware default.
+    out.usedFallback = true;
+    return out;
+  }
+  const auto u = static_cast<unsigned long long>(v);
+  if (u < lo) {
+    out.clamped = true;
+    out.value = lo;
+  } else if (u > hi) {
+    out.clamped = true;
+    out.value = hi;
+  } else {
+    out.value = static_cast<std::size_t>(u);
+  }
+  return out;
+}
 
 void runChunks(std::size_t chunks,
                const std::function<void(std::size_t, std::size_t)>& body,

@@ -88,6 +88,29 @@ std::size_t defaultGrain();
 
 namespace detail {
 
+/// How one environment value was interpreted by parseEnvCount.
+struct EnvParse {
+  std::size_t value = 0;
+  bool usedFallback = false;  ///< text was garbage / empty / non-positive
+  bool clamped = false;       ///< text was numeric but outside [lo, hi]
+};
+
+/// Strict parser for positive environment counts (RRSN_THREADS,
+/// RRSN_GRAIN).  `text` may be null (unset variable).  Accepts only a
+/// full decimal integer; garbage, trailing characters, empty strings,
+/// zero and negative values fall back to `fallback`, while values
+/// outside [lo, hi] (including overflow) clamp to the nearest bound.
+/// Exposed for tests; callers warn once per variable on either flag.
+EnvParse parseEnvCount(const char* text, std::size_t fallback, std::size_t lo,
+                       std::size_t hi);
+
+/// Bounds enforced on the environment knobs.  A thread count above the
+/// cap only adds context-switch thrash (the pool caps chunk counts at
+/// 256 anyway); a grain above the cap would force every realistic input
+/// serial, which is indistinguishable from a typo.
+inline constexpr std::size_t kMaxThreads = 1024;
+inline constexpr std::size_t kMaxGrain = std::size_t{1} << 24;
+
 /// Runs body(chunk, worker) for every chunk in [0, chunks); worker is in
 /// [0, threadCount()) and identifies the executing lane for scratch
 /// indexing.  Blocks until all chunks completed; rethrows the first

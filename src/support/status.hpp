@@ -1,0 +1,81 @@
+// Typed, non-throwing error values.
+//
+// The libraries throw exceptions for contract violations (error.hpp),
+// but two kinds of failure want to be *values* instead:
+//  * recoverable input problems where the caller has a documented
+//    fallback (a torn checkpoint file is ignored and the campaign
+//    restarts — it must not abort a multi-hour run);
+//  * observability invariant checks, which are evaluated on hot paths
+//    and reported in bulk (obs::checkSpanBalance and friends return the
+//    first violation instead of throwing mid-measurement).
+// `Status` carries a machine-checkable code plus a human message; the
+// `[[nodiscard]]` forces call sites to look at it.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace rrsn {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,     ///< malformed input the caller handed in
+  kFailedPrecondition,  ///< input valid but incompatible with current state
+  kDataLoss,            ///< stored data is torn, truncated or corrupt
+  kUnavailable,         ///< a required resource cannot be reached
+  kInternal,            ///< an internal invariant does not hold (a bug)
+};
+
+inline const char* statusCodeName(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  /// Default-constructed status is OK (there is no `ok()` factory — the
+  /// name belongs to the predicate below; use `Status{}`).
+  Status() = default;
+
+  static Status invalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status failedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status dataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "DATA_LOSS: truncated checkpoint" — for logs and exception texts.
+  std::string toString() const {
+    if (ok()) return "OK";
+    return std::string(statusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace rrsn

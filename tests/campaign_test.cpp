@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "campaign/campaign.hpp"
@@ -127,7 +129,7 @@ TEST(Campaign, CheckpointResumeMatchesUninterruptedRun) {
   std::remove(path.c_str());
 }
 
-TEST(Campaign, CheckpointRejectsDifferentConfiguration) {
+TEST(Campaign, CheckpointIgnoresDifferentConfiguration) {
   const rsn::Network net = rsn::makeFig1Network();
   const std::string path = checkpointPath("fingerprint");
   std::remove(path.c_str());
@@ -136,15 +138,91 @@ TEST(Campaign, CheckpointRejectsDifferentConfiguration) {
   config.checkpointPath = path;
   (void)runCampaign(net, config);
 
-  // Same file, different campaign shape: the fingerprint must not match.
-  campaign::CampaignConfig other = config;
-  other.sample = 3;
-  EXPECT_THROW((void)runCampaign(net, other), IoError);
+  // Same file, different campaign shape: the fingerprint must not match,
+  // and loadCheckpoint must report the rejection as a typed Status
+  // instead of throwing — the engine restarts from scratch.
+  {
+    campaign::CampaignConfig other = config;
+    other.sample = 3;
+    campaign::CampaignEngine engine(net, other);
+    campaign::CampaignResult probe;
+    probe.instruments = net.instruments().size();
+    probe.records.resize(engine.universe().size());
+    const campaign::CheckpointLoad load = campaign::loadCheckpoint(
+        path, campaign::campaignFingerprint(net, other), probe);
+    EXPECT_EQ(load.status.code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(load.restored, 0u);
+    // The full run degrades gracefully: complete, stale file overwritten.
+    const campaign::CampaignResult result = runCampaign(net, other);
+    EXPECT_TRUE(result.summary().complete());
+    EXPECT_EQ(result.records.size(), 3u);
+  }
 
-  // A different network must be rejected too.
-  campaign::CampaignConfig sameShape;
-  sameShape.checkpointPath = path;
-  EXPECT_THROW((void)runCampaign(rsn::makeTinyNetwork(), sameShape), IoError);
+  // A different network is rejected (gracefully) too, and the campaign
+  // still produces the uninterrupted report byte for byte.
+  {
+    const rsn::Network tiny = rsn::makeTinyNetwork();
+    const std::string clean = reportString(tiny, runCampaign(tiny));
+    std::remove(path.c_str());
+    (void)runCampaign(net, config);  // rewrite fig1's checkpoint
+    campaign::CampaignConfig sameShape;
+    sameShape.checkpointPath = path;
+    EXPECT_EQ(reportString(tiny, runCampaign(tiny, sameShape)), clean);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, CorruptedCheckpointRestartsInsteadOfThrowing) {
+  const rsn::Network net = rsn::makeFig1Network();
+  const std::string path = checkpointPath("corrupt");
+  const std::string clean = reportString(net, runCampaign(net));
+
+  campaign::CampaignConfig config;
+  config.checkpointPath = path;
+
+  const auto writeFile = [&](const std::string& text) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+  };
+
+  // Produce a genuine checkpoint, then damage it in representative ways:
+  // truncated mid-document, plain garbage, and hand-edited (valid JSON,
+  // torn record).  Every variant must restart and reproduce the clean
+  // report — never throw, never merge partial corrupt state.
+  (void)runCampaign(net, config);
+  std::string good;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    good = text.str();
+  }
+  ASSERT_GT(good.size(), 32u);
+
+  const std::string truncated = good.substr(0, good.size() / 2);
+  const std::string garbage = "not json at all {{{";
+  std::string handEdited = good;
+  const auto at = handEdited.find("\"read\"");
+  ASSERT_NE(at, std::string::npos);
+  handEdited.replace(at, 6, "\"r34d\"");  // one record loses its field
+
+  for (const std::string& bad : {truncated, garbage, handEdited}) {
+    writeFile(bad);
+    campaign::CampaignResult probe;
+    probe.instruments = net.instruments().size();
+    probe.records.resize(campaign::CampaignEngine(net, config).universe().size());
+    const campaign::CheckpointLoad load = campaign::loadCheckpoint(
+        path, campaign::campaignFingerprint(net, config), probe);
+    EXPECT_EQ(load.status.code(), StatusCode::kDataLoss);
+    EXPECT_EQ(load.restored, 0u);
+    for (const campaign::FaultRecord& rec : probe.records)
+      EXPECT_FALSE(rec.done);  // nothing half-applied
+
+    writeFile(bad);
+    const campaign::CampaignResult result = runCampaign(net, config);
+    EXPECT_TRUE(result.summary().complete());
+    EXPECT_EQ(reportString(net, result), clean);
+  }
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,290 @@
+// Observability layer tests: the recorder lifecycle, span begin/end
+// balance, deterministic cross-thread aggregation, ring-drop accounting
+// and the export schemas.
+//
+// The suite manages enable()/disable()/reset() explicitly in every test:
+// the CI smoke job runs the whole test binary with RRSN_TRACE=1, which
+// auto-enables recording at the first hot-path hit, so no test may
+// assume the recorder starts out disabled.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "support/json.hpp"
+#include "support/parallel.hpp"
+#include "support/status.hpp"
+
+namespace rrsn {
+namespace {
+
+/// Scheduling-independent view of a snapshot: everything except wall
+/// times, merge order and thread identities.
+struct AggregateView {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::uint64_t> spanCounts;
+  std::map<std::string, std::vector<std::uint64_t>> histograms;
+
+  bool operator==(const AggregateView&) const = default;
+};
+
+AggregateView aggregates(const obs::Snapshot& snap) {
+  AggregateView view;
+  for (const auto& [id, v] : snap.counters) view.counters[snap.names[id]] = v;
+  for (const auto& [id, s] : snap.spans)
+    view.spanCounts[snap.names[id]] = s.count;
+  for (const auto& [id, h] : snap.histograms) {
+    std::vector<std::uint64_t> packed{h.count, h.sum, h.min, h.max};
+    packed.insert(packed.end(), h.buckets.begin(), h.buckets.end());
+    view.histograms[snap.names[id]] = std::move(packed);
+  }
+  return view;
+}
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Re-arm with the default ring capacity (enable() only applies the
+    // capacity while inactive; reset() resizes existing buffers to it),
+    // wipe whatever earlier tests recorded, then start disabled.
+    obs::disable();
+    obs::enable();
+    obs::reset();
+    obs::disable();
+  }
+  void TearDown() override {
+    obs::disable();
+    obs::enable();
+    obs::reset();
+    obs::disable();
+  }
+};
+
+TEST_F(ObsTest, RegistryIsIdempotent) {
+  const obs::MetricId a = obs::counter("obs_test.reg");
+  const obs::MetricId b = obs::counter("obs_test.reg");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(obs::span("obs_test.reg_span"), a);
+  // Re-registering a name as a different kind is a caller bug and fails
+  // loudly instead of silently merging a span into a counter.
+  EXPECT_THROW((void)obs::span("obs_test.reg"), Error);
+}
+
+TEST_F(ObsTest, DisabledPathRecordsNothing) {
+  ASSERT_FALSE(obs::enabled());
+  const obs::MetricId c = obs::counter("obs_test.disabled_counter");
+  const obs::MetricId h = obs::histogram("obs_test.disabled_hist");
+  obs::count(c, 5);
+  obs::sample(h, 42);
+  { RRSN_OBS_SPAN("obs_test.disabled_span"); }
+  const AggregateView view = aggregates(obs::snapshot());
+  EXPECT_EQ(view.counters.count("obs_test.disabled_counter"), 0u);
+  EXPECT_EQ(view.histograms.count("obs_test.disabled_hist"), 0u);
+  EXPECT_EQ(view.spanCounts.count("obs_test.disabled_span"), 0u);
+  EXPECT_TRUE(obs::checkSpanBalance().ok());
+}
+
+TEST_F(ObsTest, SpanNestingRecordsDepthsAndAggregates) {
+  obs::enable();
+  {
+    RRSN_OBS_SPAN("obs_test.outer");
+    {
+      RRSN_OBS_SPAN("obs_test.inner");
+    }
+    {
+      RRSN_OBS_SPAN("obs_test.inner");
+    }
+  }
+  const obs::Snapshot snap = obs::snapshot();
+  const AggregateView view = aggregates(snap);
+  EXPECT_EQ(view.spanCounts.at("obs_test.outer"), 1u);
+  EXPECT_EQ(view.spanCounts.at("obs_test.inner"), 2u);
+
+  // Merged events are sorted by begin time: outer first (depth 0), the
+  // two inner intervals nested one level down and non-overlapping.
+  ASSERT_EQ(snap.events.size(), 3u);
+  EXPECT_EQ(snap.names[snap.events[0].name], "obs_test.outer");
+  EXPECT_EQ(snap.events[0].depth, 0u);
+  EXPECT_EQ(snap.names[snap.events[1].name], "obs_test.inner");
+  EXPECT_EQ(snap.events[1].depth, 1u);
+  EXPECT_LE(snap.events[1].endNs, snap.events[2].beginNs);
+  EXPECT_LE(snap.events[0].beginNs, snap.events[1].beginNs);
+  EXPECT_LE(snap.events[2].endNs, snap.events[0].endNs);
+  EXPECT_TRUE(snap.violations.empty());
+  EXPECT_TRUE(obs::checkSpanBalance().ok());
+}
+
+TEST_F(ObsTest, HistogramBucketsAreLog2ByBitWidth) {
+  obs::enable();
+  const obs::MetricId h = obs::histogram("obs_test.hist");
+  for (std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{2},
+                          std::uint64_t{3}, std::uint64_t{4},
+                          std::uint64_t{1000}}) {
+    obs::sample(h, v);
+  }
+  const AggregateView view = aggregates(obs::snapshot());
+  const std::vector<std::uint64_t>& packed =
+      view.histograms.at("obs_test.hist");
+  ASSERT_EQ(packed.size(), 4u + 64u);
+  EXPECT_EQ(packed[0], 6u);     // count
+  EXPECT_EQ(packed[1], 1010u);  // sum
+  EXPECT_EQ(packed[2], 0u);     // min
+  EXPECT_EQ(packed[3], 1000u);  // max
+  const auto bucket = [&](std::size_t k) { return packed[4 + k]; };
+  EXPECT_EQ(bucket(0), 1u);   // 0
+  EXPECT_EQ(bucket(1), 1u);   // 1
+  EXPECT_EQ(bucket(2), 2u);   // 2, 3
+  EXPECT_EQ(bucket(3), 1u);   // 4
+  EXPECT_EQ(bucket(10), 1u);  // 1000 in [512, 1024)
+}
+
+TEST_F(ObsTest, AggregatesAreIdenticalAcrossThreadCounts) {
+  const obs::MetricId c = obs::counter("obs_test.det_counter");
+  const obs::MetricId h = obs::histogram("obs_test.det_hist");
+  const obs::MetricId s = obs::span("obs_test.det_span");
+  const auto workload = [&] {
+    parallelFor(
+        256,
+        [&](std::size_t i) {
+          obs::ScopedSpan span(s);
+          obs::count(c, i + 1);
+          obs::sample(h, static_cast<std::uint64_t>(i * i));
+        },
+        /*grain=*/16);
+  };
+
+  setThreadCount(1);
+  obs::enable();
+  workload();
+  const AggregateView serial = aggregates(obs::snapshot());
+
+  obs::disable();
+  obs::enable();
+  obs::reset();
+  setThreadCount(4);
+  workload();
+  const AggregateView pooled = aggregates(obs::snapshot());
+  setThreadCount(0);  // restore the environment-configured pool
+
+  // Wall times differ; everything counted must not.  The merge is a
+  // commutative fold over per-thread buffers, so the thread count (and
+  // which lane ran which chunk) is invisible in the aggregates.
+  EXPECT_EQ(serial, pooled);
+  EXPECT_EQ(serial.counters.at("obs_test.det_counter"),
+            256u * 257u / 2u);
+  EXPECT_EQ(serial.spanCounts.at("obs_test.det_span"), 256u);
+}
+
+TEST_F(ObsTest, UnbalancedSpansAreReportedNotFatal) {
+  obs::enable();
+  const obs::MetricId id = obs::span("obs_test.unbalanced");
+
+  // End without begin: recorded as a violation, the event is dropped.
+  obs::spanEnd(id);
+  {
+    const obs::Snapshot snap = obs::snapshot();
+    ASSERT_EQ(snap.violations.size(), 1u);
+    EXPECT_NE(snap.violations[0].find("without a matching begin"),
+              std::string::npos);
+  }
+
+  // Begin without end: the span shows up as still open.
+  obs::disable();
+  obs::enable();
+  obs::reset();
+  obs::spanBegin(id);
+  const Status open = obs::checkSpanBalance();
+  ASSERT_FALSE(open.ok());
+  EXPECT_EQ(open.code(), StatusCode::kInternal);
+  EXPECT_NE(open.message().find("obs_test.unbalanced"), std::string::npos);
+  EXPECT_THROW(obs::raiseIfError(open), obs::InvariantError);
+  obs::spanEnd(id);  // close it so TearDown's reset sees a clean stack
+  EXPECT_TRUE(obs::checkSpanBalance().ok());
+}
+
+TEST_F(ObsTest, RingDropsAreCountedAndAggregatesStayExact) {
+  obs::disable();
+  obs::enable(obs::Options{/*ringCapacity=*/4});
+  obs::reset();  // resize this thread's existing buffer to the new cap
+  const obs::MetricId id = obs::span("obs_test.ring");
+  for (int k = 0; k < 10; ++k) {
+    obs::ScopedSpan span(id);
+  }
+  const obs::Snapshot snap = obs::snapshot();
+  EXPECT_EQ(snap.droppedEvents, 6u);
+  EXPECT_EQ(snap.events.size(), 4u);
+  // The ring keeps the newest events; aggregates never drop anything.
+  for (const obs::TraceEvent& ev : snap.events)
+    EXPECT_EQ(snap.names[ev.name], "obs_test.ring");
+  EXPECT_GE(snap.events.front().seq, 6u);
+  EXPECT_EQ(aggregates(snap).spanCounts.at("obs_test.ring"), 10u);
+}
+
+TEST_F(ObsTest, TraceEventJsonHasChromeSchema) {
+  obs::enable();
+  {
+    RRSN_OBS_SPAN("obs_test.trace_outer");
+    RRSN_OBS_SPAN("obs_test.trace_inner");
+  }
+  const obs::Snapshot snap = obs::snapshot();
+  const json::Value doc = json::parse(obs::traceEventJson(snap));
+  EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
+  EXPECT_EQ(doc.at("otherData").at("producer").asString(), "rrsn_obs");
+  EXPECT_EQ(doc.at("otherData").at("dropped_events").asUnsigned(), 0u);
+  const json::Array& events = doc.at("traceEvents").asArray();
+  ASSERT_EQ(events.size(), 2u);
+  for (const json::Value& ev : events) {
+    EXPECT_EQ(ev.at("ph").asString(), "X");
+    EXPECT_EQ(ev.at("cat").asString(), "rrsn");
+    EXPECT_GE(ev.at("dur").asDouble(), 0.0);
+    (void)ev.at("ts").asDouble();
+    (void)ev.at("pid").asUnsigned();
+    (void)ev.at("tid").asUnsigned();
+  }
+  EXPECT_EQ(events[0].at("name").asString(), "obs_test.trace_outer");
+  EXPECT_EQ(events[1].at("name").asString(), "obs_test.trace_inner");
+}
+
+TEST_F(ObsTest, MetricsJsonIsCanonicalAndComplete) {
+  obs::enable();
+  const obs::MetricId c = obs::counter("obs_test.metrics_counter");
+  const obs::MetricId h = obs::histogram("obs_test.metrics_hist");
+  obs::count(c, 3);
+  obs::sample(h, 7);
+  { RRSN_OBS_SPAN("obs_test.metrics_span"); }
+  const obs::Snapshot snap = obs::snapshot();
+  const json::Value doc = obs::metricsJson(snap);
+  EXPECT_EQ(doc.at("counters").at("obs_test.metrics_counter").asUnsigned(),
+            3u);
+  EXPECT_EQ(doc.at("spans").at("obs_test.metrics_span").at("count")
+                .asUnsigned(),
+            1u);
+  EXPECT_EQ(doc.at("histograms").at("obs_test.metrics_hist").at("sum")
+                .asUnsigned(),
+            7u);
+  EXPECT_EQ(doc.at("violations").asArray().size(), 0u);
+  EXPECT_EQ(doc.at("dropped_events").asUnsigned(), 0u);
+  EXPECT_GE(doc.at("threads").asUnsigned(), 1u);
+  // Canonical: same snapshot serializes byte-identically.
+  EXPECT_EQ(json::serialize(doc, 1), json::serialize(obs::metricsJson(snap), 1));
+  // The summary table renders one row per metric without throwing.
+  EXPECT_FALSE(obs::summaryTable(snap).render().empty());
+}
+
+TEST_F(ObsTest, RaiseIfErrorCarriesTypedStatus) {
+  obs::raiseIfError(Status{});  // ok is a no-op
+  try {
+    obs::raiseIfError(Status::internal("probe accounting diverged"));
+    FAIL() << "raiseIfError(kInternal) must throw";
+  } catch (const obs::InvariantError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kInternal);
+    EXPECT_NE(std::string(e.what()).find("probe accounting diverged"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rrsn

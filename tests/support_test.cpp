@@ -4,7 +4,10 @@
 #include <set>
 
 #include "support/bitset.hpp"
+#include "support/json.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
+#include "support/status.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 
@@ -310,6 +313,116 @@ TEST(Strings, ParseUnsigned) {
 TEST(Strings, ParseDouble) {
   EXPECT_DOUBLE_EQ(parseDouble("2.5", "t"), 2.5);
   EXPECT_THROW(parseDouble("abc", "t"), ParseError);
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  // One escape per UTF-8 length class: 1, 2, 3 bytes.
+  EXPECT_EQ(json::parse("\"\\u0041\"").asString(), "A");
+  EXPECT_EQ(json::parse("\"\\u00e9\"").asString(), "\xc3\xa9");      // é
+  EXPECT_EQ(json::parse("\"\\u20ac\"").asString(), "\xe2\x82\xac");  // €
+}
+
+TEST(Json, SurrogatePairsRecombine) {
+  // U+1D11E (musical G clef) = \uD834\uDD1E -> 4-byte UTF-8.
+  EXPECT_EQ(json::parse("\"\\ud834\\udd1e\"").asString(),
+            "\xf0\x9d\x84\x9e");
+  // U+10000, the first supplementary code point (low edge of the range).
+  EXPECT_EQ(json::parse("\"\\ud800\\udc00\"").asString(),
+            "\xf0\x90\x80\x80");
+  // U+10FFFF, the last code point (high edge).
+  EXPECT_EQ(json::parse("\"\\udbff\\udfff\"").asString(),
+            "\xf4\x8f\xbf\xbf");
+  // Pairs embedded in surrounding text survive.
+  EXPECT_EQ(json::parse("\"a\\ud834\\udd1ez\"").asString(),
+            "a\xf0\x9d\x84\x9ez");
+}
+
+TEST(Json, LoneSurrogatesAreParseErrors) {
+  // High surrogate at end of string, or followed by a non-escape.
+  EXPECT_THROW(json::parse("\"\\ud834\""), ParseError);
+  EXPECT_THROW(json::parse("\"\\ud834x\""), ParseError);
+  // High surrogate followed by an escape that is not a low surrogate.
+  EXPECT_THROW(json::parse("\"\\ud834\\u0041\""), ParseError);
+  // High surrogate followed by another high surrogate.
+  EXPECT_THROW(json::parse("\"\\ud834\\ud834\""), ParseError);
+  // Low surrogate with no preceding high surrogate.
+  EXPECT_THROW(json::parse("\"\\udd1e\""), ParseError);
+}
+
+TEST(Json, SupplementaryPlaneRoundTripsThroughWriter) {
+  // parse -> serialize -> parse is the writer/reader contract: the
+  // serializer emits the raw UTF-8 bytes and the parser accepts them.
+  const std::string decoded = json::parse("\"\\ud834\\udd1e e\\u0301\"")
+                                  .asString();
+  const std::string serialized = json::serialize(json::Value(decoded));
+  EXPECT_EQ(json::parse(serialized).asString(), decoded);
+}
+
+TEST(ParallelEnv, ParseEnvCountAcceptsPlainIntegers) {
+  const auto p = detail::parseEnvCount("8", 3, 1, 1024);
+  EXPECT_EQ(p.value, 8u);
+  EXPECT_FALSE(p.usedFallback);
+  EXPECT_FALSE(p.clamped);
+}
+
+TEST(ParallelEnv, ParseEnvCountFallsBackOnGarbage) {
+  for (const char* text : {"abc", "4x", "1.5", "", " 8", "8 ", "--2"}) {
+    const auto p = detail::parseEnvCount(text, 3, 1, 1024);
+    EXPECT_EQ(p.value, 3u) << '"' << text << '"';
+    EXPECT_TRUE(p.usedFallback) << '"' << text << '"';
+    EXPECT_FALSE(p.clamped) << '"' << text << '"';
+  }
+  // Unset variable (null) is a silent fallback too.
+  const auto p = detail::parseEnvCount(nullptr, 5, 1, 1024);
+  EXPECT_EQ(p.value, 5u);
+  EXPECT_TRUE(p.usedFallback);
+}
+
+TEST(ParallelEnv, ParseEnvCountFallsBackOnNonPositive) {
+  for (const char* text : {"0", "-1", "-9223372036854775807"}) {
+    const auto p = detail::parseEnvCount(text, 4, 1, 1024);
+    EXPECT_EQ(p.value, 4u) << '"' << text << '"';
+    EXPECT_TRUE(p.usedFallback) << '"' << text << '"';
+  }
+}
+
+TEST(ParallelEnv, ParseEnvCountClampsOutOfRange) {
+  // Above the cap (including values that overflow long long).
+  for (const char* text : {"4097", "99999999999999999999999999"}) {
+    const auto p = detail::parseEnvCount(text, 4, 2, 4096);
+    EXPECT_EQ(p.value, 4096u) << '"' << text << '"';
+    EXPECT_TRUE(p.clamped) << '"' << text << '"';
+    EXPECT_FALSE(p.usedFallback) << '"' << text << '"';
+  }
+  // Below the floor.
+  const auto p = detail::parseEnvCount("1", 4, 2, 4096);
+  EXPECT_EQ(p.value, 2u);
+  EXPECT_TRUE(p.clamped);
+}
+
+TEST(ParallelEnv, BoundsAreSane) {
+  EXPECT_GE(detail::kMaxThreads, 64u);
+  EXPECT_GE(detail::kMaxGrain, std::size_t{1} << 20);
+}
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.toString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::dataLoss("truncated checkpoint");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(), "truncated checkpoint");
+  EXPECT_EQ(s.toString(), "DATA_LOSS: truncated checkpoint");
+  EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::failedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::invalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::unavailable("x").code(), StatusCode::kUnavailable);
 }
 
 }  // namespace

@@ -27,6 +27,10 @@
 //
 // Common options: --spec <file> (explicit damage weights), --seed N
 // (random spec / EA seed), --generations N, --population N, --top K.
+// Every subcommand also accepts --trace <file> (Chrome trace-event JSON
+// of the run, for chrome://tracing / Perfetto) and --metrics <file>
+// (canonical metrics JSON); both imply profiling and print a timing
+// summary to stderr.  Results are byte-identical with and without them.
 // `<netlist>` of "-" reads from stdin; "example:fig1" / "example:tiny"
 // resolve the built-in example networks.
 #include <fstream>
@@ -40,6 +44,7 @@
 #include "diag/diagnosis.hpp"
 #include "harden/hardening.hpp"
 #include "moo/spea2.hpp"
+#include "obs/obs.hpp"
 #include "rsn/example_networks.hpp"
 #include "rsn/graph_view.hpp"
 #include "rsn/netlist_io.hpp"
@@ -71,6 +76,9 @@ struct Options {
   std::optional<std::string> checkpoint;
   std::optional<std::string> csvOut;
   std::optional<std::string> jsonOut;
+  // observability (any subcommand)
+  std::optional<std::string> traceOut;
+  std::optional<std::string> metricsOut;
 };
 
 [[noreturn]] void usage() {
@@ -80,7 +88,7 @@ struct Options {
          "[--seed N] [--generations N] [--population N] [--top K] "
          "[--plan-out file] [--sample N] [--deadline-ms N] [--checkpoint file] "
          "[--batch N] [--csv file] [--json file] [--max-reroutes N] "
-         "[--no-reroute]\n";
+         "[--no-reroute] [--trace file] [--metrics file]\n";
   std::exit(2);
 }
 
@@ -89,8 +97,19 @@ Options parseArgs(int argc, char** argv) {
   if (argc < 3) usage();
   opt.command = argv[1];
   for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Both "--opt value" and "--opt=value" are accepted for every
+    // value-taking option.
+    std::optional<std::string> inlineValue;
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inlineValue = arg.substr(eq + 1);
+        arg.resize(eq);
+      }
+    }
     const auto value = [&]() -> std::string {
+      if (inlineValue) return *inlineValue;
       if (i + 1 >= argc) usage();
       return argv[++i];
     };
@@ -113,8 +132,11 @@ Options parseArgs(int argc, char** argv) {
     else if (arg == "--checkpoint") opt.checkpoint = value();
     else if (arg == "--csv") opt.csvOut = value();
     else if (arg == "--json") opt.jsonOut = value();
+    else if (arg == "--trace") opt.traceOut = value();
+    else if (arg == "--metrics") opt.metricsOut = value();
     else if (!arg.empty() && arg[0] == '-' && arg != "-") usage();
     else opt.positional.push_back(arg);
+    if (inlineValue && (arg == "--no-reroute" || arg[0] != '-')) usage();
   }
   if (opt.positional.empty()) usage();
   return opt;
@@ -361,21 +383,53 @@ int cmdBench(const Options& opt) {
   return 0;
 }
 
+int dispatch(const Options& opt) {
+  if (opt.command == "info") return cmdInfo(opt);
+  if (opt.command == "dot") return cmdDot(opt);
+  if (opt.command == "tree") return cmdTree(opt);
+  if (opt.command == "analyze") return cmdAnalyze(opt);
+  if (opt.command == "harden") return cmdHarden(opt);
+  if (opt.command == "access") return cmdAccess(opt);
+  if (opt.command == "diagnose") return cmdDiagnose(opt);
+  if (opt.command == "campaign") return cmdCampaign(opt);
+  if (opt.command == "bench") return cmdBench(opt);
+  usage();
+}
+
+/// Writes the requested trace / metrics exports and a timing summary to
+/// stderr (stdout carries the command's result and must stay identical
+/// with and without profiling).
+void exportObservability(const Options& opt) {
+  if (!opt.traceOut && !opt.metricsOut && !obs::enabled()) return;
+  const obs::Snapshot snap = obs::snapshot();
+  if (opt.traceOut) {
+    std::ofstream out(*opt.traceOut, std::ios::binary);
+    RRSN_CHECK(static_cast<bool>(out),
+               "cannot write trace '" + *opt.traceOut + "'");
+    out << obs::traceEventJson(snap) << '\n';
+    std::cerr << "trace written to " << *opt.traceOut << '\n';
+  }
+  if (opt.metricsOut) {
+    std::ofstream out(*opt.metricsOut, std::ios::binary);
+    RRSN_CHECK(static_cast<bool>(out),
+               "cannot write metrics '" + *opt.metricsOut + "'");
+    out << json::serialize(obs::metricsJson(snap), 1) << '\n';
+    std::cerr << "metrics written to " << *opt.metricsOut << '\n';
+  }
+  if (opt.traceOut || opt.metricsOut)
+    std::cerr << obs::summaryTable(snap).render();
+  obs::raiseIfError(obs::checkSpanBalance());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Options opt = parseArgs(argc, argv);
-    if (opt.command == "info") return cmdInfo(opt);
-    if (opt.command == "dot") return cmdDot(opt);
-    if (opt.command == "tree") return cmdTree(opt);
-    if (opt.command == "analyze") return cmdAnalyze(opt);
-    if (opt.command == "harden") return cmdHarden(opt);
-    if (opt.command == "access") return cmdAccess(opt);
-    if (opt.command == "diagnose") return cmdDiagnose(opt);
-    if (opt.command == "campaign") return cmdCampaign(opt);
-    if (opt.command == "bench") return cmdBench(opt);
-    usage();
+    if (opt.traceOut || opt.metricsOut) obs::enable();
+    const int code = dispatch(opt);
+    exportObservability(opt);
+    return code;
   } catch (const rrsn::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
