@@ -6,6 +6,7 @@
 
 #include "campaign/checkpoint.hpp"
 #include "fault/effects.hpp"
+#include "lint/lint.hpp"
 #include "obs/obs.hpp"
 #include "rsn/graph_view.hpp"
 #include "sim/simulator.hpp"
@@ -455,6 +456,7 @@ FaultRecord CampaignEngine::probeFault(const rsn::GraphView& gv,
 
 CampaignResult CampaignEngine::run() {
   RRSN_OBS_SPAN("campaign.run");
+  if (config_.lint) lint::enforceClean(*net_, "campaign");
   CampaignResult result;
   result.instruments = net_->instruments().size();
   result.records.resize(universe_.size());

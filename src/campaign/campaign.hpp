@@ -171,6 +171,10 @@ struct CampaignConfig {
   const CancellationToken* cancel = nullptr;
   /// Called after every batch with (faultsDone, faultsTotal).
   std::function<void(std::size_t, std::size_t)> progress;
+  /// Fail fast on networks with error-severity lint findings: run()
+  /// throws lint::LintError before probing anything.  Disable to
+  /// campaign a known-defective model anyway.
+  bool lint = true;
 };
 
 /// Runs fault-injection campaigns on one network.

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "fault/fault.hpp"
+#include "lint/lint.hpp"
 #include "obs/obs.hpp"
 #include "rsn/graph_view.hpp"
 #include "support/parallel.hpp"
@@ -82,6 +83,7 @@ CriticalityAnalyzer::CriticalityAnalyzer(const rsn::Network& net,
       spec_(&spec),
       options_(options),
       tree_(sp::DecompositionTree::build(net)) {
+  if (options_.lint) lint::enforceClean(net, "criticality analysis");
   tree_.annotate(spec);
 }
 

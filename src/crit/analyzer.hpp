@@ -37,6 +37,12 @@ enum class MuxDamagePolicy : std::uint8_t {
 
 struct AnalysisOptions {
   MuxDamagePolicy muxPolicy = MuxDamagePolicy::WorstCase;
+  /// Fail fast on networks with error-severity lint findings (control
+  /// deadlocks, unreachable segments, ...): the analyzer throws
+  /// lint::LintError from its constructor instead of computing damages
+  /// for configurations that can never be reached.  Disable to analyze
+  /// a known-defective model anyway.
+  bool lint = true;
 };
 
 /// Result of a criticality analysis: d_j per linear primitive id

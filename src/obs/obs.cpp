@@ -136,6 +136,8 @@ detail::ThreadBuffer* slowPathTls() {
   {
     std::lock_guard<std::mutex> lock(g_lifecycleMutex);
     if (g_envLatched.load(std::memory_order_acquire) == 0) {
+      // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv under
+      // g_lifecycleMutex; nothing in the process calls setenv.
       const char* env = std::getenv("RRSN_TRACE");
       const bool on = env != nullptr && *env != '\0' &&
                       !(env[0] == '0' && env[1] == '\0');

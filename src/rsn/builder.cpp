@@ -38,7 +38,10 @@ NetworkBuilder::Handle NetworkBuilder::mux(const std::string& name,
         ctrl = static_cast<SegmentId>(i);
     if (ctrl == kNone)
       throw ValidationError("mux '" + name + "': unknown control segment '" +
-                            controlSegment + "'");
+                                controlSegment +
+                                "' (control registers must be declared before "
+                                "the mux they steer)",
+                            ValidationCode::UnknownCtrl);
     m.controlSegment = ctrl;
   }
   muxes_.push_back(std::move(m));

@@ -93,11 +93,13 @@ class Lexer {
 
 class Parser {
  public:
-  explicit Parser(std::istream& is) : lex_(is) {}
+  explicit Parser(std::istream& is, NetlistSources* sources = nullptr)
+      : lex_(is), sources_(sources) {}
 
   Network parse() {
     expectWord("network");
     const std::string name = expectAnyWord("network name");
+    recordLine(name);
     builder_.emplace(name);
     expect(Token::Kind::LBrace, "'{'");
     const auto top = parseNode();
@@ -138,6 +140,10 @@ class Parser {
     if (t.text == "mux") return parseMux();
     if (t.text == "sib") {
       const std::string name = expectAnyWord("sib name");
+      recordLine(name);
+      // The sib sugar declares both the 1-bit register `name` and the
+      // bypass mux `name + "_mux"`; anchor both on the `sib` line.
+      recordLine(name + "_mux");
       const auto content = parseBody("sib body");
       return builder_->sib(name, content);
     }
@@ -161,6 +167,7 @@ class Parser {
 
   NetworkBuilder::Handle parseSegment() {
     const std::string name = expectAnyWord("segment name");
+    recordLine(name);
     std::uint32_t length = 1;
     std::string instrument;
     while (lex_.peek().kind == Token::Kind::Word) {
@@ -174,9 +181,10 @@ class Parser {
                            " out of range [1, " +
                            std::to_string(kMaxSegmentLength) + "]");
         length = static_cast<std::uint32_t>(raw);
-      } else if (key == "instrument")
+      } else if (key == "instrument") {
         instrument = value;
-      else
+        recordLine(value);
+      } else
         throw ParseError("unknown segment attribute '" + key + "'");
     }
     expect(Token::Kind::Semi, "';'");
@@ -185,6 +193,7 @@ class Parser {
 
   NetworkBuilder::Handle parseMux() {
     const std::string name = expectAnyWord("mux name");
+    recordLine(name);
     std::string ctrl;
     while (lex_.peek().kind == Token::Kind::Word &&
            lex_.peek().text != "branch") {
@@ -220,10 +229,20 @@ class Parser {
   std::string expectAnyWord(const std::string& what) {
     const Token t = lex_.next();
     if (t.kind != Token::Kind::Word) fail(t, what);
+    lastWordLine_ = t.line;
     return t.text;
   }
 
+  /// Records the declaration line of `name` (the most recently consumed
+  /// word token) into the optional source map.  First declaration wins,
+  /// which is the right anchor for duplicate-name diagnostics.
+  void recordLine(const std::string& name) {
+    if (sources_ != nullptr) sources_->lineOf.emplace(name, lastWordLine_);
+  }
+
   Lexer lex_;
+  NetlistSources* sources_ = nullptr;
+  std::size_t lastWordLine_ = 0;
   std::optional<NetworkBuilder> builder_;
   std::size_t depth_ = 0;
 };
@@ -336,6 +355,10 @@ class Writer {
 }  // namespace
 
 Network parseNetlist(std::istream& is) { return Parser(is).parse(); }
+
+Network parseNetlist(std::istream& is, NetlistSources& sources) {
+  return Parser(is, &sources).parse();
+}
 
 Network parseNetlistString(const std::string& text) {
   std::istringstream is(text);

@@ -17,15 +17,35 @@
 // by the 1-bit register "<name>" driving the mux address).
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <unordered_map>
 
 #include "rsn/network.hpp"
 
 namespace rrsn::rsn {
 
+/// Side-table mapping declared names (segments, muxes, instruments, the
+/// network itself) to their 1-based source line.  Filled incrementally
+/// while parsing, so it is usable even when the parse or the model
+/// validation rejects the input — the static checker (src/lint) resolves
+/// finding locations through it.
+struct NetlistSources {
+  std::unordered_map<std::string, std::size_t> lineOf;
+
+  /// Line of `name`, or 0 when unknown.
+  std::size_t line(const std::string& name) const {
+    const auto it = lineOf.find(name);
+    return it == lineOf.end() ? 0 : it->second;
+  }
+};
+
 /// Parses a network from text; throws ParseError with line information.
+/// The overload taking `sources` records declaration lines as it goes
+/// (including everything parsed before a rejection).
 Network parseNetlist(std::istream& is);
+Network parseNetlist(std::istream& is, NetlistSources& sources);
 Network parseNetlistString(const std::string& text);
 
 /// Writes `net` in the format above.  SIB patterns created by

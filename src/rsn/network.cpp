@@ -94,7 +94,8 @@ void Network::validate() const {
     if (n.empty())
       throw ValidationError(std::string(what) + " with empty name");
     if (!names.insert(n).second)
-      throw ValidationError("duplicate name '" + n + "'");
+      throw ValidationError("duplicate name '" + n + "'",
+                            ValidationCode::DuplicateName);
   };
   for (const Segment& s : segments_) {
     checkName(s.name, "segment");
@@ -141,7 +142,8 @@ void Network::validate() const {
           nonWire |= structure_.node(c).kind != NodeKind::Wire;
         if (!nonWire)
           throw ValidationError("mux '" + muxes_[n.prim].name +
-                                "' selects only wires");
+                                    "' selects only wires",
+                                ValidationCode::WireOnlyMux);
         break;
       }
       case NodeKind::Wire:
@@ -179,9 +181,10 @@ void Network::validate() const {
       for (const auto& [mux, ctrl] : openMuxes) {
         if (ctrl == n.prim)
           throw ValidationError("mux '" + muxes_[mux].name +
-                                "' is controlled by segment '" +
-                                segments_[n.prim].name +
-                                "' inside its own branches");
+                                    "' is controlled by segment '" +
+                                    segments_[n.prim].name +
+                                    "' inside its own branches",
+                                ValidationCode::CtrlCycle);
       }
     }
     if (fr.next >= n.children.size()) {

@@ -24,11 +24,30 @@ class ParseError : public Error {
   using Error::Error;
 };
 
+/// Machine-readable classification of a ValidationError.  The static
+/// checker (src/lint) maps model rejections onto lint rule ids through
+/// this code, so diagnostics stay typed end to end instead of being
+/// re-derived from message text.
+enum class ValidationCode : std::uint8_t {
+  Generic,        ///< any invariant not covered by a specific code
+  DuplicateName,  ///< two primitives/instruments share one name
+  WireOnlyMux,    ///< every branch of a mux is a wire
+  CtrlCycle,      ///< mux controlled from inside its own branches
+  UnknownCtrl,    ///< mux names a control segment that does not exist yet
+};
+
 /// Thrown when a network violates structural invariants (unknown vertex,
 /// cyclic scan path, dangling mux input, ...).
 class ValidationError : public Error {
  public:
-  using Error::Error;
+  explicit ValidationError(const std::string& what,
+                           ValidationCode code = ValidationCode::Generic)
+      : Error(what), code_(code) {}
+
+  ValidationCode code() const { return code_; }
+
+ private:
+  ValidationCode code_ = ValidationCode::Generic;
 };
 
 /// Thrown when a file the library must read or write (checkpoint, plan,

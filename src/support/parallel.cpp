@@ -23,6 +23,8 @@ namespace {
 /// (or worse), so the correction must be visible.
 std::size_t envCountOr(const char* name, std::size_t fallback, std::size_t lo,
                        std::size_t hi, bool* warnedOnce) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv at pool
+  // construction; nothing in the process calls setenv.
   const char* text = std::getenv(name);
   const detail::EnvParse p = detail::parseEnvCount(text, fallback, lo, hi);
   if ((p.usedFallback && text != nullptr && *text != '\0') || p.clamped) {

@@ -7,11 +7,16 @@
 // controlled from inside their own branches, absurd or truncating
 // segment lengths, NUL bytes and overlong tokens, and pathological
 // nesting that would otherwise exhaust the parser stack.
+//
+// Every corpus entry is additionally fed through the lenient lint
+// pipeline, which must turn the rejection into at least one
+// error-severity finding — never a crash and never a clean report.
 #include <gtest/gtest.h>
 
 #include <string>
 #include <vector>
 
+#include "lint/lint.hpp"
 #include "rsn/netlist_io.hpp"
 #include "rsn/network.hpp"
 #include "support/error.hpp"
@@ -29,6 +34,12 @@ void expectRejected(const std::string& text, const std::string& label) {
   } catch (const std::exception& e) {
     FAIL() << label << ": wrong exception type: " << e.what();
   }
+  // The linter sees the same defect as findings, not exceptions.
+  const lint::LintedNetlist linted = lint::lintNetlistText(text);
+  EXPECT_FALSE(linted.net.has_value())
+      << label << ": linter accepted a rejected netlist";
+  EXPECT_GE(linted.result.errors, 1u)
+      << label << ": rejection produced a clean lint report";
 }
 
 TEST(NetlistFuzz, TruncatedBlocks) {
@@ -153,6 +164,55 @@ TEST(NetlistFuzz, DegenerateMuxes) {
                  "single-branch mux");
   expectRejected("network n { mux m { branch { wire; } branch { wire; } } }",
                  "mux selecting only wires");
+}
+
+TEST(NetlistFuzz, ParseCleanDefectsAreCaughtByTheLinter) {
+  // Inputs the parser must accept (they are well-formed netlists) but
+  // that describe structurally broken networks the linter must flag as
+  // errors.  Uncovered while wiring the corpus through lintNetlistText:
+  // the parser-level fuzz tests alone would pass these silently.
+  const struct {
+    const char* label;
+    const char* text;
+    const char* rule;
+  } corpus[] = {
+      {"1-bit control on a 3-way mux",
+       "network n { chain { segment c;"
+       " mux m ctrl=c { branch { segment a; } branch { segment b; }"
+       " branch { segment d; } } } }",
+       "struct.ctrl-width"},
+      {"segment behind an unaddressable branch",
+       "network n { chain { segment c;"
+       " mux m ctrl=c { branch { segment a; } branch { segment b; }"
+       " branch { segment d; } } } }",
+       "struct.unreachable"},
+  };
+  for (const auto& c : corpus) {
+    EXPECT_NO_THROW((void)rsn::parseNetlistString(c.text)) << c.label;
+    const lint::LintedNetlist linted = lint::lintNetlistText(c.text);
+    ASSERT_TRUE(linted.net.has_value()) << c.label;
+    EXPECT_GE(linted.result.errors, 1u) << c.label;
+    bool found = false;
+    for (const auto& f : linted.result.findings)
+      if (f.ruleId == c.rule) found = true;
+    EXPECT_TRUE(found) << c.label << ": expected " << c.rule << "\n"
+                       << lint::textReport(linted.result, c.label);
+  }
+
+  // A SIB tower inside the parser's nesting cap parses fine but must
+  // draw a depth warning (the criticality walk degrades past ~64).
+  std::string tower = "network n { ";
+  for (int i = 0; i < 100; ++i) tower += "sib s" + std::to_string(i) + " { ";
+  tower += "segment x instrument=ix;";
+  for (int i = 0; i < 100; ++i) tower += " }";
+  tower += " }";
+  const lint::LintedNetlist deep = lint::lintNetlistText(tower);
+  ASSERT_TRUE(deep.net.has_value());
+  EXPECT_EQ(deep.result.errors, 0u);
+  bool depthWarned = false;
+  for (const auto& f : deep.result.findings)
+    if (f.ruleId == "ready.depth") depthWarned = true;
+  EXPECT_TRUE(depthWarned) << lint::textReport(deep.result, "tower");
 }
 
 TEST(NetlistFuzz, ValidInputsStillParse) {

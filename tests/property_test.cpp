@@ -7,7 +7,9 @@
 #include <algorithm>
 
 #include "graph/digraph.hpp"
+#include "lint/lint.hpp"
 #include "rsn/graph_view.hpp"
+#include "rsn/spec.hpp"
 #include "sim/simulator.hpp"
 #include "sp/decomposition.hpp"
 #include "test_util.hpp"
@@ -184,6 +186,28 @@ TEST_P(TreeInvariants, ScanOrderMatchesSimulatorFullPath) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TreeInvariants,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ------------------------------------------------------- lint property
+
+class LintCleanGenerators : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LintCleanGenerators, RandomNetworkAndSpecLintWithoutErrors) {
+  // Whatever the experiment generators emit (random networks with the
+  // paper's 70%/70%/10%/10% spec scheme) must pass the fail-fast gate:
+  // a generator that trips error-severity rules would abort every
+  // criticality sweep and campaign built on it.  Warnings and notes are
+  // expected (e.g. TAP-steered muxes carry no control register).
+  Rng rng(GetParam() * 1031 + 7);
+  const rsn::Network net = test::randomNetwork(rng);
+  const rsn::CriticalitySpec spec = test::randomSpecFor(net, rng);
+  lint::LintOptions opts;
+  opts.spec = &spec;
+  const lint::LintResult result = lint::runLint(net, opts);
+  EXPECT_EQ(result.errors, 0u) << lint::textReport(result, net.name());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LintCleanGenerators,
                          ::testing::Range<std::uint64_t>(1, 13));
 
 }  // namespace

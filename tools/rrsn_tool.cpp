@@ -24,9 +24,20 @@
 //                                                --max-reroutes N, --no-reroute
 //   rrsn_tool bench   <name>                     emit a Table-I benchmark as a
 //                                                netlist on stdout
+//   rrsn_tool lint    <netlist> [options]        static verification: run the
+//                                                rrsn_lint rule registry and
+//                                                print a compiler-style report
+//                                                (exit 1 on error findings).
+//                                                --spec f checks damage
+//                                                weights, --plan f checks a
+//                                                hardened-set plan, --json f /
+//                                                --sarif f export the findings
+//                                                (SARIF 2.1.0 for CI)
 //
 // Common options: --spec <file> (explicit damage weights), --seed N
 // (random spec / EA seed), --generations N, --population N, --top K.
+// `analyze`, `harden` and `campaign` fail fast on error-severity lint
+// findings before doing any work; --no-lint skips that check.
 // Every subcommand also accepts --trace <file> (Chrome trace-event JSON
 // of the run, for chrome://tracing / Perfetto) and --metrics <file>
 // (canonical metrics JSON); both imply profiling and print a timing
@@ -43,6 +54,7 @@
 #include "crit/analyzer.hpp"
 #include "diag/diagnosis.hpp"
 #include "harden/hardening.hpp"
+#include "lint/lint.hpp"
 #include "moo/spea2.hpp"
 #include "obs/obs.hpp"
 #include "rsn/example_networks.hpp"
@@ -63,6 +75,10 @@ struct Options {
   std::optional<std::string> specFile;
   std::optional<std::string> faultText;
   std::optional<std::string> planOut;
+  // lint options
+  std::optional<std::string> planIn;
+  std::optional<std::string> sarifOut;
+  bool noLint = false;
   std::uint64_t seed = 2022;
   std::size_t generations = 300;
   std::size_t population = 100;
@@ -84,11 +100,12 @@ struct Options {
 [[noreturn]] void usage() {
   std::cerr
       << "usage: rrsn_tool <info|dot|tree|analyze|harden|access|diagnose|"
-         "campaign|bench> <netlist|name> [args] [--spec file] [--fault F] "
+         "campaign|bench|lint> <netlist|name> [args] [--spec file] [--fault F] "
          "[--seed N] [--generations N] [--population N] [--top K] "
          "[--plan-out file] [--sample N] [--deadline-ms N] [--checkpoint file] "
          "[--batch N] [--csv file] [--json file] [--max-reroutes N] "
-         "[--no-reroute] [--trace file] [--metrics file]\n";
+         "[--no-reroute] [--trace file] [--metrics file] [--plan file] "
+         "[--sarif file] [--no-lint]\n";
   std::exit(2);
 }
 
@@ -115,6 +132,9 @@ Options parseArgs(int argc, char** argv) {
     };
     if (arg == "--spec") opt.specFile = value();
     else if (arg == "--plan-out") opt.planOut = value();
+    else if (arg == "--plan") opt.planIn = value();
+    else if (arg == "--sarif") opt.sarifOut = value();
+    else if (arg == "--no-lint") opt.noLint = true;
     else if (arg == "--fault") opt.faultText = value();
     else if (arg == "--seed") opt.seed = parseUnsigned(value(), "--seed");
     else if (arg == "--generations")
@@ -136,7 +156,9 @@ Options parseArgs(int argc, char** argv) {
     else if (arg == "--metrics") opt.metricsOut = value();
     else if (!arg.empty() && arg[0] == '-' && arg != "-") usage();
     else opt.positional.push_back(arg);
-    if (inlineValue && (arg == "--no-reroute" || arg[0] != '-')) usage();
+    if (inlineValue && (arg == "--no-reroute" || arg == "--no-lint" ||
+                        arg[0] != '-'))
+      usage();
   }
   if (opt.positional.empty()) usage();
   return opt;
@@ -214,7 +236,9 @@ int cmdTree(const Options& opt) {
 int cmdAnalyze(const Options& opt) {
   const rsn::Network net = loadNetwork(opt.positional[0]);
   const auto spec = loadSpec(opt, net);
-  const auto analysis = crit::CriticalityAnalyzer(net, spec).run();
+  crit::AnalysisOptions options;
+  options.lint = !opt.noLint;
+  const auto analysis = crit::CriticalityAnalyzer(net, spec, options).run();
   std::cout << "accumulated single-defect damage (nothing hardened): "
             << withThousands(analysis.totalDamage()) << "\n\n"
             << analysis.report(opt.top);
@@ -224,7 +248,9 @@ int cmdAnalyze(const Options& opt) {
 int cmdHarden(const Options& opt) {
   const rsn::Network net = loadNetwork(opt.positional[0]);
   const auto spec = loadSpec(opt, net);
-  const auto analysis = crit::CriticalityAnalyzer(net, spec).run();
+  crit::AnalysisOptions critOptions;
+  critOptions.lint = !opt.noLint;
+  const auto analysis = crit::CriticalityAnalyzer(net, spec, critOptions).run();
   const auto problem = harden::HardeningProblem::assemble(net, analysis);
   moo::EvolutionOptions options;
   options.populationSize = opt.population;
@@ -314,6 +340,7 @@ int cmdCampaign(const Options& opt) {
   config.retarget.allowReroute = !opt.noReroute;
   config.retarget.maxReroutes = opt.maxReroutes;
   config.checkpointEvery = opt.batch;
+  config.lint = !opt.noLint;
   if (opt.checkpoint) config.checkpointPath = *opt.checkpoint;
 
   CancellationToken cancel;
@@ -378,9 +405,70 @@ int cmdCampaign(const Options& opt) {
 }
 
 int cmdBench(const Options& opt) {
-  const rsn::Network net = benchgen::buildBenchmark(opt.positional[0]);
+  // Accepts the Table-I benchmark names and, for symmetry with the other
+  // subcommands, the built-in "example:*" networks.
+  const std::string& name = opt.positional[0];
+  const rsn::Network net = startsWith(name, "example:")
+                               ? loadNetwork(name)
+                               : benchgen::buildBenchmark(name);
   rsn::writeNetlist(std::cout, net);
   return 0;
+}
+
+int cmdLint(const Options& opt) {
+  const std::string& path = opt.positional[0];
+  lint::LintResult result;
+  rsn::NetlistSources sources;
+  std::optional<rsn::Network> net;
+  if (path == "example:fig1") {
+    net = rsn::makeFig1Network();
+  } else if (path == "example:tiny") {
+    net = rsn::makeTinyNetwork();
+  } else if (path == "-") {
+    net = lint::parseForLint(std::cin, sources, result);
+  } else {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot open netlist '" + path + "'");
+    net = lint::parseForLint(in, sources, result);
+  }
+
+  std::optional<rsn::CriticalitySpec> spec;
+  std::vector<std::string> planNames;
+  if (net) {
+    if (opt.specFile) {
+      std::ifstream in(*opt.specFile);
+      if (!in) throw Error("cannot open spec '" + *opt.specFile + "'");
+      spec = lint::lintSpec(in, *net, result);
+    }
+    if (opt.planIn) {
+      std::ifstream in(*opt.planIn);
+      if (!in) throw Error("cannot open plan '" + *opt.planIn + "'");
+      planNames = lint::readPlanNames(in);
+    }
+    lint::LintOptions options;
+    options.sources = &sources;
+    if (spec) options.spec = &*spec;
+    if (opt.planIn) options.hardenedNames = &planNames;
+    lint::LintResult model = lint::runLint(*net, options);
+    for (lint::Finding& f : model.findings) result.add(std::move(f));
+  }
+  result.sort();
+
+  const std::string artifact = path == "-" ? "<stdin>" : path;
+  std::cout << lint::textReport(result, artifact);
+  if (opt.jsonOut) {
+    std::ofstream out(*opt.jsonOut);
+    RRSN_CHECK(static_cast<bool>(out),
+               "cannot write json '" + *opt.jsonOut + "'");
+    out << json::serialize(lint::jsonReport(result, artifact), 1) << '\n';
+  }
+  if (opt.sarifOut) {
+    std::ofstream out(*opt.sarifOut);
+    RRSN_CHECK(static_cast<bool>(out),
+               "cannot write sarif '" + *opt.sarifOut + "'");
+    out << json::serialize(lint::sarifReport(result, artifact), 1) << '\n';
+  }
+  return result.clean() ? 0 : 1;
 }
 
 int dispatch(const Options& opt) {
@@ -393,6 +481,7 @@ int dispatch(const Options& opt) {
   if (opt.command == "diagnose") return cmdDiagnose(opt);
   if (opt.command == "campaign") return cmdCampaign(opt);
   if (opt.command == "bench") return cmdBench(opt);
+  if (opt.command == "lint") return cmdLint(opt);
   usage();
 }
 
