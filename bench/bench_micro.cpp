@@ -1,7 +1,9 @@
 // Microbenchmarks (google-benchmark) of the performance-critical kernels:
 // decomposition-tree construction, weight annotation, per-primitive
 // damage computation, the graph-oracle fault effect (the O(N) path we
-// avoid), genome variation operators and one SPEA-2 generation.
+// avoid), one fault-dictionary syndrome row (batched frontier sweeps vs
+// the per-probe simulator reference), genome variation operators and one
+// SPEA-2 generation.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -12,6 +14,8 @@
 #include "bench_common.hpp"
 #include "benchgen/registry.hpp"
 #include "crit/analyzer.hpp"
+#include "diag/batched.hpp"
+#include "diag/diagnosis.hpp"
 #include "fault/effects.hpp"
 #include "harden/hardening.hpp"
 #include "moo/spea2.hpp"
@@ -84,6 +88,36 @@ void BM_GraphOracleSingleFault(benchmark::State& state,
     const auto loss = fault::lossUnderFaultGraph(net, gv, f);
     benchmark::DoNotOptimize(loss.unobservable.count());
   }
+}
+
+// One dictionary syndrome row for a mid-network segment break — the
+// dominant inner loop of the dictionary build.  The batched engine pays
+// a handful of frontier sweeps over the flat control view; the per-probe
+// reference pays 2*|instruments| retargeted accesses on a fresh
+// simulator.  The ratio of these two rows is the dictionary speedup.
+void BM_DictRowBatched(benchmark::State& state, const std::string& name) {
+  const rsn::Network& net = netOf(name);
+  const diag::BatchedSyndromeEngine engine(net);
+  const fault::Fault f = fault::Fault::segmentBreak(
+      static_cast<rsn::SegmentId>(net.segments().size() / 2));
+  for (auto _ : state) {
+    const diag::Syndrome row = engine.row(&f, 0);
+    benchmark::DoNotOptimize(row.passed.count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.instruments().size()));
+}
+
+void BM_DictRowProbe(benchmark::State& state, const std::string& name) {
+  const rsn::Network& net = netOf(name);
+  const fault::Fault f = fault::Fault::segmentBreak(
+      static_cast<rsn::SegmentId>(net.segments().size() / 2));
+  for (auto _ : state) {
+    const diag::Syndrome row = diag::FaultDictionary::measure(net, &f);
+    benchmark::DoNotOptimize(row.passed.count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.instruments().size()));
 }
 
 // Density 0.05 keeps the parents in the sparse representation; 0.3 puts
@@ -303,6 +337,11 @@ int main(int argc, char** argv) {
                 "q12710");
   registerNamed("GraphOracleSingleFault/p93791", BM_GraphOracleSingleFault,
                 "p93791");
+  for (const char* name : {"q12710", "MBIST_1_5_20"}) {
+    registerNamed("DictRowBatched/" + std::string(name), BM_DictRowBatched,
+                  name);
+    registerNamed("DictRowProbe/" + std::string(name), BM_DictRowProbe, name);
+  }
   benchmark::RegisterBenchmark("GenomeCrossover", BM_GenomeCrossover)
       ->Arg(1 << 10)
       ->Arg(1 << 16)

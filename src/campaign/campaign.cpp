@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <queue>
 
 #include "campaign/checkpoint.hpp"
+#include "diag/batched.hpp"
+#include "diag/diagnosis.hpp"
 #include "fault/effects.hpp"
 #include "lint/lint.hpp"
 #include "obs/obs.hpp"
@@ -101,219 +102,20 @@ void collectDiffs(const FaultRecord& rec, std::size_t instruments,
 }  // namespace
 
 Expectation expectedAccessibility(const rsn::Network& net,
-                                  const rsn::GraphView& gv,
+                                  const rsn::GraphView& /*gv*/,
                                   const fault::Fault& f) {
-  const graph::Digraph& g = gv.graph;
-  const std::size_t muxCount = net.muxes().size();
-
-  const graph::VertexId brokenV = f.kind == fault::FaultKind::SegmentBreak
-                                      ? gv.segmentVertex[f.prim]
-                                      : graph::kNoVertex;
-
-  // A broken control register is special: once it is clocked (it sits on
-  // the active path during a CSU round) it re-poisons itself, its mux's
-  // address resolves to X and the active path collapses.  Two access
-  // modes survive, and the expectation is their union:
-  //  * avoid mode — the whole access (instrument path and every control
-  //    write) stays clear of the broken register, so it is never
-  //    clocked; normal multi-round retargeting works;
-  //  * zero-config mode — the broken register is on the path, but the
-  //    access needs no CSU configuration round at all (reset selections
-  //    plus TAP-steered muxes), so the single data round completes
-  //    before the poisoned address is ever consulted.
-  bool controlBreak = false;
-  if (f.kind == fault::FaultKind::SegmentBreak) {
-    for (const rsn::Mux& m : net.muxes())
-      if (m.controlSegment == f.prim) controlBreak = true;
-  }
-
-  // selectable[m][b]: can the engine put branch b of mux m on the path?
-  // Branch 0 is the reset selection (control registers power up at 0).
-  const auto baseSelectable = [&]() {
-    std::vector<std::vector<char>> selectable(muxCount);
-    for (std::size_t m = 0; m < muxCount; ++m) {
-      const std::size_t arity = gv.muxBranchExit[m].size();
-      selectable[m].assign(arity, 1);
-      if (f.kind == fault::FaultKind::MuxStuck && f.prim == m) {
-        selectable[m].assign(arity, 0);
-        selectable[m][f.stuckBranch] = 1;
-      }
-    }
-    return selectable;
-  };
-
-  std::vector<std::uint32_t> muxOfVertex(g.vertexCount(), rsn::kNone);
-  for (std::size_t m = 0; m < muxCount; ++m)
-    muxOfVertex[gv.muxVertex[m]] = static_cast<std::uint32_t>(m);
-
-  const std::size_t instruments = net.instruments().size();
-
-  // Computes per-instrument verdicts for one access mode.  `runFixpoint`
-  // shrinks non-reset branches to those whose control register is still
-  // settable; `tolerateBreakSides` lets the data round cross the broken
-  // segment on the harmless side (scan-in for reads, scan-out for
-  // writes) — avoid mode must not, the register would get clocked.
-  const auto verdicts = [&](std::vector<std::vector<char>> selectable,
-                            bool runFixpoint, bool tolerateBreakSides) {
-    const auto edgeAllowed = [&](graph::VertexId from, graph::VertexId to,
-                                 bool tolerateBreak) {
-      if (!tolerateBreak && (from == brokenV || to == brokenV)) return false;
-      const std::uint32_t m = muxOfVertex[to];
-      if (m != rsn::kNone) {
-        bool ok = false;
-        for (std::size_t b = 0; b < gv.muxBranchExit[m].size(); ++b)
-          if (gv.muxBranchExit[m][b] == from && selectable[m][b] != 0)
-            ok = true;
-        if (!ok) return false;
-      }
-      return true;
-    };
-    const auto forwardReach = [&](bool tolerateBreak) {
-      std::vector<char> reach(g.vertexCount(), 0);
-      std::queue<graph::VertexId> work;
-      reach[gv.scanIn] = 1;
-      work.push(gv.scanIn);
-      while (!work.empty()) {
-        const graph::VertexId v = work.front();
-        work.pop();
-        for (graph::VertexId s : g.successors(v)) {
-          if (reach[s] != 0 || !edgeAllowed(v, s, tolerateBreak)) continue;
-          reach[s] = 1;
-          work.push(s);
-        }
-      }
-      return reach;
-    };
-    const auto backwardReach = [&](bool tolerateBreak) {
-      std::vector<char> reach(g.vertexCount(), 0);
-      std::queue<graph::VertexId> work;
-      reach[gv.scanOut] = 1;
-      work.push(gv.scanOut);
-      while (!work.empty()) {
-        const graph::VertexId v = work.front();
-        work.pop();
-        for (graph::VertexId p : g.predecessors(v)) {
-          if (reach[p] != 0 || !edgeAllowed(p, v, tolerateBreak)) continue;
-          reach[p] = 1;
-          work.push(p);
-        }
-      }
-      return reach;
-    };
-
-    if (runFixpoint) {
-      // Shrinking fixpoint: a non-reset branch needs its control
-      // register written, which needs a break-free scan-in path to that
-      // register over currently steerable branches only.
-      bool changed = true;
-      while (changed) {
-        changed = false;
-        const std::vector<char> reach = forwardReach(/*tolerateBreak=*/false);
-        for (std::size_t m = 0; m < muxCount; ++m) {
-          if (f.kind == fault::FaultKind::MuxStuck && f.prim == m) continue;
-          const rsn::SegmentId ctrl = net.muxes()[m].controlSegment;
-          if (ctrl == rsn::kNone) continue;
-          const std::uint32_t len = net.segment(ctrl).length;
-          for (std::size_t b = 1; b < selectable[m].size(); ++b) {
-            const bool representable =
-                len >= 32 || b < (std::size_t{1} << len);
-            const bool want =
-                reach[gv.segmentVertex[ctrl]] != 0 && representable;
-            if (selectable[m][b] != 0 && !want) {
-              selectable[m][b] = 0;
-              changed = true;
-            }
-          }
-        }
-      }
-    }
-
-    // Reads tolerate the break on the scan-in side (garbage shifts in
-    // behind the marker); writes tolerate it on the scan-out side (the
-    // value never travels through it).
-    const std::vector<char> inRead = forwardReach(tolerateBreakSides);
-    const std::vector<char> inStrict = forwardReach(false);
-    const std::vector<char> outStrict = backwardReach(false);
-    const std::vector<char> outWrite = backwardReach(tolerateBreakSides);
-
-    Expectation e{DynamicBitset(instruments), DynamicBitset(instruments)};
-    for (std::size_t i = 0; i < instruments; ++i) {
-      const rsn::SegmentId seg = net.instruments()[i].segment;
-      const graph::VertexId v = gv.segmentVertex[seg];
-      if (v == brokenV) continue;  // the instrument's own segment is dead
-      if (inRead[v] != 0 && outStrict[v] != 0) e.observable.set(i);
-      if (inStrict[v] != 0 && outWrite[v] != 0) e.settable.set(i);
-    }
-    return e;
-  };
-
-  if (!controlBreak)
-    return verdicts(baseSelectable(), /*runFixpoint=*/true,
-                    /*tolerateBreakSides=*/true);
-
-  // Avoid mode: full closure, but the access must not clock the broken
-  // control register at all.
-  Expectation e = verdicts(baseSelectable(), /*runFixpoint=*/true,
-                           /*tolerateBreakSides=*/false);
-  // Zero-config mode: every segment-controlled mux pinned to its reset
-  // branch, break tolerated on the harmless side.
-  auto zeroConfig = baseSelectable();
-  for (std::size_t m = 0; m < muxCount; ++m) {
-    if (f.kind == fault::FaultKind::MuxStuck && f.prim == m) continue;
-    if (net.muxes()[m].controlSegment == rsn::kNone) continue;
-    for (std::size_t b = 1; b < zeroConfig[m].size(); ++b) zeroConfig[m][b] = 0;
-  }
-  const Expectation zc = verdicts(std::move(zeroConfig), /*runFixpoint=*/false,
-                                  /*tolerateBreakSides=*/true);
-  e.observable.orWith(zc.observable);
-  e.settable.orWith(zc.settable);
-
-  // Same-guard mode: a multi-round access may still cross the broken
-  // register on the tolerated side when the register needs exactly the
-  // same non-reset selections ("guards") as the target segment.  Both
-  // then enter the active path together in the final configuration
-  // round, so the register is first clocked by the data round itself —
-  // after every mux address has been consulted.  A register with fewer
-  // guards is already on the path during configuration rounds; clocking
-  // poisons it, its mux's address decays to X and a later round's path
-  // walk collapses, so no tolerance is granted there.
-  using GuardSet = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
-  std::vector<GuardSet> guardsOf(net.segments().size());
-  GuardSet cur;
-  const auto walk = [&](auto&& self, rsn::NodeId id) -> void {
-    const auto& n = net.structure().node(id);
-    switch (n.kind) {
-      case rsn::NodeKind::Segment:
-        guardsOf[n.prim] = cur;
-        return;
-      case rsn::NodeKind::Wire:
-        return;
-      case rsn::NodeKind::Serial:
-        for (const rsn::NodeId c : n.children) self(self, c);
-        return;
-      case rsn::NodeKind::MuxJoin: {
-        const bool segCtrl = net.mux(n.prim).controlSegment != rsn::kNone;
-        for (std::size_t b = 0; b < n.children.size(); ++b) {
-          const bool guarded = segCtrl && b != 0;
-          if (guarded) cur.emplace_back(n.prim, static_cast<std::uint32_t>(b));
-          self(self, n.children[b]);
-          if (guarded) cur.pop_back();
-        }
-        return;
-      }
-    }
-  };
-  walk(walk, net.structure().root());
-  for (GuardSet& gs : guardsOf) std::sort(gs.begin(), gs.end());
-
-  const Expectation tol = verdicts(baseSelectable(), /*runFixpoint=*/true,
-                                   /*tolerateBreakSides=*/true);
-  const GuardSet& brokenGuards = guardsOf[f.prim];
-  for (std::size_t i = 0; i < instruments; ++i) {
-    const rsn::SegmentId seg = net.instruments()[i].segment;
-    if (seg == f.prim || guardsOf[seg] != brokenGuards) continue;
-    if (tol.observable.test(i)) e.observable.set(i);
-    if (tol.settable.test(i)) e.settable.set(i);
+  // One oracle implementation: the batched syndrome engine computes the
+  // exact retargeting semantics (strict, depth-bounded and clean-suffix
+  // break tolerance — see diag/batched.hpp); campaign_test validates it
+  // against the simulator on the example networks, and the dictionary's
+  // verify mode cross-checks it row-for-row against per-probe builds.
+  const diag::BatchedSyndromeEngine engine(net);
+  const diag::Syndrome row = engine.row(&f, 0);
+  const std::size_t n = net.instruments().size();
+  Expectation e{DynamicBitset(n), DynamicBitset(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (row.passed.test(2 * i)) e.observable.set(i);
+    if (row.passed.test(2 * i + 1)) e.settable.set(i);
   }
   return e;
 }
@@ -394,10 +196,7 @@ CampaignEngine::CampaignEngine(const rsn::Network& net, CampaignConfig config)
   }
   const fault::FaultUniverse all(net);
   for (const fault::Fault& f : all.faults()) {
-    const rsn::PrimitiveRef ref =
-        f.kind == fault::FaultKind::SegmentBreak
-            ? rsn::PrimitiveRef{rsn::PrimitiveRef::Kind::Segment, f.prim}
-            : rsn::PrimitiveRef{rsn::PrimitiveRef::Kind::Mux, f.prim};
+    const rsn::PrimitiveRef ref = fault::refOf(f);
     if (!config_.excludePrimitives.empty() &&
         config_.excludePrimitives.test(net.linearId(ref))) {
       continue;

@@ -72,13 +72,14 @@ Outcome outcomeFromChar(char c);
 /// A segment-controlled branch is steerable if it is the reset selection
 /// or its control register is still settable (computed as a shrinking
 /// fixpoint, since settability itself depends on steerable branches).
-/// If the broken segment is itself a control register, clocking it
-/// poisons it and collapses any path through its mux, so an access must
-/// either avoid the register entirely (full closure, strict on both
-/// sides) or need no CSU configuration round at all (reset selections,
-/// TAP-steered muxes); the expectation is the union of the two modes.
-/// Reads tolerate the break on the scan-in side of the target segment,
-/// writes on the scan-out side — mirroring the retargeting engine.
+/// A broken segment re-poisons itself whenever it is clocked and smears
+/// X over every scan cell downstream of it on the active path, so a
+/// break-tolerant access (reads tolerate the break on the scan-in side
+/// of the target, writes on the scan-out side) additionally needs every
+/// configuration round to finish before the break joins the path, or a
+/// suffix free of mux address registers past the break.  Implemented by
+/// diag::BatchedSyndromeEngine (the single oracle implementation); see
+/// diag/batched.hpp for the full mode derivation.
 struct Expectation {
   DynamicBitset observable;
   DynamicBitset settable;

@@ -7,29 +7,14 @@
 #include <vector>
 
 #include "rsn/netlist_io.hpp"
+#include "support/hash.hpp"
 
 namespace rrsn::campaign {
 
 namespace {
 
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
-
-void fnvMix(std::uint64_t& h, const std::string& s) {
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= kFnvPrime;
-  }
-  h ^= 0xff;  // field separator, so "ab"+"c" != "a"+"bc"
-  h *= kFnvPrime;
-}
-
-void fnvMix(std::uint64_t& h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xff;
-    h *= kFnvPrime;
-  }
-}
+using hash::fnvMix;
+using hash::kFnvOffset;
 
 std::string hex(std::uint64_t v) {
   char buf[19];

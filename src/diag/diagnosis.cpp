@@ -1,10 +1,11 @@
 #include "diag/diagnosis.hpp"
 
 #include <algorithm>
-#include <map>
+#include <string>
 
 #include "obs/obs.hpp"
 #include "sim/retarget.hpp"
+#include "support/hash.hpp"
 #include "support/parallel.hpp"
 
 namespace rrsn::diag {
@@ -15,6 +16,19 @@ std::size_t Syndrome::distanceTo(const Syndrome& other) const {
   DynamicBitset diff = passed;
   diff ^= other.passed;
   return diff.count();
+}
+
+std::size_t Syndrome::distanceToAtMost(const Syndrome& other,
+                                       std::size_t bound) const {
+  RRSN_CHECK(passed.size() == other.passed.size(),
+             "syndromes of different access sets are not comparable");
+  std::size_t acc = 0;
+  for (std::size_t w = 0; w < passed.wordCount(); ++w) {
+    acc += static_cast<std::size_t>(
+        __builtin_popcountll(passed.word(w) ^ other.passed.word(w)));
+    if (acc > bound) return acc;
+  }
+  return acc;
 }
 
 Syndrome FaultDictionary::measure(const rsn::Network& net,
@@ -41,22 +55,97 @@ Syndrome FaultDictionary::measure(const rsn::Network& net,
   return syn;
 }
 
+namespace {
+
+std::string bitsToString(const DynamicBitset& b) {
+  std::string s(b.size(), '0');
+  b.forEachSet([&](std::size_t i) { s[i] = '1'; });
+  return s;
+}
+
+}  // namespace
+
 FaultDictionary FaultDictionary::build(const rsn::Network& net) {
+  return build(net, dictModeFromEnv());
+}
+
+FaultDictionary FaultDictionary::build(const rsn::Network& net,
+                                       DictMode mode) {
   RRSN_OBS_SPAN("diag.dictionary_build");
   static const obs::MetricId kSyndromes = obs::counter("diag.syndromes");
+  static const obs::MetricId kVerified = obs::counter("diag.rows_verified");
   FaultDictionary dict;
   dict.net_ = &net;
-  dict.faultFree_ = measure(net, nullptr);
+  dict.mode_ = mode;
   const fault::FaultUniverse universe(net);
   dict.faults_ = universe.faults();
-  // Each fault's syndrome is measured on a private simulator over the
-  // immutable network, so the build fans out over the fault universe;
-  // syndrome k lands in slot k regardless of scheduling.
-  dict.syndromes_ = parallelMap<Syndrome>(
-      dict.faults_.size(),
-      [&](std::size_t k) { return measure(net, &dict.faults_[k]); });
+  const std::size_t n = dict.faults_.size();
+
+  if (mode != DictMode::Batched) {
+    // Per-probe reference path: each fault's syndrome is measured on a
+    // private simulator over the immutable network, so the build fans
+    // out over the fault universe; syndrome k lands in slot k
+    // regardless of scheduling.
+    dict.faultFree_ = measure(net, nullptr);
+    dict.syndromes_ = parallelMap<Syndrome>(
+        n, [&](std::size_t k) { return measure(net, &dict.faults_[k]); });
+  }
+  if (mode != DictMode::Probe) {
+    // Batched path: one engine shared read-only, per-worker scratch
+    // selected by the parallelForChunks lane, slot-k placement.
+    const BatchedSyndromeEngine engine(net);
+    Syndrome batchedFree = engine.row(nullptr, 0);
+    std::vector<Syndrome> batched(n);
+    parallelForChunks(
+        n, [&](std::size_t begin, std::size_t end, std::size_t worker) {
+          for (std::size_t k = begin; k < end; ++k)
+            batched[k] = engine.row(&dict.faults_[k], worker);
+        });
+    if (mode == DictMode::Verify) {
+      std::size_t mismatches = 0;
+      std::string first;
+      const auto check = [&](const Syndrome& probe, const Syndrome& fast,
+                             const fault::Fault* f) {
+        if (probe == fast) return;
+        if (mismatches == 0) {
+          first = (f != nullptr ? fault::describe(net, *f)
+                                : std::string("fault-free")) +
+                  " probe=" + bitsToString(probe.passed) +
+                  " batched=" + bitsToString(fast.passed);
+        }
+        ++mismatches;
+      };
+      check(dict.faultFree_, batchedFree, nullptr);
+      for (std::size_t k = 0; k < n; ++k)
+        check(dict.syndromes_[k], batched[k], &dict.faults_[k]);
+      if (mismatches != 0) {
+        obs::raiseIfError(Status::internal(
+            "dictionary verify: " + std::to_string(mismatches) + " of " +
+            std::to_string(n + 1) + " rows differ between the probe and " +
+            "batched engines; first: " + first));
+      }
+      obs::count(kVerified, n + 1);
+    } else {
+      dict.faultFree_ = std::move(batchedFree);
+      dict.syndromes_ = std::move(batched);
+    }
+  }
   obs::count(kSyndromes, dict.syndromes_.size());
+  dict.buildIndex();
   return dict;
+}
+
+void FaultDictionary::buildIndex() {
+  const std::size_t n = syndromes_.size();
+  fingerprints_.resize(n);
+  popcounts_.resize(n);
+  exactIndex_.clear();
+  exactIndex_.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    fingerprints_[k] = hash::fingerprint(syndromes_[k].passed);
+    popcounts_[k] = static_cast<std::uint32_t>(syndromes_[k].passed.count());
+    exactIndex_[fingerprints_[k]].push_back(static_cast<std::uint32_t>(k));
+  }
 }
 
 const Syndrome& FaultDictionary::syndromeOf(std::size_t faultIndex) const {
@@ -70,30 +159,37 @@ Diagnosis FaultDictionary::diagnose(const Syndrome& observed) const {
     d.faultFree = true;
     return d;
   }
-  for (std::size_t k = 0; k < faults_.size(); ++k) {
-    if (syndromes_[k] == observed) d.exactMatches.push_back(faults_[k]);
+  // Exact matches: one hash probe instead of the O(|faults|) scan; the
+  // bucket keeps fault order, and a full comparison guards against
+  // fingerprint collisions.
+  if (const auto it = exactIndex_.find(hash::fingerprint(observed.passed));
+      it != exactIndex_.end()) {
+    for (const std::uint32_t k : it->second)
+      if (syndromes_[k] == observed) d.exactMatches.push_back(faults_[k]);
   }
   if (!d.exactMatches.empty()) return d;
 
+  // Nearest search with a popcount lower bound: |popcount(a) -
+  // popcount(b)| <= hamming(a, b), so entries that cannot reach the
+  // current best distance are skipped without touching their words.
+  const std::size_t observedCount = observed.passed.count();
   std::size_t best = ~std::size_t{0};
   for (std::size_t k = 0; k < faults_.size(); ++k) {
-    const std::size_t dist = syndromes_[k].distanceTo(observed);
+    const std::size_t pc = popcounts_[k];
+    const std::size_t lower =
+        pc > observedCount ? pc - observedCount : observedCount - pc;
+    if (lower > best) continue;
+    const std::size_t dist = syndromes_[k].distanceToAtMost(observed, best);
+    if (dist > best) continue;
     if (dist < best) {
       best = dist;
       d.nearestMatches.clear();
     }
-    if (dist == best) d.nearestMatches.push_back(faults_[k]);
+    d.nearestMatches.push_back(faults_[k]);
   }
   d.nearestDistance = best;
   return d;
 }
-
-namespace {
-
-/// Canonical key of a syndrome for class grouping.
-std::vector<std::size_t> keyOf(const Syndrome& s) { return s.passed.toIndices(); }
-
-}  // namespace
 
 FaultDictionary::Resolution FaultDictionary::resolution() const {
   std::vector<bool> none(net_->primitiveCount(), false);
@@ -105,24 +201,39 @@ FaultDictionary::Resolution FaultDictionary::resolutionExcluding(
   RRSN_CHECK(hardenedLinear.size() == net_->primitiveCount(),
              "hardening mask does not match the network");
   Resolution r;
-  std::map<std::vector<std::size_t>, std::size_t> classSizes;
+  // Class sizes keyed by syndrome fingerprint; a bucket holds one
+  // (representative, count) pair per distinct syndrome that collided
+  // into the hash.  Counting is order-independent, so the statistics
+  // match the former sorted-map implementation exactly.
+  struct Bucket {
+    std::uint32_t rep;
+    std::size_t size;
+  };
+  std::unordered_map<std::uint64_t, std::vector<Bucket>> classSizes;
   for (std::size_t k = 0; k < faults_.size(); ++k) {
-    const fault::Fault& f = faults_[k];
-    const rsn::PrimitiveRef ref{f.kind == fault::FaultKind::SegmentBreak
-                                    ? rsn::PrimitiveRef::Kind::Segment
-                                    : rsn::PrimitiveRef::Kind::Mux,
-                                f.prim};
-    if (hardenedLinear[net_->linearId(ref)]) continue;  // fault avoided
+    if (hardenedLinear[net_->linearId(fault::refOf(faults_[k]))])
+      continue;  // fault avoided
     ++r.faults;
     if (syndromes_[k] == faultFree_) continue;  // undetectable
     ++r.detectable;
-    ++classSizes[keyOf(syndromes_[k])];
+    auto& buckets = classSizes[fingerprints_[k]];
+    bool found = false;
+    for (Bucket& b : buckets) {
+      if (syndromes_[b.rep] == syndromes_[k]) {
+        ++b.size;
+        found = true;
+        break;
+      }
+    }
+    if (!found) buckets.push_back({static_cast<std::uint32_t>(k), 1});
   }
-  r.classes = classSizes.size();
+  double total = 0.0;
+  for (const auto& [fp, buckets] : classSizes) {
+    r.classes += buckets.size();
+    for (const Bucket& b : buckets)
+      total += static_cast<double>(b.size) * static_cast<double>(b.size);
+  }
   if (r.detectable > 0) {
-    double total = 0.0;
-    for (const auto& [key, size] : classSizes)
-      total += static_cast<double>(size) * static_cast<double>(size);
     // Mean ambiguity, fault-weighted: E[|class of f|].
     r.avgAmbiguity = total / static_cast<double>(r.detectable);
   }
@@ -130,34 +241,49 @@ FaultDictionary::Resolution FaultDictionary::resolutionExcluding(
 }
 
 TextTable FaultDictionary::classTable(std::size_t maxRows) const {
-  std::map<std::vector<std::size_t>, std::vector<std::size_t>> classes;
-  for (std::size_t k = 0; k < faults_.size(); ++k)
-    classes[keyOf(syndromes_[k])].push_back(k);
+  // Group all faults (including the undetectable class) by syndrome,
+  // fingerprint-first with equality on collision; members stay in
+  // ascending fault order.
+  std::vector<std::vector<std::size_t>> classes;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> byFp;
+  for (std::size_t k = 0; k < faults_.size(); ++k) {
+    auto& ids = byFp[fingerprints_[k]];
+    bool found = false;
+    for (const std::size_t id : ids) {
+      if (syndromes_[classes[id].front()] == syndromes_[k]) {
+        classes[id].push_back(k);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      ids.push_back(classes.size());
+      classes.push_back({k});
+    }
+  }
 
   TextTable table({"class size", "failing accesses", "example faults"});
   table.setAlign(2, TextTable::Align::Left);
-  std::vector<const std::vector<std::size_t>*> members;
-  std::vector<const std::vector<std::size_t>*> keys;
-  for (const auto& [key, faultIdx] : classes) {
-    keys.push_back(&key);
-    members.push_back(&faultIdx);
-  }
-  // Largest (most ambiguous) classes first.
-  std::vector<std::size_t> order(members.size());
+  // Largest (most ambiguous) classes first; ties broken by the smallest
+  // member fault index so the rendering is deterministic.
+  std::vector<std::size_t> order(classes.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return members[a]->size() > members[b]->size();
+    if (classes[a].size() != classes[b].size())
+      return classes[a].size() > classes[b].size();
+    return classes[a].front() < classes[b].front();
   });
   for (std::size_t r = 0; r < std::min(maxRows, order.size()); ++r) {
-    const auto& faultIdx = *members[order[r]];
+    const auto& faultIdx = classes[order[r]];
     std::string examples;
-    for (std::size_t j = 0; j < std::min<std::size_t>(3, faultIdx.size()); ++j) {
+    for (std::size_t j = 0; j < std::min<std::size_t>(3, faultIdx.size());
+         ++j) {
       if (j != 0) examples += ", ";
       examples += fault::describe(*net_, faults_[faultIdx[j]]);
     }
     if (faultIdx.size() > 3) examples += ", ...";
     const std::size_t failing =
-        faultFree_.passed.count() - keys[order[r]]->size();
+        faultFree_.passed.count() - syndromes_[faultIdx.front()].passed.count();
     table.addRow({std::to_string(faultIdx.size()), std::to_string(failing),
                   examples});
   }

@@ -3,22 +3,33 @@
 // The paper positions selective hardening against fault-*tolerant* RSNs
 // [4], which "require diagnostic support [5]" to locate a defect before
 // access can be re-routed around it.  This module provides that
-// substrate: a fault dictionary built from end-to-end simulated access
-// outcomes.  For every instrument the engine attempts one retargeted
-// read and one retargeted write; the pass/fail vector over all attempts
-// is the network's *syndrome*.  Comparing an observed syndrome against
-// the precomputed dictionary yields the candidate fault set.
+// substrate: a fault dictionary built from end-to-end access outcomes.
+// For every instrument the engine attempts one retargeted read and one
+// retargeted write; the pass/fail vector over all attempts is the
+// network's *syndrome*.  Comparing an observed syndrome against the
+// precomputed dictionary yields the candidate fault set.
+//
+// Two build engines produce the same rows (selected by RRSN_DICT_MODE,
+// see diag/batched.hpp): the per-probe reference path simulates every
+// access on a fresh simulator, while the batched path derives each
+// fault's whole row from a few frontier-based reachability sweeps over
+// a flat control view — the difference is 2·|faults|·|instruments| path
+// searches versus O(|faults|) sweeps.  `verify` runs both and raises on
+// any row difference.
 //
 // The dictionary doubles as an analysis tool: its equivalence-class
 // structure tells how *diagnosable* a network is (how many faults are
 // distinguishable from each other and from the fault-free RSN), and how
 // a hardening plan — which removes faults from the universe — improves
-// both numbers.
+// both numbers.  Classes are keyed by FNV-1a fingerprints of the
+// syndrome bits (support/hash.hpp) with equality checks on collision.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
+#include "diag/batched.hpp"
 #include "fault/fault.hpp"
 #include "rsn/network.hpp"
 #include "support/bitset.hpp"
@@ -35,6 +46,12 @@ struct Syndrome {
 
   /// Number of differing outcomes.
   std::size_t distanceTo(const Syndrome& other) const;
+
+  /// Hamming distance with an early exit: returns the exact distance
+  /// when it is <= bound, otherwise some value > bound (the partial
+  /// count at the word where the bound was exceeded).
+  std::size_t distanceToAtMost(const Syndrome& other,
+                               std::size_t bound) const;
 };
 
 /// Result of diagnosing one observed syndrome.
@@ -54,23 +71,30 @@ struct Diagnosis {
 /// Precomputed syndrome dictionary over the single-fault universe.
 class FaultDictionary {
  public:
-  /// Simulates the complete fault universe of `net` (2 retargeted
-  /// accesses per instrument per fault).  O(|faults| * |instruments|)
-  /// simulations, fanned out over the fault universe on the process
-  /// thread pool (RRSN_THREADS); the dictionary is byte-identical for
-  /// any thread count.
+  /// Builds the dictionary in the mode selected by RRSN_DICT_MODE
+  /// (default: batched in release builds, verify in debug builds).
+  /// Both engines fan the fault universe out over the process thread
+  /// pool (RRSN_THREADS / RRSN_GRAIN) with slot-per-fault placement;
+  /// the dictionary is byte-identical for any thread count.
   static FaultDictionary build(const rsn::Network& net);
+
+  /// Builds with an explicit engine mode.
+  static FaultDictionary build(const rsn::Network& net, DictMode mode);
 
   const rsn::Network& network() const { return *net_; }
   const Syndrome& faultFreeSyndrome() const { return faultFree_; }
   const std::vector<fault::Fault>& faults() const { return faults_; }
   const Syndrome& syndromeOf(std::size_t faultIndex) const;
+  DictMode mode() const { return mode_; }
 
   /// Measures the syndrome of a (possibly fault-injected) network by
-  /// running the standard access set on a fresh simulator.
+  /// running the standard access set on a fresh simulator (the
+  /// per-probe reference path, independent of the build mode).
   static Syndrome measure(const rsn::Network& net, const fault::Fault* f);
 
-  /// Looks the observed syndrome up in the dictionary.
+  /// Looks the observed syndrome up in the dictionary: exact matches
+  /// via the fingerprint index, otherwise a popcount-pruned
+  /// nearest-distance scan.
   Diagnosis diagnose(const Syndrome& observed) const;
 
   /// Diagnosability statistics.
@@ -87,14 +111,24 @@ class FaultDictionary {
   Resolution resolutionExcluding(
       const std::vector<bool>& hardenedLinear) const;
 
-  /// Per-class summary table (size-capped) for reports.
+  /// Per-class summary table (size-capped) for reports.  Rows are
+  /// ordered by class size descending, ties broken by the smallest
+  /// member fault index.
   TextTable classTable(std::size_t maxRows) const;
 
  private:
+  /// Fingerprints, popcounts and the exact-match hash index over the
+  /// built syndromes.
+  void buildIndex();
+
   const rsn::Network* net_ = nullptr;
+  DictMode mode_ = DictMode::Probe;
   std::vector<fault::Fault> faults_;
   std::vector<Syndrome> syndromes_;
   Syndrome faultFree_;
+  std::vector<std::uint64_t> fingerprints_;  ///< per fault, of syndromes_
+  std::vector<std::uint32_t> popcounts_;     ///< per fault, of syndromes_
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> exactIndex_;
 };
 
 }  // namespace rrsn::diag

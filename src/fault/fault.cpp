@@ -9,6 +9,12 @@ std::string describe(const rsn::Network& net, const Fault& f) {
          std::to_string(f.stuckBranch) + ")";
 }
 
+rsn::PrimitiveRef refOf(const Fault& f) {
+  return {f.kind == FaultKind::SegmentBreak ? rsn::PrimitiveRef::Kind::Segment
+                                            : rsn::PrimitiveRef::Kind::Mux,
+          f.prim};
+}
+
 FaultUniverse::FaultUniverse(const rsn::Network& net) : net_(&net) {
   muxArity_.assign(net.muxes().size(), 0);
   net.structure().preOrder([&](rsn::NodeId id) {

@@ -39,6 +39,10 @@ struct Fault {
 /// Human-readable fault name, e.g. "break(seg_i2)" or "stuck(m0=1)".
 std::string describe(const rsn::Network& net, const Fault& f);
 
+/// The faulty primitive as a typed reference (Segment for breaks, Mux
+/// for stucks) — the key for hardening masks and linear-id lookups.
+rsn::PrimitiveRef refOf(const Fault& f);
+
 /// Enumerates the complete single-fault universe of a network: one
 /// SegmentBreak per segment and one MuxStuck per mux input branch.
 class FaultUniverse {

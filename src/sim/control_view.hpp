@@ -1,0 +1,136 @@
+// Fault-conditioned control view of an RSN: the network lowered once
+// into flat CSR adjacency (forward and transposed) with per-edge mux
+// guards, plus everything a structural accessibility sweep needs to
+// evaluate faults without a simulator — per-mux control registers,
+// address-representability masks, and per-segment guard sets.
+//
+// The view is immutable after build() and shared read-only across
+// worker threads; per-fault state (the selectable-branch words) lives in
+// caller-owned scratch buffers laid out by selOffset/selWordCount.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "graph/digraph.hpp"
+#include "rsn/graph_view.hpp"
+#include "rsn/network.hpp"
+
+namespace rrsn::sim {
+
+/// Flat read-only traversal model.  Edges keep their RSN semantics: an
+/// edge entering a mux vertex is traversable only while at least one of
+/// the branches exiting at its source is selectable.
+struct ControlView {
+  /// One adjacency entry.  `mux` is the guarding mux (kNone for a plain
+  /// edge); the guard passes iff any branch in branchPool[branchBegin,
+  /// branchEnd) is selectable.  The annotation describes the *original*
+  /// edge, so a row entry means the same thing whether it was reached
+  /// from the forward or the transposed side.
+  struct Edge {
+    graph::VertexId other = graph::kNoVertex;
+    std::uint32_t mux = rsn::kNone;
+    std::uint32_t branchBegin = 0;
+    std::uint32_t branchEnd = 0;
+  };
+
+  std::size_t vertexCount = 0;
+  graph::VertexId scanIn = graph::kNoVertex;
+  graph::VertexId scanOut = graph::kNoVertex;
+
+  /// fwd row v = out-edges of v; bwd row v = in-edges of v.
+  std::vector<std::uint32_t> fwdOffsets, bwdOffsets;
+  std::vector<Edge> fwdEdges, bwdEdges;
+  std::vector<std::uint32_t> branchPool;
+
+  std::vector<graph::VertexId> segmentVertex;     ///< per SegmentId
+  std::vector<graph::VertexId> instrumentVertex;  ///< per InstrumentId
+  std::vector<rsn::SegmentId> instrumentSegment;  ///< per InstrumentId
+
+  // ------------------------------------------------ per-mux control
+  std::vector<rsn::SegmentId> muxControl;      ///< kNone = TAP-steered
+  std::vector<graph::VertexId> muxCtrlVertex;  ///< vertex of muxControl
+  std::vector<std::uint32_t> muxArity;
+  /// Muxes whose address comes from a control segment (fixpoint targets).
+  std::vector<std::uint32_t> ctrlMuxes;
+  /// True per segment iff some mux's address register is that segment.
+  std::vector<char> segmentControlsMux;
+  /// True per vertex iff it holds some mux's address register — a scan
+  /// cell whose poisoning collapses every later path walk that consults
+  /// the mux.
+  std::vector<char> ctrlRegVertex;
+
+  /// Configuration-round schedule depths.  A non-reset demand on mux m
+  /// is written in CSU round demandDepth[m] - 1 (its address register
+  /// joins the active path once the registers it depends on are set);
+  /// segDepth[s] is the round at which segment s first appears on the
+  /// path — the max demandDepth over its guards, 0 for an always-on
+  /// segment.  TAP-steered muxes have demandDepth 0 (set directly, no
+  /// CSU round).  Cyclic control dependencies saturate at kUnrealizable.
+  static constexpr std::uint32_t kUnrealizableDepth = 0x40000000u;
+  std::vector<std::uint32_t> demandDepth;  ///< per mux
+  std::vector<std::uint32_t> segDepth;     ///< per segment
+
+  /// Word layout of the per-fault selectable sets: mux m owns words
+  /// [selOffset[m], selOffset[m] + (muxArity[m] + 63) / 64), bit b =
+  /// branch b selectable.
+  std::vector<std::uint32_t> selOffset;
+  std::size_t selWordCount = 0;
+  /// Per-mux mask of branches whose address fits the control register
+  /// (b == 0 or len >= 32 or b < 2^len), in the selectable layout.
+  /// All-ones for TAP-steered muxes (never shrunk by the fixpoint).
+  std::vector<std::uint64_t> representableWords;
+
+  // ------------------------------------- per-segment guard sets
+  /// Guard set of a segment: the sorted (mux, branch != 0) selections of
+  /// its segment-controlled MuxJoin ancestors — the non-reset
+  /// configuration that puts the segment on the active path.  Flattened:
+  /// segment s owns guardPool[guardOffsets[s], guardOffsets[s + 1]).
+  std::vector<std::uint32_t> guardOffsets;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> guardPool;
+
+  /// Lowers `net` / `gv` (which must outlive nothing — everything is
+  /// copied into the view).
+  static ControlView build(const rsn::Network& net, const rsn::GraphView& gv);
+
+  /// Fills `sel` (selWordCount words) with the base selectable sets
+  /// under `f` (nullptr = fault-free): every branch selectable, except
+  /// a stuck mux which keeps only its stuck branch.
+  void baseSelectable(const fault::Fault* f, std::uint64_t* sel) const;
+
+  /// Base sets with every segment-controlled, non-stuck mux pinned to
+  /// its reset branch (the zero-config access mode).
+  void zeroConfigSelectable(const fault::Fault* f, std::uint64_t* sel) const;
+
+  /// Clears the non-reset branches of every segment-controlled mux
+  /// whose demand would be written in a CSU round >= maxDepth — i.e.
+  /// keeps only the demands that are fully configured before round
+  /// maxDepth runs.  Shrink-only, so it composes with the fixpoint.
+  void limitDemandDepth(std::uint32_t maxDepth, std::uint64_t* sel) const;
+
+  bool selectableBit(const std::uint64_t* sel, std::uint32_t mux,
+                     std::uint32_t branch) const {
+    return (sel[selOffset[mux] + (branch >> 6)] >> (branch & 63)) & 1;
+  }
+
+  /// Guard admissibility of one edge under the given selectable sets.
+  bool edgeOpen(const Edge& e, const std::uint64_t* sel) const {
+    if (e.mux == rsn::kNone) return true;
+    for (std::uint32_t i = e.branchBegin; i < e.branchEnd; ++i)
+      if (selectableBit(sel, e.mux, branchPool[i])) return true;
+    return false;
+  }
+
+  /// True iff the two segments need the same non-reset selections.
+  bool sameGuards(rsn::SegmentId a, rsn::SegmentId b) const {
+    const std::uint32_t beginA = guardOffsets[a], endA = guardOffsets[a + 1];
+    const std::uint32_t beginB = guardOffsets[b], endB = guardOffsets[b + 1];
+    if (endA - beginA != endB - beginB) return false;
+    for (std::uint32_t i = 0; i < endA - beginA; ++i)
+      if (guardPool[beginA + i] != guardPool[beginB + i]) return false;
+    return true;
+  }
+};
+
+}  // namespace rrsn::sim

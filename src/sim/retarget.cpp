@@ -152,9 +152,14 @@ std::vector<std::vector<graph::VertexId>> enumeratePaths(
 }
 
 /// Derives the mux selections that make the structural walk follow a
-/// concrete graph path.
+/// concrete graph path.  Parallel wire branches exit at the same
+/// fan-out vertex, so a join edge can correspond to several branches;
+/// a fault-aware caller passes `f` so that a stuck mux is asked for the
+/// branch it is actually stuck at whenever that branch matches the
+/// walk (any other demand could never be realized).
 std::map<rsn::MuxId, std::uint32_t> selectionsFromPath(
-    const rsn::GraphView& gv, const std::vector<graph::VertexId>& path) {
+    const rsn::GraphView& gv, const std::vector<graph::VertexId>& path,
+    const fault::Fault* f) {
   std::map<rsn::MuxId, std::uint32_t> sel;
   for (std::size_t k = 1; k < path.size(); ++k) {
     const graph::VertexId v = path[k];
@@ -162,6 +167,11 @@ std::map<rsn::MuxId, std::uint32_t> selectionsFromPath(
       if (gv.muxVertex[m] != v) continue;
       const graph::VertexId pred = path[k - 1];
       const auto& exits = gv.muxBranchExit[m];
+      if (f != nullptr && f->kind == fault::FaultKind::MuxStuck &&
+          f->prim == m && exits[f->stuckBranch] == pred) {
+        sel[m] = f->stuckBranch;
+        break;
+      }
       for (std::uint32_t b = 0; b < exits.size(); ++b) {
         if (exits[b] == pred) {
           sel[m] = b;
@@ -320,10 +330,10 @@ namespace {
 /// mux selections realizing the combined walk.
 std::map<rsn::MuxId, std::uint32_t> joinSelections(
     const rsn::GraphView& gv, const std::vector<graph::VertexId>& prefix,
-    const std::vector<graph::VertexId>& suffix) {
+    const std::vector<graph::VertexId>& suffix, const fault::Fault* f) {
   std::vector<graph::VertexId> whole = prefix;
   whole.insert(whole.end(), suffix.begin() + 1, suffix.end());
-  return selectionsFromPath(gv, whole);
+  return selectionsFromPath(gv, whole, f);
 }
 
 }  // namespace
@@ -350,11 +360,13 @@ candidateSelections(const rsn::GraphView& gv, const fault::Fault* f,
     out.emplace_back(std::move(sel), rerouted);
   };
 
-  // Nominal: shortest path ignoring the fault.
+  // Nominal: shortest path ignoring the fault (selections derived
+  // fault-unaware too — this is the recipe of an oblivious controller).
   {
     const auto prefix = findPath(gv, nullptr, gv.scanIn, segV, false);
     const auto suffix = findPath(gv, nullptr, segV, gv.scanOut, false);
-    if (prefix && suffix) push(joinSelections(gv, *prefix, *suffix), false);
+    if (prefix && suffix)
+      push(joinSelections(gv, *prefix, *suffix, nullptr), false);
   }
 
   if (f == nullptr || !options.allowReroute || options.maxReroutes == 0)
@@ -376,7 +388,7 @@ candidateSelections(const rsn::GraphView& gv, const fault::Fault* f,
     for (const auto& prefix : prefixes) {
       for (const auto& suffix : suffixes) {
         if (out.size() > cap) return out;  // entry 0 is the nominal recipe
-        push(joinSelections(gv, prefix, suffix), true);
+        push(joinSelections(gv, prefix, suffix, f), true);
       }
     }
   }
@@ -387,8 +399,8 @@ RetargetResult Retargeter::readInstrument(rsn::InstrumentId i) {
   RRSN_OBS_SPAN("sim.read");
   const rsn::Network& net = sim_->network();
   const rsn::SegmentId seg = net.instrument(i).segment;
-  const auto& faultOpt = sim_->injectedFault();
-  const fault::Fault* f = faultOpt ? &*faultOpt : nullptr;
+  const std::optional<fault::Fault> injected = sim_->injectedFault();
+  const fault::Fault* f = injected ? &*injected : nullptr;
 
   RetargetResult best;
   if (f != nullptr && f->kind == fault::FaultKind::SegmentBreak &&
@@ -399,8 +411,20 @@ RetargetResult Retargeter::readInstrument(rsn::InstrumentId i) {
 
   // For reads the scan-out side must be clean; a broken segment on the
   // scan-in side only shifts garbage in behind the marker.
+  bool first = true;
   for (const auto& [selections, rerouted] : candidateSelections(
            gv_, f, seg, /*breakBeforeSegTolerable=*/true, options_)) {
+    // A failed attempt can leave X in address registers (a shift across
+    // the broken segment poisons everything downstream, including SIB
+    // registers that sit behind their content), with no scan-accessible
+    // recovery.  Power-cycle between candidate recipes: each one starts
+    // from the reset image with only the physical defect persisting,
+    // which also makes the recorded patterns replayable from power-on.
+    if (!first) {
+      sim_->reset();
+      if (f != nullptr) sim_->injectFault(*f);
+    }
+    first = false;
     RetargetResult attempt = realizeSelections(selections);
     if (!attempt.success) continue;
 
@@ -443,8 +467,8 @@ RetargetResult Retargeter::writeInstrument(rsn::InstrumentId i,
   const rsn::SegmentId seg = net.instrument(i).segment;
   RRSN_CHECK(value.size() == net.segment(seg).length,
              "write value length mismatch");
-  const auto& faultOpt = sim_->injectedFault();
-  const fault::Fault* f = faultOpt ? &*faultOpt : nullptr;
+  const std::optional<fault::Fault> injected = sim_->injectedFault();
+  const fault::Fault* f = injected ? &*injected : nullptr;
 
   RetargetResult best;
   if (f != nullptr && f->kind == fault::FaultKind::SegmentBreak &&
@@ -455,8 +479,15 @@ RetargetResult Retargeter::writeInstrument(rsn::InstrumentId i,
 
   // For writes the scan-in side must be clean; the scan-out side may
   // contain the broken segment (the value never travels through it).
+  // As in readInstrument, each candidate recipe starts from power-on.
+  bool first = true;
   for (const auto& [selections, rerouted] : candidateSelections(
            gv_, f, seg, /*breakBeforeSegTolerable=*/false, options_)) {
+    if (!first) {
+      sim_->reset();
+      if (f != nullptr) sim_->injectFault(*f);
+    }
+    first = false;
     RetargetResult attempt = realizeSelections(selections);
     if (!attempt.success) continue;
 

@@ -1,0 +1,52 @@
+// Shared FNV-1a hashing primitives.
+//
+// One canonical implementation of the 64-bit FNV-1a fold used across the
+// codebase: campaign checkpoints fingerprint their network + config with
+// it, and the fault dictionary keys syndrome equivalence classes by the
+// hash of their bitset words.  Keeping the constants and mixing order in
+// one place guarantees the two sites agree (checkpoint resume compares
+// fingerprints produced by different runs of the binary).
+//
+// FNV-1a is not collision-free; every consumer that uses a fingerprint
+// as a map key must fall back to a full equality check on collision.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/bitset.hpp"
+
+namespace rrsn::hash {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Folds 8 bytes of `v` (little-endian order) into the running hash.
+inline void fnvMix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+/// Folds a string plus a field separator, so "ab"+"c" != "a"+"bc".
+inline void fnvMix(std::uint64_t& h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  h ^= 0xff;
+  h *= kFnvPrime;
+}
+
+/// FNV-1a fingerprint of a bitset: the bit length followed by every
+/// backing word.  Equal bitsets always hash equal (the unused tail bits
+/// of the last word are canonically zero).
+inline std::uint64_t fingerprint(const DynamicBitset& b) {
+  std::uint64_t h = kFnvOffset;
+  fnvMix(h, static_cast<std::uint64_t>(b.size()));
+  for (std::size_t w = 0; w < b.wordCount(); ++w) fnvMix(h, b.word(w));
+  return h;
+}
+
+}  // namespace rrsn::hash
