@@ -1,5 +1,6 @@
 #include "campaign/checkpoint.hpp"
 
+#include <bit>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -50,8 +51,15 @@ std::uint64_t campaignFingerprint(const rsn::Network& net,
                                   const CampaignConfig& config) {
   std::uint64_t h = kFnvOffset;
   fnvMix(h, rsn::netlistToString(net));
+  fnvMix(h, static_cast<std::uint64_t>(config.mode));
   fnvMix(h, static_cast<std::uint64_t>(config.sample));
+  fnvMix(h, std::bit_cast<std::uint64_t>(config.sampleFraction));
   fnvMix(h, config.seed);
+  if (config.mode == CampaignMode::Transient) {
+    fnvMix(h, static_cast<std::uint64_t>(config.transientRounds.size()));
+    for (const std::uint32_t round : config.transientRounds)
+      fnvMix(h, static_cast<std::uint64_t>(round));
+  }
   fnvMix(h, static_cast<std::uint64_t>(config.retarget.maxRounds));
   fnvMix(h, static_cast<std::uint64_t>(config.retarget.allowReroute ? 1 : 0));
   fnvMix(h, static_cast<std::uint64_t>(config.retarget.maxReroutes));
@@ -78,6 +86,8 @@ void saveCheckpoint(const std::string& path, std::uint64_t fingerprint,
     records.push_back(json::Value(std::move(o)));
   }
   json::Object root;
+  root["version"] = json::Value(kCheckpointVersion);
+  root["mode"] = json::Value(campaignModeName(result.mode));
   root["fingerprint"] = json::Value(hex(fingerprint));
   root["faults_total"] =
       json::Value(static_cast<std::uint64_t>(result.records.size()));
@@ -120,6 +130,24 @@ CheckpointLoad loadCheckpoint(const std::string& path,
   // halfway through must not leave earlier records half-applied.
   std::vector<std::pair<std::size_t, FaultRecord>> staged;
   try {
+    // Version-1 files (PR 2/PR 4) carry no version field at all; any
+    // version other than ours degrades to a restart, never a throw.
+    const std::uint64_t version =
+        doc.get("version", json::Value(std::uint64_t{1})).asUnsigned();
+    if (version != kCheckpointVersion)
+      return {Status::failedPrecondition(
+                  "checkpoint " + path + " has format version " +
+                  std::to_string(version) + "; this engine reads version " +
+                  std::to_string(kCheckpointVersion)),
+              0};
+    const std::string mode =
+        doc.get("mode", json::Value("single")).asString();
+    if (mode != campaignModeName(result.mode))
+      return {Status::failedPrecondition(
+                  "checkpoint " + path + " was written by a " + mode +
+                  " campaign, not a " + campaignModeName(result.mode) +
+                  " one"),
+              0};
     if (doc.at("fingerprint").asString() != hex(fingerprint))
       return {Status::failedPrecondition(
                   "checkpoint " + path +
@@ -167,7 +195,10 @@ CheckpointLoad loadCheckpoint(const std::string& path,
             0};
   }
   for (auto& [k, rec] : staged) {
-    rec.fault = result.records[k].fault;  // decoded records carry no fault id
+    // Decoded records carry no scenario identity: the fingerprint (and
+    // version/mode checks above) guarantee index k names the same
+    // scenario as this engine's universe, so re-attach it from there.
+    rec.scenario = result.records[k].scenario;
     result.records[k] = std::move(rec);
   }
   return {Status{}, staged.size()};

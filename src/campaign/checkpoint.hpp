@@ -1,13 +1,17 @@
 // Resumable campaign state (JSON checkpoint files).
 //
-// A checkpoint stores every *finished* fault record together with a
-// fingerprint of the network and campaign configuration.  Loading
-// rejects checkpoints written for a different network or config (the
-// resumed campaign would silently mix incompatible results otherwise)
-// and tolerates a missing file (fresh start).  Rejection is a typed
-// Status, not an exception: a truncated, hand-edited or stale state
-// file must degrade into "checkpoint ignored, restarting" — it would
-// otherwise abort the multi-hour campaign it exists to protect.
+// A checkpoint stores every *finished* scenario record together with a
+// fingerprint of the network and campaign configuration, and a format
+// version (kCheckpointVersion).  Loading rejects checkpoints written
+// for a different network or config (the resumed campaign would
+// silently mix incompatible results otherwise), rejects a different
+// format version — version-1 files predate multi-fault and transient
+// scenarios, so their records cannot be re-attached safely — and
+// tolerates a missing file (fresh start).  Rejection is a typed
+// Status, not an exception: a truncated, hand-edited, stale or
+// wrong-version state file must degrade into "checkpoint ignored,
+// restarting" — it would otherwise abort the multi-hour campaign it
+// exists to protect.
 // Saving is atomic: write to `<path>.tmp`, then rename — a deadline
 // that fires mid-write can never leave a torn state file behind.
 #pragma once
@@ -19,10 +23,17 @@
 
 namespace rrsn::campaign {
 
+/// Checkpoint file format version this engine reads and writes.
+/// Version 1 (PR 2/PR 4) had no version or mode field and stored
+/// single-fault records only; version 2 adds both plus pair/transient
+/// scenario support.
+inline constexpr std::uint64_t kCheckpointVersion = 2;
+
 /// FNV-1a hash over the canonical netlist text and the config fields
-/// that change probe outcomes (sample, seed, retarget bounds, excluded
-/// primitives).  Checkpoint path / batch size / callbacks are excluded:
-/// they affect scheduling, not results.
+/// that change probe outcomes (mode, sample, sample fraction, seed,
+/// transient rounds, retarget bounds, excluded primitives).  Checkpoint
+/// path / batch size / deadline / callbacks are excluded: they affect
+/// scheduling, not results.
 std::uint64_t campaignFingerprint(const rsn::Network& net,
                                   const CampaignConfig& config);
 

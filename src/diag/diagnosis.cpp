@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <string>
+#include <tuple>
 
 #include "obs/obs.hpp"
 #include "sim/retarget.hpp"
@@ -53,6 +54,39 @@ Syndrome FaultDictionary::measure(const rsn::Network& net,
     }
   }
   return syn;
+}
+
+Syndrome FaultDictionary::measureMulti(const rsn::Network& net,
+                                       const std::vector<fault::Fault>& faults) {
+  const std::size_t n = net.instruments().size();
+  Syndrome syn;
+  syn.passed = DynamicBitset(2 * n);
+  for (rsn::InstrumentId i = 0; i < n; ++i) {
+    const auto len = net.segment(net.instrument(i).segment).length;
+    {
+      sim::ScanSimulator simulator(net);
+      simulator.injectFaults(faults);
+      sim::Retargeter rt(simulator);
+      if (rt.readInstrument(i).success) syn.passed.set(2 * i);
+    }
+    {
+      sim::ScanSimulator simulator(net);
+      simulator.injectFaults(faults);
+      sim::Retargeter rt(simulator);
+      if (rt.writeInstrument(i, sim::accessMarker(len)).success)
+        syn.passed.set(2 * i + 1);
+    }
+  }
+  return syn;
+}
+
+Syndrome composeSyndromes(const Syndrome& a, const Syndrome& b) {
+  RRSN_CHECK(a.passed.size() == b.passed.size(),
+             "cannot compose syndromes of different networks");
+  Syndrome out;
+  out.passed = a.passed;
+  out.passed &= b.passed;
+  return out;
 }
 
 namespace {
@@ -188,6 +222,99 @@ Diagnosis FaultDictionary::diagnose(const Syndrome& observed) const {
     d.nearestMatches.push_back(faults_[k]);
   }
   d.nearestDistance = best;
+  return d;
+}
+
+namespace {
+
+/// Two stuck faults on one mux cannot coexist in real hardware.
+bool contradictoryPair(const fault::Fault& a, const fault::Fault& b) {
+  return a.kind == fault::FaultKind::MuxStuck &&
+         b.kind == fault::FaultKind::MuxStuck && a.prim == b.prim;
+}
+
+}  // namespace
+
+FaultDictionary::PairDiagnosis FaultDictionary::diagnosePair(
+    const Syndrome& observed) const {
+  PairDiagnosis d;
+  if (observed == faultFree_) {
+    d.faultFree = true;
+    return d;
+  }
+  // Group faults into syndrome equivalence classes, keeping fault
+  // order.  Composition depends only on the class representative's row,
+  // so candidate pairs are found class-by-class and expanded to member
+  // pairs only on a match — quadratic in |classes|, not |faults|.
+  std::vector<std::vector<std::uint32_t>> classes;
+  {
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> byPrint;
+    for (std::uint32_t k = 0; k < faults_.size(); ++k) {
+      auto& bucket = byPrint[fingerprints_[k]];
+      bool placed = false;
+      for (const std::size_t c : bucket) {
+        if (syndromes_[classes[c].front()] == syndromes_[k]) {
+          classes[c].push_back(k);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        bucket.push_back(classes.size());
+        classes.push_back({k});
+      }
+    }
+  }
+
+  const std::uint64_t observedPrint = hash::fingerprint(observed.passed);
+  for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+    const Syndrome& rowA = syndromes_[classes[ci].front()];
+    for (std::size_t cj = ci; cj < classes.size(); ++cj) {
+      const Syndrome& rowB = syndromes_[classes[cj].front()];
+      const Syndrome composed = composeSyndromes(rowA, rowB);
+      if (hash::fingerprint(composed.passed) != observedPrint ||
+          !(composed == observed)) {
+        continue;
+      }
+      for (std::size_t x = 0; x < classes[ci].size(); ++x) {
+        const std::size_t yBegin = ci == cj ? x + 1 : 0;
+        for (std::size_t y = yBegin; y < classes[cj].size(); ++y) {
+          std::uint32_t ka = classes[ci][x], kb = classes[cj][y];
+          if (ka > kb) std::swap(ka, kb);
+          if (contradictoryPair(faults_[ka], faults_[kb])) continue;
+          d.exactPairCount += 1;
+          if (d.exactPairs.size() < PairDiagnosis::kMaxListedPairs)
+            d.exactPairs.emplace_back(faults_[ka], faults_[kb]);
+        }
+      }
+    }
+  }
+  std::sort(d.exactPairs.begin(), d.exactPairs.end(),
+            [](const auto& lhs, const auto& rhs) {
+              return std::tie(lhs.first.kind, lhs.first.prim,
+                              lhs.first.stuckBranch, lhs.second.kind,
+                              lhs.second.prim, lhs.second.stuckBranch) <
+                     std::tie(rhs.first.kind, rhs.first.prim,
+                              rhs.first.stuckBranch, rhs.second.kind,
+                              rhs.second.prim, rhs.second.stuckBranch);
+            });
+
+  // Verify mode: composition is only a bound, so cross-check the first
+  // candidates end to end on the simulator.  A candidate that
+  // re-measures differently is a pair whose interaction (masking)
+  // escapes the row-union model — the campaign layer itemizes those.
+  if (mode_ == DictMode::Verify) {
+    const std::size_t limit =
+        std::min(d.exactPairs.size(), PairDiagnosis::kMaxVerifiedPairs);
+    for (std::size_t p = 0; p < limit; ++p) {
+      const Syndrome measured = measureMulti(
+          *net_, {d.exactPairs[p].first, d.exactPairs[p].second});
+      if (measured == observed) {
+        d.verifiedBySimulation = true;
+        break;
+      }
+    }
+  }
   return d;
 }
 

@@ -54,6 +54,15 @@ struct Syndrome {
                                std::size_t bound) const;
 };
 
+/// Row-union composition of two single-fault syndromes: an access can
+/// only pass under the simultaneous pair if it passes under both faults
+/// individually, so the composed *failure* set is the union of the two
+/// rows' failures (passed = AND).  Composition is a structural bound,
+/// not ground truth — real pair physics can mask one fault behind the
+/// other — which is exactly why diagnosePair cross-checks candidates on
+/// the simulator in verify mode.
+Syndrome composeSyndromes(const Syndrome& a, const Syndrome& b);
+
 /// Result of diagnosing one observed syndrome.
 struct Diagnosis {
   /// Faults whose dictionary syndrome matches exactly (empty if the
@@ -92,10 +101,47 @@ class FaultDictionary {
   /// per-probe reference path, independent of the build mode).
   static Syndrome measure(const rsn::Network& net, const fault::Fault* f);
 
+  /// Same, with any number of simultaneous permanent faults injected —
+  /// the reference measurement for multi-fault diagnosis.
+  static Syndrome measureMulti(const rsn::Network& net,
+                               const std::vector<fault::Fault>& faults);
+
   /// Looks the observed syndrome up in the dictionary: exact matches
   /// via the fingerprint index, otherwise a popcount-pruned
   /// nearest-distance scan.
   Diagnosis diagnose(const Syndrome& observed) const;
+
+  /// Result of diagnosing an observed syndrome against *composed* fault
+  /// pairs.  The candidate set is every unordered pair of single faults
+  /// whose row-union composition (composeSyndromes) reproduces the
+  /// observation; pairs are enumerated over syndrome equivalence
+  /// classes, so the scan is quadratic in the class count, not the
+  /// fault count.  The listing is capped; exactPairCount keeps the true
+  /// ambiguity (how many pairs are indistinguishable from the
+  /// observation under composition).
+  struct PairDiagnosis {
+    /// True if the observed syndrome equals the fault-free one.
+    bool faultFree = false;
+    /// Candidate pairs in canonical (fault-index) order, first
+    /// kMaxListedPairs only.
+    std::vector<std::pair<fault::Fault, fault::Fault>> exactPairs;
+    /// Total number of composition-matching pairs (the ambiguity).
+    std::size_t exactPairCount = 0;
+    /// Verify-mode only: true when at least one listed candidate pair
+    /// re-measured on the simulator (measureMulti) reproduces the
+    /// observation exactly.  False in other modes, and false when every
+    /// re-measured candidate diverges — the signature of a pair whose
+    /// physics the composition bound cannot express.
+    bool verifiedBySimulation = false;
+
+    static constexpr std::size_t kMaxListedPairs = 64;
+    static constexpr std::size_t kMaxVerifiedPairs = 8;
+  };
+
+  /// Diagnoses `observed` as a simultaneous fault pair.  In Verify mode
+  /// the first kMaxVerifiedPairs candidates are cross-checked against
+  /// the per-probe simulator (see PairDiagnosis::verifiedBySimulation).
+  PairDiagnosis diagnosePair(const Syndrome& observed) const;
 
   /// Diagnosability statistics.
   struct Resolution {

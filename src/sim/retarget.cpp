@@ -23,39 +23,48 @@ void recordAccess(const RetargetResult& res) {
   obs::sample(kRounds, res.rounds);
 }
 
-/// Edge admissibility under a fault: stuck-mux edges are always
-/// enforced; the broken segment's vertex is impassable unless
-/// `allowBreak`.  Shared by the BFS below and the bounded enumeration.
+/// Edge admissibility under a set of simultaneous faults: stuck-mux
+/// edges are always enforced; broken segments' vertices are impassable
+/// unless `allowBreak`.  Shared by the BFS below and the bounded
+/// enumeration.
 struct FaultEdges {
-  graph::VertexId broken = graph::kNoVertex;
-  graph::VertexId stuckMux = graph::kNoVertex;
-  graph::VertexId allowedExit = graph::kNoVertex;
+  std::vector<graph::VertexId> broken;
+  /// (mux vertex, only admissible predecessor) per stuck fault.
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> stuck;
 
-  FaultEdges(const rsn::GraphView& gv, const fault::Fault* f,
+  FaultEdges(const rsn::GraphView& gv, const std::vector<fault::Fault>& faults,
              bool allowBreak) {
-    if (f == nullptr) return;
-    if (f->kind == fault::FaultKind::SegmentBreak) {
-      if (!allowBreak) broken = gv.segmentVertex[f->prim];
-    } else {
-      stuckMux = gv.muxVertex[f->prim];
-      allowedExit = gv.muxBranchExit[f->prim][f->stuckBranch];
+    for (const fault::Fault& f : faults) {
+      if (f.kind == fault::FaultKind::SegmentBreak) {
+        if (!allowBreak) broken.push_back(gv.segmentVertex[f.prim]);
+      } else {
+        stuck.emplace_back(gv.muxVertex[f.prim],
+                           gv.muxBranchExit[f.prim][f.stuckBranch]);
+      }
     }
   }
 
+  bool blocksVertex(graph::VertexId v) const {
+    for (graph::VertexId b : broken)
+      if (v == b) return true;
+    return false;
+  }
+
   bool allows(graph::VertexId from, graph::VertexId to) const {
-    if (from == broken || to == broken) return false;
-    if (to == stuckMux && from != allowedExit) return false;
+    if (blocksVertex(from) || blocksVertex(to)) return false;
+    for (const auto& [mux, allowedExit] : stuck)
+      if (to == mux && from != allowedExit) return false;
     return true;
   }
 };
 
 /// BFS with parent pointers between two vertices of the graph view.
 std::optional<std::vector<graph::VertexId>> findPath(
-    const rsn::GraphView& gv, const fault::Fault* f, graph::VertexId from,
-    graph::VertexId to, bool allowBreak) {
+    const rsn::GraphView& gv, const std::vector<fault::Fault>& faults,
+    graph::VertexId from, graph::VertexId to, bool allowBreak) {
   const graph::Digraph& g = gv.graph;
-  const FaultEdges edges(gv, f, allowBreak);
-  if (from == edges.broken || to == edges.broken) return std::nullopt;
+  const FaultEdges edges(gv, faults, allowBreak);
+  if (edges.blocksVertex(from) || edges.blocksVertex(to)) return std::nullopt;
 
   std::vector<graph::VertexId> parent(g.vertexCount(), graph::kNoVertex);
   std::vector<bool> seen(g.vertexCount(), false);
@@ -90,13 +99,14 @@ std::optional<std::vector<graph::VertexId>> findPath(
 /// in deterministic successor order, shortest-ish first is NOT
 /// guaranteed — callers verify each candidate end to end anyway.
 std::vector<std::vector<graph::VertexId>> enumeratePaths(
-    const rsn::GraphView& gv, const fault::Fault* f, graph::VertexId from,
-    graph::VertexId to, bool allowBreak, std::size_t limit) {
+    const rsn::GraphView& gv, const std::vector<fault::Fault>& faults,
+    graph::VertexId from, graph::VertexId to, bool allowBreak,
+    std::size_t limit) {
   std::vector<std::vector<graph::VertexId>> out;
   if (limit == 0) return out;
   const graph::Digraph& g = gv.graph;
-  const FaultEdges edges(gv, f, allowBreak);
-  if (from == edges.broken || to == edges.broken) return out;
+  const FaultEdges edges(gv, faults, allowBreak);
+  if (edges.blocksVertex(from) || edges.blocksVertex(to)) return out;
 
   // Reverse reachability: canReach[v] iff an admissible path v -> to
   // exists.  Walking predecessor edges checks allows(pred, v).
@@ -154,12 +164,12 @@ std::vector<std::vector<graph::VertexId>> enumeratePaths(
 /// Derives the mux selections that make the structural walk follow a
 /// concrete graph path.  Parallel wire branches exit at the same
 /// fan-out vertex, so a join edge can correspond to several branches;
-/// a fault-aware caller passes `f` so that a stuck mux is asked for the
-/// branch it is actually stuck at whenever that branch matches the
-/// walk (any other demand could never be realized).
+/// a fault-aware caller passes `faults` so that a stuck mux is asked
+/// for the branch it is actually stuck at whenever that branch matches
+/// the walk (any other demand could never be realized).
 std::map<rsn::MuxId, std::uint32_t> selectionsFromPath(
     const rsn::GraphView& gv, const std::vector<graph::VertexId>& path,
-    const fault::Fault* f) {
+    const std::vector<fault::Fault>& faults) {
   std::map<rsn::MuxId, std::uint32_t> sel;
   for (std::size_t k = 1; k < path.size(); ++k) {
     const graph::VertexId v = path[k];
@@ -167,11 +177,16 @@ std::map<rsn::MuxId, std::uint32_t> selectionsFromPath(
       if (gv.muxVertex[m] != v) continue;
       const graph::VertexId pred = path[k - 1];
       const auto& exits = gv.muxBranchExit[m];
-      if (f != nullptr && f->kind == fault::FaultKind::MuxStuck &&
-          f->prim == m && exits[f->stuckBranch] == pred) {
-        sel[m] = f->stuckBranch;
-        break;
+      bool stuckMatched = false;
+      for (const fault::Fault& f : faults) {
+        if (f.kind == fault::FaultKind::MuxStuck && f.prim == m &&
+            exits[f.stuckBranch] == pred) {
+          sel[m] = f.stuckBranch;
+          stuckMatched = true;
+          break;
+        }
       }
+      if (stuckMatched) break;
       for (std::uint32_t b = 0; b < exits.size(); ++b) {
         if (exits[b] == pred) {
           sel[m] = b;
@@ -330,10 +345,24 @@ namespace {
 /// mux selections realizing the combined walk.
 std::map<rsn::MuxId, std::uint32_t> joinSelections(
     const rsn::GraphView& gv, const std::vector<graph::VertexId>& prefix,
-    const std::vector<graph::VertexId>& suffix, const fault::Fault* f) {
+    const std::vector<graph::VertexId>& suffix,
+    const std::vector<fault::Fault>& faults) {
   std::vector<graph::VertexId> whole = prefix;
   whole.insert(whole.end(), suffix.begin() + 1, suffix.end());
-  return selectionsFromPath(gv, whole, f);
+  return selectionsFromPath(gv, whole, faults);
+}
+
+bool containsBreak(const std::vector<fault::Fault>& faults) {
+  for (const fault::Fault& f : faults)
+    if (f.kind == fault::FaultKind::SegmentBreak) return true;
+  return false;
+}
+
+bool breaksSegment(const std::vector<fault::Fault>& faults,
+                   rsn::SegmentId seg) {
+  for (const fault::Fault& f : faults)
+    if (f.kind == fault::FaultKind::SegmentBreak && f.prim == seg) return true;
+  return false;
 }
 
 }  // namespace
@@ -347,7 +376,8 @@ std::map<rsn::MuxId, std::uint32_t> joinSelections(
 /// flavor (tolerable on the scan-out side).  Duplicates of earlier
 /// entries are dropped, and the total is capped at 1 + maxReroutes.
 static std::vector<std::pair<std::map<rsn::MuxId, std::uint32_t>, bool>>
-candidateSelections(const rsn::GraphView& gv, const fault::Fault* f,
+candidateSelections(const rsn::GraphView& gv,
+                    const std::vector<fault::Fault>& faults,
                     rsn::SegmentId seg, bool breakBeforeSegTolerable,
                     const RetargetOptions& options) {
   using Selections = std::map<rsn::MuxId, std::uint32_t>;
@@ -360,35 +390,35 @@ candidateSelections(const rsn::GraphView& gv, const fault::Fault* f,
     out.emplace_back(std::move(sel), rerouted);
   };
 
-  // Nominal: shortest path ignoring the fault (selections derived
+  // Nominal: shortest path ignoring the faults (selections derived
   // fault-unaware too — this is the recipe of an oblivious controller).
   {
-    const auto prefix = findPath(gv, nullptr, gv.scanIn, segV, false);
-    const auto suffix = findPath(gv, nullptr, segV, gv.scanOut, false);
+    const auto prefix = findPath(gv, {}, gv.scanIn, segV, false);
+    const auto suffix = findPath(gv, {}, segV, gv.scanOut, false);
     if (prefix && suffix)
-      push(joinSelections(gv, *prefix, *suffix, nullptr), false);
+      push(joinSelections(gv, *prefix, *suffix, {}), false);
   }
 
-  if (f == nullptr || !options.allowReroute || options.maxReroutes == 0)
+  if (faults.empty() || !options.allowReroute || options.maxReroutes == 0)
     return out;
 
   // Reroute: enumerate fault-honoring prefix/suffix pairs.  The second
-  // strategy additionally tolerates the broken segment on the side where
-  // the payload never crosses it (scan-in side for reads, scan-out side
-  // for writes).
+  // strategy additionally tolerates broken segments on the side where
+  // the payload never crosses them (scan-in side for reads, scan-out
+  // side for writes).
   const std::size_t cap = options.maxReroutes;
   for (const bool tolerateBreak : {false, true}) {
-    if (tolerateBreak && f->kind != fault::FaultKind::SegmentBreak) break;
+    if (tolerateBreak && !containsBreak(faults)) break;
     const bool allowPrefixBreak = tolerateBreak && breakBeforeSegTolerable;
     const bool allowSuffixBreak = tolerateBreak && !breakBeforeSegTolerable;
     const auto prefixes =
-        enumeratePaths(gv, f, gv.scanIn, segV, allowPrefixBreak, cap);
+        enumeratePaths(gv, faults, gv.scanIn, segV, allowPrefixBreak, cap);
     const auto suffixes =
-        enumeratePaths(gv, f, segV, gv.scanOut, allowSuffixBreak, cap);
+        enumeratePaths(gv, faults, segV, gv.scanOut, allowSuffixBreak, cap);
     for (const auto& prefix : prefixes) {
       for (const auto& suffix : suffixes) {
         if (out.size() > cap) return out;  // entry 0 is the nominal recipe
-        push(joinSelections(gv, prefix, suffix, f), true);
+        push(joinSelections(gv, prefix, suffix, faults), true);
       }
     }
   }
@@ -399,12 +429,10 @@ RetargetResult Retargeter::readInstrument(rsn::InstrumentId i) {
   RRSN_OBS_SPAN("sim.read");
   const rsn::Network& net = sim_->network();
   const rsn::SegmentId seg = net.instrument(i).segment;
-  const std::optional<fault::Fault> injected = sim_->injectedFault();
-  const fault::Fault* f = injected ? &*injected : nullptr;
+  const std::vector<fault::Fault> faults = sim_->injectedFaults();
 
   RetargetResult best;
-  if (f != nullptr && f->kind == fault::FaultKind::SegmentBreak &&
-      f->prim == seg) {
+  if (breaksSegment(faults, seg)) {
     recordAccess(best);
     return best;  // the instrument's own segment is dead
   }
@@ -413,16 +441,16 @@ RetargetResult Retargeter::readInstrument(rsn::InstrumentId i) {
   // scan-in side only shifts garbage in behind the marker.
   bool first = true;
   for (const auto& [selections, rerouted] : candidateSelections(
-           gv_, f, seg, /*breakBeforeSegTolerable=*/true, options_)) {
+           gv_, faults, seg, /*breakBeforeSegTolerable=*/true, options_)) {
     // A failed attempt can leave X in address registers (a shift across
-    // the broken segment poisons everything downstream, including SIB
+    // a broken segment poisons everything downstream, including SIB
     // registers that sit behind their content), with no scan-accessible
     // recovery.  Power-cycle between candidate recipes: each one starts
-    // from the reset image with only the physical defect persisting,
+    // from the reset image with only the physical defects persisting,
     // which also makes the recorded patterns replayable from power-on.
     if (!first) {
       sim_->reset();
-      if (f != nullptr) sim_->injectFault(*f);
+      sim_->injectFaults(faults);
     }
     first = false;
     RetargetResult attempt = realizeSelections(selections);
@@ -467,25 +495,23 @@ RetargetResult Retargeter::writeInstrument(rsn::InstrumentId i,
   const rsn::SegmentId seg = net.instrument(i).segment;
   RRSN_CHECK(value.size() == net.segment(seg).length,
              "write value length mismatch");
-  const std::optional<fault::Fault> injected = sim_->injectedFault();
-  const fault::Fault* f = injected ? &*injected : nullptr;
+  const std::vector<fault::Fault> faults = sim_->injectedFaults();
 
   RetargetResult best;
-  if (f != nullptr && f->kind == fault::FaultKind::SegmentBreak &&
-      f->prim == seg) {
+  if (breaksSegment(faults, seg)) {
     recordAccess(best);
     return best;
   }
 
   // For writes the scan-in side must be clean; the scan-out side may
-  // contain the broken segment (the value never travels through it).
+  // contain broken segments (the value never travels through them).
   // As in readInstrument, each candidate recipe starts from power-on.
   bool first = true;
   for (const auto& [selections, rerouted] : candidateSelections(
-           gv_, f, seg, /*breakBeforeSegTolerable=*/false, options_)) {
+           gv_, faults, seg, /*breakBeforeSegTolerable=*/false, options_)) {
     if (!first) {
       sim_->reset();
-      if (f != nullptr) sim_->injectFault(*f);
+      sim_->injectFaults(faults);
     }
     first = false;
     RetargetResult attempt = realizeSelections(selections);

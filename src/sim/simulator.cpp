@@ -49,7 +49,22 @@ void ScanSimulator::reset() {
     state_[s].instrumentValue.clear();
   }
   externalAddress_.assign(net_->muxes().size(), 0);
-  fault_.reset();
+  faults_.clear();
+  upset_.reset();
+  roundsSinceArm_ = 0;
+}
+
+void ScanSimulator::resetConfiguration() {
+  for (rsn::SegmentId s = 0; s < net_->segments().size(); ++s)
+    state_[s].update.assign(net_->segment(s).length, Bit::Zero);
+  externalAddress_.assign(net_->muxes().size(), 0);
+}
+
+void ScanSimulator::armTransientUpset(const TransientUpset& upset) {
+  RRSN_CHECK(upset.segment < net_->segments().size(),
+             "transient upset segment id out of range");
+  upset_ = upset;
+  roundsSinceArm_ = 0;
 }
 
 void ScanSimulator::setExternalAddress(rsn::MuxId m, std::uint32_t branch) {
@@ -79,9 +94,9 @@ std::vector<Bit> ScanSimulator::segmentUpdate(rsn::SegmentId s) const {
 
 std::uint32_t ScanSimulator::resolveSelection(rsn::MuxId m) const {
   // A stuck mux ignores its address entirely.
-  if (fault_ && fault_->kind == fault::FaultKind::MuxStuck &&
-      fault_->prim == m)
-    return fault_->stuckBranch;
+  for (const fault::Fault& f : faults_)
+    if (f.kind == fault::FaultKind::MuxStuck && f.prim == m)
+      return f.stuckBranch;
 
   const rsn::SegmentId ctrl = net_->mux(m).controlSegment;
   if (ctrl == rsn::kNone) return externalAddress_[m];
@@ -142,28 +157,24 @@ std::vector<Bit> ScanSimulator::csu(const std::vector<Bit>& in) {
                  std::to_string(in.size()) + " vs " +
                  std::to_string(path->totalBits) + " bits)");
 
-  const rsn::SegmentId brokenSeg =
-      fault_ && fault_->kind == fault::FaultKind::SegmentBreak
-          ? fault_->prim
-          : rsn::kNone;
-
   // Capture: instrument segments capture the instrument value, plain
   // segments recirculate their update value.
   for (rsn::SegmentId s : path->segments) {
     SegmentState& st = state_[s];
     st.shift = st.instrumentValue.empty() ? st.update : st.instrumentValue;
-    if (s == brokenSeg) std::fill(st.shift.begin(), st.shift.end(), Bit::X);
+    if (isBroken(s)) std::fill(st.shift.begin(), st.shift.end(), Bit::X);
   }
 
   // Shift: one concatenated register, scan-in side at index 0.  A broken
   // segment poisons its cells after every clock, so anything shifted
-  // through it leaves as X.
+  // through it leaves as X.  Several simultaneous breaks poison several
+  // disjoint ranges.
   std::vector<Bit> reg;
   reg.reserve(path->totalBits);
-  std::optional<std::pair<std::size_t, std::size_t>> brokenRange;
+  std::vector<std::pair<std::size_t, std::size_t>> brokenRanges;
   for (rsn::SegmentId s : path->segments) {
-    if (s == brokenSeg)
-      brokenRange = {reg.size(), reg.size() + state_[s].shift.size()};
+    if (isBroken(s))
+      brokenRanges.emplace_back(reg.size(), reg.size() + state_[s].shift.size());
     reg.insert(reg.end(), state_[s].shift.begin(), state_[s].shift.end());
   }
 
@@ -173,9 +184,8 @@ std::vector<Bit> ScanSimulator::csu(const std::vector<Bit>& in) {
     out.push_back(reg.back());
     for (std::size_t i = reg.size() - 1; i > 0; --i) reg[i] = reg[i - 1];
     reg[0] = in[t];
-    if (brokenRange) {
-      for (std::size_t i = brokenRange->first; i < brokenRange->second; ++i)
-        reg[i] = Bit::X;
+    for (const auto& [first, last] : brokenRanges) {
+      for (std::size_t i = first; i < last; ++i) reg[i] = Bit::X;
     }
   }
 
@@ -189,7 +199,25 @@ std::vector<Bit> ScanSimulator::csu(const std::vector<Bit>& in) {
     st.update = st.shift;
     offset += st.shift.size();
   }
+
+  // A pending transient upset fires once the configured CSU round has
+  // completed: the target segment's stored state — shift *and* update
+  // register, on or off the active path — is corrupted to X.  The upset
+  // is consumed; subsequent rounds operate on clean silicon again.
+  if (upset_ && roundsSinceArm_ == upset_->round) {
+    SegmentState& st = state_[upset_->segment];
+    std::fill(st.shift.begin(), st.shift.end(), Bit::X);
+    std::fill(st.update.begin(), st.update.end(), Bit::X);
+    upset_.reset();
+  }
+  ++roundsSinceArm_;
   return out;
+}
+
+bool ScanSimulator::isBroken(rsn::SegmentId s) const {
+  for (const fault::Fault& f : faults_)
+    if (f.kind == fault::FaultKind::SegmentBreak && f.prim == s) return true;
+  return false;
 }
 
 std::vector<Bit> ScanSimulator::shiftInForImage(const std::vector<Bit>& image) {

@@ -4,9 +4,14 @@
 // every scan segment has a shift register and a shadow update register;
 // multiplexer addresses are driven by the update value of their control
 // segment (or set externally for TAP-controlled muxes).  The simulator
-// supports single permanent-fault injection with three-valued logic: a
-// broken segment poisons every bit shifted through it with X; a stuck
-// multiplexer ignores its address.
+// supports permanent-fault injection with three-valued logic: a broken
+// segment poisons every bit shifted through it with X; a stuck
+// multiplexer ignores its address.  Any number of simultaneous
+// permanent faults can be injected (the multi-fault campaigns probe
+// defect pairs), and a one-shot *transient upset* can be armed: after a
+// chosen CSU round completes, one segment's registers are corrupted to
+// X for that single event — the segment behaves normally afterwards,
+// but the corruption persists in its state until overwritten.
 //
 // The simulator is the ground truth the structural analysis is tested
 // against, and powers the paper's two application scenarios in
@@ -38,20 +43,60 @@ struct PathInfo {
   std::size_t totalBits = 0;
 };
 
+/// One-shot soft error: after CSU round `round` (counted from arming,
+/// round 0 = the first CSU) completes, every cell of `segment`'s shift
+/// and update registers is corrupted to X.  The upset then disappears —
+/// only its footprint in the register state remains.
+struct TransientUpset {
+  rsn::SegmentId segment = rsn::kNone;
+  std::uint32_t round = 0;
+
+  bool operator==(const TransientUpset&) const = default;
+};
+
 class ScanSimulator {
  public:
   explicit ScanSimulator(const rsn::Network& net);
 
   const rsn::Network& network() const { return *net_; }
 
-  /// Returns to the power-up state: all registers zero, no fault, all
-  /// external addresses zero.
+  /// Returns to the power-up state: all registers zero, no fault, no
+  /// pending upset, all external addresses zero.
   void reset();
 
-  /// Injects a single permanent fault (replacing any previous one).
-  void injectFault(const fault::Fault& f) { fault_ = f; }
-  void clearFault() { fault_.reset(); }
-  const std::optional<fault::Fault>& injectedFault() const { return fault_; }
+  /// Restores the power-up *configuration* only: update registers and
+  /// external mux addresses return to their reset values, while the
+  /// shift registers keep whatever (possibly X-corrupted) content they
+  /// hold.  This is the 1687-style reconfiguration sequence a
+  /// controller applies to recover from a transient upset — the next
+  /// accesses rewrite the data path, they do not need a power cycle.
+  /// Injected permanent faults and a still-pending upset are untouched.
+  void resetConfiguration();
+
+  /// Injects a single permanent fault (replacing all previous ones).
+  void injectFault(const fault::Fault& f) { faults_.assign(1, f); }
+  /// Injects a set of simultaneous permanent faults (replacing all
+  /// previous ones).  Two stuck faults on the same mux are contradictory
+  /// hardware; the first one in the list wins deterministically.
+  void injectFaults(std::vector<fault::Fault> faults) {
+    faults_ = std::move(faults);
+  }
+  /// Adds one more simultaneous permanent fault.
+  void addFault(const fault::Fault& f) { faults_.push_back(f); }
+  void clearFault() { faults_.clear(); }
+  const std::vector<fault::Fault>& injectedFaults() const { return faults_; }
+  /// The first injected fault, if any — the single-fault view used by
+  /// call sites predating multi-fault campaigns.
+  std::optional<fault::Fault> injectedFault() const {
+    return faults_.empty() ? std::nullopt
+                           : std::optional<fault::Fault>(faults_.front());
+  }
+
+  /// Arms a one-shot transient upset (replacing any pending one) and
+  /// restarts the CSU round counter it is measured against.
+  void armTransientUpset(const TransientUpset& upset);
+  /// True while an armed upset has not fired yet.
+  bool transientPending() const { return upset_.has_value(); }
 
   /// Address of a TAP-controlled mux (controlSegment == kNone).
   void setExternalAddress(rsn::MuxId m, std::uint32_t branch);
@@ -99,11 +144,14 @@ class ScanSimulator {
 
   std::uint32_t resolveSelection(rsn::MuxId m) const;
   bool walkPath(rsn::NodeId node, PathInfo& path) const;
+  bool isBroken(rsn::SegmentId s) const;
 
   const rsn::Network* net_;
   std::vector<SegmentState> state_;
   std::vector<std::uint32_t> externalAddress_;
-  std::optional<fault::Fault> fault_;
+  std::vector<fault::Fault> faults_;
+  std::optional<TransientUpset> upset_;
+  std::uint64_t roundsSinceArm_ = 0;
 };
 
 }  // namespace rrsn::sim

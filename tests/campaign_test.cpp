@@ -11,13 +11,18 @@
 //    recovers accesses (graceful degradation shows up as Recovered).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <tuple>
 
 #include "campaign/campaign.hpp"
 #include "campaign/checkpoint.hpp"
+#include "diag/diagnosis.hpp"
 #include "harden/fault_tolerant.hpp"
 #include "rsn/example_networks.hpp"
 #include "support/json.hpp"
@@ -70,7 +75,7 @@ TEST(Campaign, Fig1GapsAreTheDocumentedControlDependency) {
   const auto gaps = result.structuralGaps();
   ASSERT_EQ(gaps.size(), 2u);
   for (const campaign::Mismatch& gap : gaps) {
-    EXPECT_EQ(gap.fault.kind, fault::FaultKind::SegmentBreak);
+    EXPECT_EQ(gap.scenario.a.kind, fault::FaultKind::SegmentBreak);
     EXPECT_EQ(gap.simulated, campaign::Outcome::Lost);
     EXPECT_TRUE(gap.referenceAccessible);
   }
@@ -237,9 +242,9 @@ TEST(Campaign, ExcludedPrimitivesShrinkTheUniverse) {
       rsn::PrimitiveRef{rsn::PrimitiveRef::Kind::Segment, net.findSegment("c0")}));
   campaign::CampaignEngine engine(net, config);
   EXPECT_LT(engine.universe().size(), all);
-  for (const fault::Fault& f : engine.universe()) {
-    EXPECT_FALSE(f.kind == fault::FaultKind::SegmentBreak &&
-                 f.prim == net.findSegment("c0"));
+  for (const campaign::FaultScenario& s : engine.universe()) {
+    EXPECT_FALSE(s.a.kind == fault::FaultKind::SegmentBreak &&
+                 s.a.prim == net.findSegment("c0"));
   }
   // The excluded-universe campaign reports no break(c0) record at all.
   const campaign::CampaignResult result =
@@ -280,6 +285,333 @@ TEST(Campaign, ReportJsonIsCanonical) {
   EXPECT_EQ(doc.at("network").asString(), "tiny");
   EXPECT_EQ(doc.at("summary").at("segment_break_mismatches").asUnsigned(), 0u);
   EXPECT_EQ(doc.at("summary").at("mux_stuck_mismatches").asUnsigned(), 0u);
+}
+
+// ------------------------------------------------------ pair campaigns
+
+bool isContradictory(const fault::Fault& a, const fault::Fault& b) {
+  return a.kind == fault::FaultKind::MuxStuck &&
+         b.kind == fault::FaultKind::MuxStuck && a.prim == b.prim;
+}
+
+TEST(PairCampaign, ExhaustiveUniverseIsCanonicalAndContradictionFree) {
+  const rsn::Network net = rsn::makeFig1Network();
+  campaign::CampaignConfig config;
+  config.mode = campaign::CampaignMode::Pairs;
+  campaign::CampaignEngine engine(net, config);
+  const auto& singles = engine.singles();
+  const auto& universe = engine.universe();
+
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < singles.size(); ++i)
+    for (std::size_t j = i + 1; j < singles.size(); ++j)
+      if (!isContradictory(singles[i], singles[j])) ++expected;
+  ASSERT_EQ(universe.size(), expected);
+
+  for (std::size_t k = 0; k < universe.size(); ++k) {
+    const campaign::FaultScenario& s = universe[k];
+    EXPECT_EQ(s.kind, campaign::CampaignMode::Pairs);
+    ASSERT_LT(s.aIdx, s.bIdx);
+    ASSERT_LT(s.bIdx, singles.size());
+    EXPECT_TRUE(s.a == singles[s.aIdx]);
+    EXPECT_TRUE(s.b == singles[s.bIdx]);
+    EXPECT_FALSE(isContradictory(s.a, s.b));
+    if (k > 0) {
+      // Strictly increasing canonical (aIdx, bIdx) order: no duplicates.
+      const campaign::FaultScenario& prev = universe[k - 1];
+      EXPECT_TRUE(std::tie(prev.aIdx, prev.bIdx) < std::tie(s.aIdx, s.bIdx));
+    }
+  }
+}
+
+TEST(PairCampaign, StratifiedSampleIsDeterministicAndCoversStrata) {
+  const rsn::Network net = rsn::makeFig1Network();
+  campaign::CampaignConfig config;
+  config.mode = campaign::CampaignMode::Pairs;
+  config.sample = 20;
+  config.seed = 5;
+  campaign::CampaignEngine a(net, config), b(net, config);
+  ASSERT_EQ(a.universe().size(), b.universe().size());
+  for (std::size_t k = 0; k < a.universe().size(); ++k)
+    EXPECT_TRUE(a.universe()[k] == b.universe()[k]);
+  // Contradictory draws may shrink the sample, never grow it.
+  EXPECT_LE(a.universe().size(), 20u);
+  EXPECT_GE(a.universe().size(), 1u);
+  // Largest-remainder allocation over the break/break, break/stuck and
+  // stuck/stuck strata reaches every stratum at this sample size.
+  bool bb = false, bs = false, ss = false;
+  for (const campaign::FaultScenario& s : a.universe()) {
+    const bool aBreak = s.a.kind == fault::FaultKind::SegmentBreak;
+    const bool bBreak = s.b.kind == fault::FaultKind::SegmentBreak;
+    (aBreak && bBreak ? bb : (aBreak || bBreak ? bs : ss)) = true;
+  }
+  EXPECT_TRUE(bb);
+  EXPECT_TRUE(bs);
+  EXPECT_TRUE(ss);
+}
+
+TEST(PairCampaign, SampleFractionRoundsUpAndCapsAtOne) {
+  const rsn::Network net = rsn::makeFig1Network();
+  campaign::CampaignConfig all;
+  all.mode = campaign::CampaignMode::Pairs;
+  campaign::CampaignEngine exhaustive(net, all);
+  const std::size_t total = exhaustive.universe().size();
+  // The fraction targets the raw pair space C(F, 2); contradictory
+  // same-mux draws are then dropped, so the compatible universe can be
+  // a little smaller than the target (and `total` smaller than C(F,2)).
+  const std::size_t f = exhaustive.singles().size();
+  const std::size_t rawPairs = f * (f - 1) / 2;
+  ASSERT_LE(total, rawPairs);
+
+  campaign::CampaignConfig half = all;
+  half.sampleFraction = 0.5;
+  const std::size_t target = (rawPairs + 1) / 2;
+  const std::size_t sampled =
+      campaign::CampaignEngine(net, half).universe().size();
+  EXPECT_LE(sampled, target);
+  EXPECT_GE(sampled + (rawPairs - total), target);
+
+  campaign::CampaignConfig tiny = all;
+  tiny.sampleFraction = 1e-9;
+  EXPECT_EQ(campaign::CampaignEngine(net, tiny).universe().size(), 1u);
+
+  campaign::CampaignConfig full = all;
+  full.sampleFraction = 1.0;
+  EXPECT_EQ(campaign::CampaignEngine(net, full).universe().size(), total);
+}
+
+TEST(PairCampaign, DeterministicAcrossThreadCounts) {
+  const rsn::Network net = rsn::makeFig1Network();
+  campaign::CampaignConfig config;
+  config.mode = campaign::CampaignMode::Pairs;
+  config.sample = 16;
+  config.seed = 3;
+  setThreadCount(1);
+  const std::string serial = reportString(net, runCampaign(net, config));
+  setThreadCount(2);
+  const std::string two = reportString(net, runCampaign(net, config));
+  setThreadCount(4);
+  const std::string four = reportString(net, runCampaign(net, config));
+  setThreadCount(0);
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, four);
+}
+
+TEST(PairCampaign, CheckpointResumeMatchesUninterruptedRun) {
+  const rsn::Network net = rsn::makeFig1Network();
+  const std::string path = checkpointPath("pair_resume");
+  std::remove(path.c_str());
+
+  campaign::CampaignConfig base;
+  base.mode = campaign::CampaignMode::Pairs;
+  base.sample = 12;
+  base.seed = 11;
+  const std::string uninterrupted = reportString(net, runCampaign(net, base));
+
+  CancellationToken cancel;
+  campaign::CampaignConfig first = base;
+  first.checkpointPath = path;
+  first.checkpointEvery = 4;
+  first.cancel = &cancel;
+  first.progress = [&](std::size_t done, std::size_t) {
+    if (done >= 4) cancel.cancel();
+  };
+  const campaign::CampaignSummary ps = runCampaign(net, first).summary();
+  EXPECT_FALSE(ps.complete());
+  EXPECT_GE(ps.faultsDone, 4u);
+
+  // Resume at a different thread count: the same sampled pairs finish
+  // with the same report, byte for byte.
+  setThreadCount(2);
+  campaign::CampaignConfig resume = base;
+  resume.checkpointPath = path;
+  resume.checkpointEvery = 4;
+  const campaign::CampaignResult final = runCampaign(net, resume);
+  setThreadCount(0);
+  EXPECT_TRUE(final.summary().complete());
+  EXPECT_EQ(reportString(net, final), uninterrupted);
+  std::remove(path.c_str());
+}
+
+TEST(PairCampaign, InteractionsAreDiffsNotMismatches) {
+  const rsn::Network net = rsn::makeFig1Network();
+  campaign::CampaignConfig config;
+  config.mode = campaign::CampaignMode::Pairs;
+  const campaign::CampaignResult result = runCampaign(net, config);
+  const campaign::CampaignSummary s = result.summary();
+  EXPECT_TRUE(s.complete());
+  // The pair-composed oracle is a bound, not ground truth: divergence is
+  // an interaction effect, never an engine mismatch.
+  EXPECT_TRUE(result.mismatches().empty());
+  EXPECT_EQ(s.readMismatches + s.writeMismatches, 0u);
+  EXPECT_EQ(result.pairInteractions().size(), s.pairCompounded + s.pairMasked);
+  const campaign::RobustnessReport r = result.robustness();
+  EXPECT_EQ(r.mode, campaign::CampaignMode::Pairs);
+  EXPECT_EQ(r.compounded, s.pairCompounded);
+  EXPECT_EQ(r.masked, s.pairMasked);
+  EXPECT_GE(r.retention(), 0.0);
+  EXPECT_LE(r.retention(), 1.0);
+}
+
+// -------------------------------------------------- transient campaigns
+
+TEST(TransientCampaign, EveryUpsetRecovers) {
+  // The headline transient guarantee: a one-shot upset never loses an
+  // instrument permanently — a reconfiguration sequence (or plain
+  // retry) always restores access, and the classification agrees with
+  // the fault-free expectation everywhere.
+  for (const rsn::Network& net :
+       {rsn::makeFig1Network(), rsn::makeTinyNetwork()}) {
+    campaign::CampaignConfig config;
+    config.mode = campaign::CampaignMode::Transient;
+    const campaign::CampaignResult result = runCampaign(net, config);
+    const campaign::CampaignSummary s = result.summary();
+    EXPECT_TRUE(s.complete()) << net.name();
+    EXPECT_EQ(s.readLost + s.writeLost, 0u) << net.name();
+    EXPECT_GT(s.readReconfigured + s.writeReconfigured, 0u) << net.name();
+    EXPECT_EQ(s.readMismatches + s.writeMismatches, 0u) << net.name();
+    EXPECT_EQ(result.robustness().retention(), 1.0) << net.name();
+    // Universe: every segment times every configured upset round.
+    EXPECT_EQ(result.records.size(),
+              net.segments().size() * config.transientRounds.size())
+        << net.name();
+    for (const campaign::FaultRecord& rec : result.records) {
+      EXPECT_EQ(rec.scenario.kind, campaign::CampaignMode::Transient);
+      EXPECT_NE(rec.scenario.upsetSegment, rsn::kNone);
+    }
+  }
+}
+
+TEST(TransientCampaign, ReferenceRowInvariantUnderDictMode) {
+  // Transient classification is judged against the fault-free syndrome;
+  // that reference must be identical whichever dictionary engine
+  // produces it (the --dict-mode probe|batched invariance).
+  const rsn::Network net = rsn::makeFig1Network();
+  const diag::Syndrome probe =
+      diag::FaultDictionary::build(net, diag::DictMode::Probe)
+          .faultFreeSyndrome();
+  const diag::Syndrome batched =
+      diag::FaultDictionary::build(net, diag::DictMode::Batched)
+          .faultFreeSyndrome();
+  EXPECT_EQ(probe, batched);
+
+  campaign::CampaignConfig config;
+  config.mode = campaign::CampaignMode::Transient;
+  const campaign::CampaignResult result = runCampaign(net, config);
+  for (const campaign::FaultRecord& rec : result.records) {
+    ASSERT_TRUE(rec.done);
+    for (std::size_t i = 0; i < result.instruments; ++i) {
+      EXPECT_EQ(rec.expectObservable.test(i), probe.passed.test(2 * i));
+      EXPECT_EQ(rec.expectSettable.test(i), probe.passed.test(2 * i + 1));
+    }
+  }
+}
+
+// ------------------------------------------------- config validation
+
+TEST(CampaignConfigValidation, TypedStatusForEveryBadKnob) {
+  using campaign::validateCampaignConfig;
+  campaign::CampaignConfig good;
+  EXPECT_TRUE(validateCampaignConfig(good).ok());
+
+  campaign::CampaignConfig bad = good;
+  bad.sampleFraction = -0.25;
+  EXPECT_EQ(validateCampaignConfig(bad).code(), StatusCode::kInvalidArgument);
+  bad.sampleFraction = 1.5;
+  EXPECT_EQ(validateCampaignConfig(bad).code(), StatusCode::kInvalidArgument);
+  bad.sampleFraction = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(validateCampaignConfig(bad).code(), StatusCode::kInvalidArgument);
+
+  bad = good;
+  bad.sample = 4;
+  bad.sampleFraction = 0.5;
+  EXPECT_EQ(validateCampaignConfig(bad).code(), StatusCode::kInvalidArgument);
+
+  bad = good;
+  bad.deadlineMs = 0;
+  EXPECT_EQ(validateCampaignConfig(bad).code(), StatusCode::kInvalidArgument);
+
+  bad = good;
+  bad.checkpointPath = ".";  // a directory, not a state file
+  EXPECT_EQ(validateCampaignConfig(bad).code(), StatusCode::kInvalidArgument);
+
+  bad = good;
+  bad.mode = campaign::CampaignMode::Transient;
+  bad.transientRounds = {};
+  EXPECT_EQ(validateCampaignConfig(bad).code(), StatusCode::kInvalidArgument);
+  bad.transientRounds = {1, 0, 1};
+  EXPECT_EQ(validateCampaignConfig(bad).code(), StatusCode::kInvalidArgument);
+  bad.transientRounds = {0, 1, 2};
+  EXPECT_TRUE(validateCampaignConfig(bad).ok());
+
+  // The engine constructor surfaces the same rejection as a typed throw.
+  campaign::CampaignConfig throwing;
+  throwing.sampleFraction = 2.0;
+  EXPECT_THROW(campaign::CampaignEngine(rsn::makeTinyNetwork(), throwing),
+               ValidationError);
+}
+
+// --------------------------------------------- checkpoint format version
+
+TEST(CheckpointVersion, WrongVersionOrModeRestartsGracefully) {
+  const rsn::Network net = rsn::makeFig1Network();
+  const std::string path = checkpointPath("version");
+  std::remove(path.c_str());
+
+  campaign::CampaignConfig config;
+  config.checkpointPath = path;
+  const std::string clean = reportString(net, runCampaign(net, config));
+
+  std::string good;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    good = text.str();
+  }
+  ASSERT_NE(good.find("\"version\": 2"), std::string::npos);
+
+  const auto writeFile = [&](const std::string& text) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+  };
+  const auto probeLoad = [&]() {
+    campaign::CampaignResult probe;
+    probe.instruments = net.instruments().size();
+    probe.records.resize(
+        campaign::CampaignEngine(net, config).universe().size());
+    return campaign::loadCheckpoint(
+        path, campaign::campaignFingerprint(net, config), probe);
+  };
+
+  // A version-1 file (what PR 2's engine wrote): wrong version, typed
+  // rejection, zero restored — and the full run restarts cleanly.
+  std::string v1 = good;
+  const auto vAt = v1.find("\"version\": 2");
+  v1.replace(vAt, 12, "\"version\": 1");
+  writeFile(v1);
+  {
+    const campaign::CheckpointLoad load = probeLoad();
+    EXPECT_EQ(load.status.code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(load.restored, 0u);
+  }
+  writeFile(v1);
+  EXPECT_EQ(reportString(net, runCampaign(net, config)), clean);
+
+  // Same for a file written by a different campaign mode.
+  std::string wrongMode = good;
+  const auto mAt = wrongMode.find("\"mode\": \"single\"");
+  ASSERT_NE(mAt, std::string::npos);
+  wrongMode.replace(mAt, 16, "\"mode\": \"pairs\"");
+  writeFile(wrongMode);
+  {
+    const campaign::CheckpointLoad load = probeLoad();
+    EXPECT_EQ(load.status.code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(load.restored, 0u);
+  }
+  writeFile(wrongMode);
+  EXPECT_EQ(reportString(net, runCampaign(net, config)), clean);
+  std::remove(path.c_str());
 }
 
 }  // namespace

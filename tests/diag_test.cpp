@@ -247,5 +247,103 @@ TEST(EngineEquivalence, DiagnosisAndResolutionModeInvariant) {
   }
 }
 
+// -------------------------------------------------- pair diagnosis
+
+TEST(PairDiagnosis, ComposeSyndromesIsTheRowUnionBound) {
+  Syndrome a, b;
+  a.passed = DynamicBitset(6);
+  b.passed = DynamicBitset(6);
+  a.passed.set(0);
+  a.passed.set(2);
+  a.passed.set(4);
+  b.passed.set(2);
+  b.passed.set(5);
+  const Syndrome c = composeSyndromes(a, b);
+  // passed = AND: an access passes under the pair only if it passes
+  // under both faults individually.
+  EXPECT_EQ(c.passed.count(), 1u);
+  EXPECT_TRUE(c.passed.test(2));
+}
+
+TEST(PairDiagnosis, MeasureMultiGeneralizesMeasure) {
+  const rsn::Network net = makeFig1Network();
+  EXPECT_EQ(FaultDictionary::measureMulti(net, {}),
+            FaultDictionary::measure(net, nullptr));
+  const Fault f = Fault::segmentBreak(net.findSegment("c2"));
+  EXPECT_EQ(FaultDictionary::measureMulti(net, {f}),
+            FaultDictionary::measure(net, &f));
+}
+
+TEST(PairDiagnosis, CompositionConsistentPairsAreAmongCandidates) {
+  // For every pair whose simulated syndrome equals its row-union
+  // composition (no interaction effects), diagnosing that syndrome must
+  // list the pair among the exact candidates.
+  const rsn::Network net = makeFig1Network();
+  const FaultDictionary dict = FaultDictionary::build(net);
+  const auto& faults = dict.faults();
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    for (std::size_t j = i + 1; j < faults.size(); ++j) {
+      const Fault& a = faults[i];
+      const Fault& b = faults[j];
+      if (a.kind == fault::FaultKind::MuxStuck &&
+          b.kind == fault::FaultKind::MuxStuck && a.prim == b.prim) {
+        continue;  // contradictory hardware, excluded from the pair space
+      }
+      const Syndrome composed =
+          composeSyndromes(dict.syndromeOf(i), dict.syndromeOf(j));
+      const Syndrome observed = FaultDictionary::measureMulti(net, {a, b});
+      if (!(observed == composed)) continue;  // interaction effect
+      const FaultDictionary::PairDiagnosis d = dict.diagnosePair(observed);
+      if (d.faultFree) {
+        // Composition indistinguishable from fault-free: both rows pass
+        // everything, so the pair is (correctly) undetectable.
+        EXPECT_EQ(observed, dict.faultFreeSyndrome());
+        continue;
+      }
+      EXPECT_EQ(d.exactPairs.empty(), false);
+      if (d.exactPairCount <= FaultDictionary::PairDiagnosis::kMaxListedPairs) {
+        const bool found = std::any_of(
+            d.exactPairs.begin(), d.exactPairs.end(), [&](const auto& p) {
+              return (p.first == a && p.second == b) ||
+                     (p.first == b && p.second == a);
+            });
+        EXPECT_TRUE(found)
+            << fault::describe(net, a) << " + " << fault::describe(net, b);
+      }
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(PairDiagnosis, FaultFreeSyndromeShortCircuits) {
+  const rsn::Network net = makeFig1Network();
+  const FaultDictionary dict = FaultDictionary::build(net);
+  const FaultDictionary::PairDiagnosis d =
+      dict.diagnosePair(dict.faultFreeSyndrome());
+  EXPECT_TRUE(d.faultFree);
+  EXPECT_TRUE(d.exactPairs.empty());
+  EXPECT_EQ(d.exactPairCount, 0u);
+}
+
+TEST(PairDiagnosis, VerifyModeCrossChecksCandidatesOnTheSimulator) {
+  const rsn::Network net = makeFig1Network();
+  const FaultDictionary dict = FaultDictionary::build(net, DictMode::Verify);
+  // Two breaks on distinct instrument segments compose without
+  // interaction: their pair must come back simulation-verified.
+  const Fault a = Fault::segmentBreak(net.findSegment("seg_i2"));
+  const Fault b = Fault::segmentBreak(net.findSegment("seg_i3"));
+  const Syndrome observed = FaultDictionary::measureMulti(net, {a, b});
+  const FaultDictionary::PairDiagnosis d = dict.diagnosePair(observed);
+  ASSERT_FALSE(d.faultFree);
+  ASSERT_FALSE(d.exactPairs.empty());
+  EXPECT_TRUE(d.verifiedBySimulation);
+  // The non-verify build path never claims simulation backing.
+  const FaultDictionary batched =
+      FaultDictionary::build(net, DictMode::Batched);
+  EXPECT_FALSE(batched.diagnosePair(observed).verifiedBySimulation);
+}
+
 }  // namespace
 }  // namespace rrsn::diag

@@ -373,5 +373,97 @@ TEST(RetargetBounds, RerouteBudgetIsHonored) {
   }
 }
 
+// ------------------------------------------------ multi-fault injection
+
+TEST(MultiFault, TwoBreaksPoisonBothDownstreamRanges) {
+  const rsn::Network net = makeFig1Network();
+  ScanSimulator sim(net);
+  sim.injectFaults({Fault::segmentBreak(net.findSegment("sb1")),
+                    Fault::segmentBreak(net.findSegment("c2"))});
+  ASSERT_EQ(sim.injectedFaults().size(), 2u);
+  const auto path = sim.activePath();
+  ASSERT_TRUE(path);
+  sim.csu(std::vector<Bit>(path->totalBits, Bit::One));
+  // Downstream of either break is poisoned; upstream of both is clean.
+  for (Bit b : sim.segmentUpdate(net.findSegment("seg_i2")))
+    EXPECT_EQ(b, Bit::X);  // after sb1
+  for (Bit b : sim.segmentUpdate(net.findSegment("c1")))
+    EXPECT_EQ(b, Bit::X);  // after c2
+  EXPECT_EQ(sim.segmentUpdate(net.findSegment("c0")), bits("1"));
+}
+
+TEST(MultiFault, StuckMuxAndBreakCombine) {
+  const rsn::Network net = makeFig1Network();
+  ScanSimulator sim(net);
+  sim.injectFault(Fault::muxStuck(net.findMux("m0"), 1));
+  sim.addFault(Fault::segmentBreak(net.findSegment("c0")));
+  ASSERT_EQ(sim.injectedFaults().size(), 2u);
+  // The single-fault view still reports the first injected fault.
+  ASSERT_TRUE(sim.injectedFault().has_value());
+  EXPECT_EQ(sim.injectedFault()->kind, fault::FaultKind::MuxStuck);
+  // The stuck mux forces the bypass path c0 -> c1 regardless of the
+  // address; the break on c0 then poisons everything downstream of it.
+  EXPECT_EQ(sim.muxSelection(net.findMux("m0")), 1u);
+  const auto path = sim.activePath();
+  ASSERT_TRUE(path);
+  ASSERT_EQ(path->segments.size(), 2u);
+  sim.csu(std::vector<Bit>(path->totalBits, Bit::One));
+  for (Bit b : sim.segmentUpdate(net.findSegment("c1"))) EXPECT_EQ(b, Bit::X);
+}
+
+// ------------------------------------------------- transient upsets
+
+TEST(Transient, UpsetFiresOnceAfterConfiguredRound) {
+  const rsn::Network net = makeFig1Network();
+  ScanSimulator sim(net);
+  const rsn::SegmentId target = net.findSegment("seg_i2");
+  sim.armTransientUpset({target, 1});
+  EXPECT_TRUE(sim.transientPending());
+
+  // All-zero rounds keep the reset configuration (and thus the full
+  // path, seg_i2 included) stable across every CSU.
+  const auto zeros = [&]() {
+    const auto path = sim.activePath();
+    EXPECT_TRUE(path);
+    return std::vector<Bit>(path->totalBits, Bit::Zero);
+  };
+  // Round 0 completes cleanly: the upset waits for round 1.
+  sim.csu(zeros());
+  EXPECT_TRUE(sim.transientPending());
+  EXPECT_EQ(sim.segmentUpdate(target), bits("000"));
+  // Round 1 completes, then the upset fires: shift and update of the
+  // target X-corrupted, the upset consumed.
+  sim.csu(zeros());
+  EXPECT_FALSE(sim.transientPending());
+  for (Bit b : sim.segmentUpdate(target)) EXPECT_EQ(b, Bit::X);
+  // One-shot: the next clean round fully rewrites the segment.
+  sim.csu(zeros());
+  EXPECT_EQ(sim.segmentUpdate(target), bits("000"));
+}
+
+TEST(Transient, ResetConfigurationRecoversThePath) {
+  const rsn::Network net = makeFig1Network();
+  ScanSimulator sim(net);
+  const Fault keep = Fault::segmentBreak(net.findSegment("seg_i1"));
+  sim.injectFault(keep);
+  // Upset c0 (it controls m0): once its update register reads X the
+  // active path is gone — the transient-loss scenario.
+  sim.armTransientUpset({net.findSegment("c0"), 0});
+  const auto path = sim.activePath();
+  ASSERT_TRUE(path);
+  sim.csu(std::vector<Bit>(path->totalBits, Bit::One));
+  EXPECT_FALSE(sim.transientPending());
+  for (Bit b : sim.segmentUpdate(net.findSegment("c0"))) EXPECT_EQ(b, Bit::X);
+  EXPECT_FALSE(sim.activePath().has_value());
+  // The 1687-style reconfiguration sequence restores the update
+  // registers (and external addresses) to their reset values without a
+  // power cycle; permanent faults stay injected.
+  sim.resetConfiguration();
+  EXPECT_EQ(sim.segmentUpdate(net.findSegment("c0")), bits("0"));
+  ASSERT_TRUE(sim.activePath().has_value());
+  ASSERT_EQ(sim.injectedFaults().size(), 1u);
+  EXPECT_EQ(sim.injectedFaults().front(), keep);
+}
+
 }  // namespace
 }  // namespace rrsn::sim

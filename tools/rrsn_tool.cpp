@@ -20,12 +20,23 @@
 //                                                is RRSN_DICT_MODE / the
 //                                                build-type default
 //   rrsn_tool campaign <netlist> [options]       fault-injection campaign:
-//                                                simulate every (fault,
+//                                                simulate every (scenario,
 //                                                instrument) access, classify
-//                                                accessible / recovered / lost
-//                                                and cross-validate against the
-//                                                structural oracles.  Options:
-//                                                --sample N, --deadline-ms N,
+//                                                accessible / recovered /
+//                                                reconfigured / lost and
+//                                                cross-validate against the
+//                                                structural oracles.  --pairs
+//                                                runs simultaneous two-fault
+//                                                scenarios (stratified sample
+//                                                of the pair space) against the
+//                                                pair-composed oracle;
+//                                                --transient runs one-shot CSU
+//                                                upsets (--transient-rounds
+//                                                0,1,...) with a recovery
+//                                                re-probe after reconfiguring.
+//                                                Options: --sample N,
+//                                                --sample-fraction F,
+//                                                --deadline-ms N,
 //                                                --checkpoint file, --batch N,
 //                                                --csv file, --json file,
 //                                                --max-reroutes N, --no-reroute
@@ -92,7 +103,11 @@ struct Options {
   std::size_t population = 100;
   std::size_t top = 10;
   // campaign options
+  bool pairs = false;
+  bool transientMode = false;
   std::size_t sample = 0;
+  double sampleFraction = 0.0;
+  std::optional<std::vector<std::uint32_t>> transientRounds;
   std::size_t deadlineMs = 0;
   std::size_t batch = 32;
   std::size_t maxReroutes = 8;
@@ -110,7 +125,9 @@ struct Options {
       << "usage: rrsn_tool <info|dot|tree|analyze|harden|access|diagnose|"
          "campaign|bench|lint> <netlist|name> [args] [--spec file] [--fault F] "
          "[--seed N] [--generations N] [--population N] [--top K] "
-         "[--plan-out file] [--sample N] [--deadline-ms N] [--checkpoint file] "
+         "[--plan-out file] [--pairs] [--transient] [--transient-rounds list] "
+         "[--sample N] [--sample-fraction F] [--deadline-ms N] "
+         "[--checkpoint file] "
          "[--batch N] [--csv file] [--json file] [--max-reroutes N] "
          "[--no-reroute] [--trace file] [--metrics file] [--plan file] "
          "[--sarif file] [--no-lint] [--dict-mode probe|batched|verify]\n";
@@ -151,7 +168,18 @@ Options parseArgs(int argc, char** argv) {
     else if (arg == "--population")
       opt.population = parseUnsigned(value(), "--population");
     else if (arg == "--top") opt.top = parseUnsigned(value(), "--top");
+    else if (arg == "--pairs") opt.pairs = true;
+    else if (arg == "--transient") opt.transientMode = true;
+    else if (arg == "--transient-rounds") {
+      std::vector<std::uint32_t> rounds;
+      for (const std::string& part : split(value(), ','))
+        rounds.push_back(static_cast<std::uint32_t>(
+            parseUnsigned(part, "--transient-rounds")));
+      opt.transientRounds = std::move(rounds);
+    }
     else if (arg == "--sample") opt.sample = parseUnsigned(value(), "--sample");
+    else if (arg == "--sample-fraction")
+      opt.sampleFraction = parseDouble(value(), "--sample-fraction");
     else if (arg == "--deadline-ms")
       opt.deadlineMs = parseUnsigned(value(), "--deadline-ms");
     else if (arg == "--batch") opt.batch = parseUnsigned(value(), "--batch");
@@ -166,6 +194,7 @@ Options parseArgs(int argc, char** argv) {
     else if (!arg.empty() && arg[0] == '-' && arg != "-") usage();
     else opt.positional.push_back(arg);
     if (inlineValue && (arg == "--no-reroute" || arg == "--no-lint" ||
+                        arg == "--pairs" || arg == "--transient" ||
                         arg[0] != '-'))
       usage();
   }
@@ -356,8 +385,16 @@ int cmdDiagnose(const Options& opt) {
 int cmdCampaign(const Options& opt) {
   const rsn::Network net = loadNetwork(opt.positional[0]);
 
+  if (opt.pairs && opt.transientMode) {
+    std::cerr << "rrsn_tool: --pairs and --transient are mutually exclusive\n";
+    return 2;
+  }
   campaign::CampaignConfig config;
+  if (opt.pairs) config.mode = campaign::CampaignMode::Pairs;
+  if (opt.transientMode) config.mode = campaign::CampaignMode::Transient;
   config.sample = opt.sample;
+  config.sampleFraction = opt.sampleFraction;
+  if (opt.transientRounds) config.transientRounds = *opt.transientRounds;
   config.seed = opt.seed;
   config.retarget.allowReroute = !opt.noReroute;
   config.retarget.maxReroutes = opt.maxReroutes;
@@ -365,23 +402,26 @@ int cmdCampaign(const Options& opt) {
   config.lint = !opt.noLint;
   if (opt.checkpoint) config.checkpointPath = *opt.checkpoint;
 
-  CancellationToken cancel;
+  // The CLI keeps its historical "0 = no deadline" contract; the config
+  // layer spells that kNoDeadline and rejects a literal 0.
   if (opt.deadlineMs != 0)
-    cancel.setDeadlineFromNow(
-        std::chrono::milliseconds(static_cast<std::int64_t>(opt.deadlineMs)));
-  config.cancel = &cancel;
+    config.deadlineMs = static_cast<std::uint64_t>(opt.deadlineMs);
   config.progress = [](std::size_t done, std::size_t total) {
-    std::cerr << "campaign: " << done << "/" << total << " faults\n";
+    std::cerr << "campaign: " << done << "/" << total << " scenarios\n";
   };
 
   campaign::CampaignEngine engine(net, std::move(config));
   const campaign::CampaignResult result = engine.run();
   const campaign::CampaignSummary s = result.summary();
 
-  std::cout << "network: " << net.name() << " — " << s.faultsDone << "/"
-            << s.faultsTotal << " faults x " << s.instruments
-            << " instruments\n\n"
+  std::cout << "network: " << net.name() << " — "
+            << campaign::campaignModeName(result.mode) << " campaign, "
+            << s.faultsDone << "/" << s.faultsTotal << " scenarios x "
+            << s.instruments << " instruments\n\n"
             << campaign::summaryTable(s).render() << '\n';
+  if (result.mode != campaign::CampaignMode::Single) {
+    std::cout << '\n' << campaign::robustnessTable(result.robustness()).render();
+  }
   const auto items = result.mismatches();
   if (!items.empty()) {
     std::cout << "\nexpected-vs-simulated MISMATCHES (" << items.size()
@@ -389,6 +429,15 @@ int cmdCampaign(const Options& opt) {
               << campaign::mismatchTable(net, items).render();
   } else if (s.faultsDone > 0) {
     std::cout << "\nno expected-vs-simulated mismatches\n";
+  }
+  const auto interactions = result.pairInteractions();
+  if (!interactions.empty()) {
+    std::cout << "\npair interaction effects vs the composed single-fault "
+                 "oracle ("
+              << interactions.size()
+              << "; compounded = composition predicted access, masked = "
+                 "composition predicted loss):\n"
+              << campaign::mismatchTable(net, interactions).render();
   }
   const auto gaps = result.structuralGaps();
   if (!gaps.empty()) {
@@ -417,7 +466,7 @@ int cmdCampaign(const Options& opt) {
   }
   if (!s.complete()) {
     std::cout << "\ncampaign interrupted by deadline after " << s.faultsDone
-              << "/" << s.faultsTotal << " faults";
+              << "/" << s.faultsTotal << " scenarios";
     if (opt.checkpoint)
       std::cout << "; rerun with the same --checkpoint to resume";
     std::cout << '\n';
