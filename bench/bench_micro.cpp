@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -19,6 +20,7 @@
 #include "fault/effects.hpp"
 #include "harden/hardening.hpp"
 #include "moo/spea2.hpp"
+#include "rsn/flat.hpp"
 #include "rsn/graph_view.hpp"
 #include "support/parallel.hpp"
 
@@ -42,6 +44,22 @@ const rsn::CriticalitySpec& specOf(const std::string& name) {
     it = cache.emplace(name, rsn::randomSpec(netOf(name), {}, rng)).first;
   }
   return it->second;
+}
+
+const rsn::GraphView& gvOf(const std::string& name) {
+  static std::map<std::string, rsn::GraphView> cache;
+  auto it = cache.find(name);
+  if (it == cache.end())
+    it = cache.emplace(name, rsn::buildGraphView(netOf(name))).first;
+  return it->second;
+}
+
+const rsn::FlatNetwork& flatOf(const std::string& name) {
+  static std::map<std::string, std::shared_ptr<const rsn::FlatNetwork>> cache;
+  auto it = cache.find(name);
+  if (it == cache.end())
+    it = cache.emplace(name, rsn::FlatNetwork::lower(netOf(name))).first;
+  return *it->second;
 }
 
 void BM_DecompositionBuild(benchmark::State& state,
@@ -118,6 +136,104 @@ void BM_DictRowProbe(benchmark::State& state, const std::string& name) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(net.instruments().size()));
+}
+
+// Flat-vs-pointer iteration kernels: the same traversal against the
+// pointer model (Network / Digraph adjacency vectors / GraphView) and
+// against the FlatNetwork arena (contiguous id-indexed spans + CSR).
+// Their ratios quantify what the SoA lowering buys the hot consumers.
+
+/// Sums every segment length through the pointer model.
+void BM_SegmentScanPointer(benchmark::State& state, const std::string& name) {
+  const rsn::Network& net = netOf(name);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (const rsn::Segment& seg : net.segments()) sum += seg.length;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.segments().size()));
+}
+
+/// The same sum over the flat segLength span.
+void BM_SegmentScanFlat(benchmark::State& state, const std::string& name) {
+  const rsn::FlatNetwork& flat = flatOf(name);
+  const auto lengths = flat.segLength();
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (const std::uint32_t len : lengths) sum += len;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lengths.size()));
+}
+
+/// Walks every vertex's successor list in the Digraph (per-vertex
+/// heap-allocated adjacency vectors).
+void BM_NeighborWalkPointer(benchmark::State& state, const std::string& name) {
+  const rsn::GraphView& gv = gvOf(name);
+  std::int64_t edges = 0;
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    edges = 0;
+    for (graph::VertexId v = 0; v < gv.graph.vertexCount(); ++v)
+      for (const graph::VertexId w : gv.graph.successors(v)) {
+        sum += w;
+        edges += 1;
+      }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          edges);
+}
+
+/// The same walk over the flat forward CSR (one contiguous edge array).
+void BM_NeighborWalkFlat(benchmark::State& state, const std::string& name) {
+  const rsn::FlatNetwork& flat = flatOf(name);
+  const auto offsets = flat.fwdOffsets();
+  const auto edges = flat.fwdEdges();
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (std::size_t v = 0; v + 1 < offsets.size(); ++v)
+      for (std::uint64_t e = offsets[v]; e < offsets[v + 1]; ++e)
+        sum += edges[e].other;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(edges.size()));
+}
+
+/// Gathers every mux's control tuple (control segment + branch count)
+/// through the pointer model: Mux records plus the GraphView's
+/// per-mux branch-exit vectors.
+void BM_ControlGatherPointer(benchmark::State& state,
+                             const std::string& name) {
+  const rsn::Network& net = netOf(name);
+  const rsn::GraphView& gv = gvOf(name);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (rsn::MuxId m = 0; m < net.muxes().size(); ++m)
+      sum += net.muxes()[m].controlSegment + gv.muxBranchExit[m].size();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.muxes().size()));
+}
+
+/// The same gather over the flat control tuples (muxControl span +
+/// branch CSR offsets).
+void BM_ControlGatherFlat(benchmark::State& state, const std::string& name) {
+  const rsn::FlatNetwork& flat = flatOf(name);
+  const auto control = flat.muxControl();
+  const auto branchOffsets = flat.muxBranchOffsets();
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (std::size_t m = 0; m < control.size(); ++m)
+      sum += control[m] + (branchOffsets[m + 1] - branchOffsets[m]);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(control.size()));
 }
 
 // Density 0.05 keeps the parents in the sparse representation; 0.3 puts
@@ -341,6 +457,20 @@ int main(int argc, char** argv) {
     registerNamed("DictRowBatched/" + std::string(name), BM_DictRowBatched,
                   name);
     registerNamed("DictRowProbe/" + std::string(name), BM_DictRowProbe, name);
+  }
+  for (const char* name : {"q12710", "MBIST_2_20_20"}) {
+    registerNamed("SegmentScan/pointer/" + std::string(name),
+                  BM_SegmentScanPointer, name);
+    registerNamed("SegmentScan/flat/" + std::string(name), BM_SegmentScanFlat,
+                  name);
+    registerNamed("NeighborWalk/pointer/" + std::string(name),
+                  BM_NeighborWalkPointer, name);
+    registerNamed("NeighborWalk/flat/" + std::string(name),
+                  BM_NeighborWalkFlat, name);
+    registerNamed("ControlGather/pointer/" + std::string(name),
+                  BM_ControlGatherPointer, name);
+    registerNamed("ControlGather/flat/" + std::string(name),
+                  BM_ControlGatherFlat, name);
   }
   benchmark::RegisterBenchmark("GenomeCrossover", BM_GenomeCrossover)
       ->Arg(1 << 10)

@@ -259,4 +259,63 @@ rsn::Network makeMbist(const std::string& name, std::size_t segments,
   return finish(b, budget, std::move(parts));
 }
 
+namespace {
+
+/// Leaf count of the `count`-SIB huge tree under the same partition the
+/// builder below uses (root SIB + rest split into <= fanout groups).
+std::size_t hugeLeaves(std::size_t count, std::size_t fanout) {
+  if (count == 1) return 1;
+  const std::size_t rest = count - 1;
+  const std::size_t groups = std::min(fanout, rest);
+  std::size_t leaves = 0;
+  for (std::size_t g = 0; g < groups; ++g)
+    leaves += hugeLeaves(rest / groups + (g < rest % groups ? 1 : 0), fanout);
+  return leaves;
+}
+
+}  // namespace
+
+rsn::Network makeHuge(const std::string& name, std::size_t segments,
+                      std::size_t muxes, std::size_t fanout) {
+  NetworkBuilder b(name);
+  Budget budget(b, segments, muxes);
+  fanout = std::max<std::size_t>(2, fanout);
+  RRSN_CHECK(muxes >= 1, "Huge needs at least one SIB");
+  RRSN_CHECK(segments >= muxes, "Huge needs S >= M");
+  const std::size_t data = segments - muxes;  // SIB regs take one seg each
+  const std::size_t leaves = hugeLeaves(muxes, fanout);
+  RRSN_CHECK(data >= leaves, "Huge needs one data register per leaf SIB");
+  const std::size_t leafBase = data / leaves;
+  const std::size_t leafExtra = data % leaves;
+
+  std::size_t leafIdx = 0;
+  const auto tree = [&](auto&& self,
+                        std::size_t count) -> NetworkBuilder::Handle {
+    if (count == 1) {
+      // Leaf SIB: a chain of data registers, instrument on the first
+      // (one instrument per leaf, like the MBIST interface granularity).
+      const std::size_t regs = leafBase + (leafIdx < leafExtra ? 1 : 0);
+      leafIdx += 1;
+      std::vector<NetworkBuilder::Handle> chain;
+      chain.reserve(regs);
+      for (std::size_t d = 0; d < regs; ++d)
+        chain.push_back(d == 0 ? budget.instrumentSeg("d", 8)
+                               : budget.plainSeg("r", 8));
+      return budget.sib(chain.size() == 1 ? chain[0]
+                                          : b.chain(std::move(chain)));
+    }
+    const std::size_t rest = count - 1;
+    const std::size_t groups = std::min(fanout, rest);
+    std::vector<NetworkBuilder::Handle> content;
+    content.reserve(groups);
+    for (std::size_t g = 0; g < groups; ++g)
+      content.push_back(
+          self(self, rest / groups + (g < rest % groups ? 1 : 0)));
+    return budget.sib(content.size() == 1 ? content[0]
+                                          : b.chain(std::move(content)));
+  };
+  std::vector<NetworkBuilder::Handle> parts{tree(tree, muxes)};
+  return finish(b, budget, std::move(parts));
+}
+
 }  // namespace rrsn::benchgen

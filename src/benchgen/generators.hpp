@@ -44,4 +44,12 @@ rsn::Network makeSoc(const std::string& name, std::size_t segments,
 rsn::Network makeMbist(const std::string& name, std::size_t segments,
                        std::size_t muxes, std::size_t controllers);
 
+/// Million-segment scalability tier: a `fanout`-ary SIB tree over all
+/// `muxes` SIBs (depth ~ log_fanout M, so control-dependency chains stay
+/// realistic at 10^6 segments); every leaf SIB gates an even share of
+/// the `segments - muxes` length-8 data registers, the first of which
+/// carries the instrument.  Needs S >= M + leaves.
+rsn::Network makeHuge(const std::string& name, std::size_t segments,
+                      std::size_t muxes, std::size_t fanout);
+
 }  // namespace rrsn::benchgen

@@ -74,6 +74,26 @@ std::vector<BenchmarkSpec> makeTable() {
   return t;
 }
 
+std::vector<BenchmarkSpec> makeHugeTable() {
+  std::vector<BenchmarkSpec> t;
+  const auto add = [&](std::string name, std::size_t segs, std::size_t muxes,
+                       std::size_t fanout) {
+    BenchmarkSpec s;
+    s.name = std::move(name);
+    s.segments = segs;
+    s.muxes = muxes;
+    s.generations = 50;  // the EA stage is size-gated, keep the budget small
+    s.style = Style::Huge;
+    s.controllers = fanout;
+    t.push_back(std::move(s));
+  };
+  // 2^20 segments in two shapes: a deep 16-ary tree (long control
+  // chains) and a wide 64-ary tree (big sibling fanout).
+  add("HUGE_1M", 1u << 20, 1u << 17, 16);
+  add("HUGE_1M_WIDE", 1u << 20, 1u << 16, 64);
+  return t;
+}
+
 }  // namespace
 
 const std::vector<BenchmarkSpec>& table1Benchmarks() {
@@ -81,8 +101,15 @@ const std::vector<BenchmarkSpec>& table1Benchmarks() {
   return table;
 }
 
+const std::vector<BenchmarkSpec>& hugeBenchmarks() {
+  static const std::vector<BenchmarkSpec> table = makeHugeTable();
+  return table;
+}
+
 const BenchmarkSpec& findBenchmark(const std::string& name) {
   for (const BenchmarkSpec& s : table1Benchmarks())
+    if (s.name == name) return s;
+  for (const BenchmarkSpec& s : hugeBenchmarks())
     if (s.name == name) return s;
   throw ParseError("unknown benchmark '" + name + "'");
 }
@@ -103,6 +130,9 @@ rsn::Network buildBenchmark(const BenchmarkSpec& spec) {
       case Style::Mbist:
         return makeMbist(spec.name, spec.segments, spec.muxes,
                          spec.controllers);
+      case Style::Huge:
+        return makeHuge(spec.name, spec.segments, spec.muxes,
+                        spec.controllers);
     }
     throw Error("unreachable benchmark style");
   }();

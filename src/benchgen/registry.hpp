@@ -28,6 +28,7 @@ enum class Style : std::uint8_t {
   TreeFlatSib,     ///< flat chain of SIBs, one instrument each
   Soc,             ///< per-core mux-bypassable wrapper chains
   Mbist,           ///< controller/memory SIB hierarchy
+  Huge,            ///< million-segment fanout-ary SIB tree (scalability)
 };
 
 /// Values the paper reports for one Table-I row.
@@ -48,7 +49,8 @@ struct BenchmarkSpec {
   std::size_t muxes = 0;       ///< Table I col 2
   std::size_t generations = 0; ///< Table I col 6
   Style style = Style::TreeFlat;
-  /// First MBIST name component (controller count); 0 otherwise.
+  /// First MBIST name component (controller count); the SIB-tree fanout
+  /// for Style::Huge; 0 otherwise.
   std::size_t controllers = 0;
   PaperRow paper;
 
@@ -60,7 +62,13 @@ struct BenchmarkSpec {
 /// All 24 Table-I benchmarks, in the paper's row order.
 const std::vector<BenchmarkSpec>& table1Benchmarks();
 
-/// Looks a spec up by name; throws ParseError if unknown.
+/// Synthetic >=10^6-segment networks for the scalability tier.  Not part
+/// of Table I (no paper row); sized so the flat core, dictionary
+/// sampling and campaign classification are exercised at scale.
+const std::vector<BenchmarkSpec>& hugeBenchmarks();
+
+/// Looks a spec up by name (Table I first, then the huge tier); throws
+/// ParseError if unknown.
 const BenchmarkSpec& findBenchmark(const std::string& name);
 
 /// Builds the network for a spec.  Deterministic; the result has exactly

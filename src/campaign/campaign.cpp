@@ -14,6 +14,7 @@
 #include "fault/effects.hpp"
 #include "lint/lint.hpp"
 #include "obs/obs.hpp"
+#include "rsn/flat.hpp"
 #include "rsn/graph_view.hpp"
 #include "sp/decomposition.hpp"
 #include "support/rng.hpp"
@@ -197,7 +198,13 @@ Expectation expectedAccessibility(const rsn::Network& net,
   // against the simulator on the example networks, and the dictionary's
   // verify mode cross-checks it row-for-row against per-probe builds.
   const diag::BatchedSyndromeEngine engine(net);
-  return expectationFromRow(engine.row(&f, 0), net.instruments().size());
+  return expectedAccessibility(engine, net.instruments().size(), f);
+}
+
+Expectation expectedAccessibility(const diag::BatchedSyndromeEngine& engine,
+                                  std::size_t instruments,
+                                  const fault::Fault& f, std::size_t worker) {
+  return expectationFromRow(engine.row(&f, worker), instruments);
 }
 
 CampaignSummary CampaignResult::summary() const {
@@ -365,7 +372,9 @@ Status validateCampaignConfig(const CampaignConfig& config) {
 }
 
 CampaignEngine::CampaignEngine(const rsn::Network& net, CampaignConfig config)
-    : net_(&net), config_(std::move(config)) {
+    : net_(&net),
+      config_(std::move(config)),
+      flat_(rsn::FlatNetwork::lower(net)) {
   const Status valid = validateCampaignConfig(config_);
   if (!valid.ok()) throw ValidationError("campaign config: " + valid.message());
   if (!config_.excludePrimitives.empty()) {
@@ -731,7 +740,10 @@ CampaignResult CampaignEngine::run() {
     oracles.treeSet.resize(m);
     const rsn::GraphView gv = rsn::buildGraphView(*net_);
     const sp::DecompositionTree tree = sp::DecompositionTree::build(*net_);
-    const diag::BatchedSyndromeEngine engine(*net_);
+    // The engine itself is per-run (its scratch lanes are sized by the
+    // current thread count), but it shares the arena lowered once at
+    // engine construction — run() never re-flattens.
+    const diag::BatchedSyndromeEngine engine(flat_);
     oracles.faultFree = expectationFromRow(engine.row(nullptr, 0), n);
     parallelForChunks(
         m, [&](std::size_t begin, std::size_t end, std::size_t worker) {

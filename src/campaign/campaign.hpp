@@ -65,6 +65,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -80,9 +81,13 @@
 
 namespace rrsn::rsn {
 struct GraphView;
+class FlatNetwork;
 }
 namespace rrsn::sp {
 class DecompositionTree;
+}
+namespace rrsn::diag {
+class BatchedSyndromeEngine;
 }
 
 namespace rrsn::campaign {
@@ -149,6 +154,16 @@ struct Expectation {
 Expectation expectedAccessibility(const rsn::Network& net,
                                   const rsn::GraphView& gv,
                                   const fault::Fault& f);
+
+/// Same oracle over a prebuilt engine — for callers that hold one for a
+/// whole sweep (the convenience overload above lowers the network and
+/// builds a fresh engine per call, which squares the flattening cost of
+/// a batch).  `instruments` sizes the result rows; `worker` selects the
+/// engine's scratch lane.
+Expectation expectedAccessibility(const diag::BatchedSyndromeEngine& engine,
+                                  std::size_t instruments,
+                                  const fault::Fault& f,
+                                  std::size_t worker = 0);
 
 /// Everything the campaign learned about one scenario.
 struct FaultRecord {
@@ -345,6 +360,11 @@ class CampaignEngine {
 
   const rsn::Network* net_;
   CampaignConfig config_;
+  /// Lowered once at construction and shared by every run(): pair and
+  /// transient campaigns build their oracle engines from this arena
+  /// instead of re-flattening per mode/stage (the obs counter
+  /// `flat.flatten_calls` proves the hoist).
+  std::shared_ptr<const rsn::FlatNetwork> flat_;
   std::vector<fault::Fault> singles_;
   std::vector<FaultScenario> universe_;
 };

@@ -76,6 +76,13 @@ class CriticalityResult {
 };
 
 /// Fast hierarchical analysis on the annotated decomposition tree.
+///
+/// The per-fault damage walks run over a flat structure-of-arrays image
+/// of the annotated tree (contiguous parent/child/kind/sum arrays plus
+/// a CSR of mux branch roots), not the node objects — at 10^6 segments
+/// the pointer-model walk is memory-bound on scattered TreeNode loads.
+/// Debug builds cross-check every kernel result against
+/// fault::damageUnderFaultTree on the real tree.
 class CriticalityAnalyzer {
  public:
   CriticalityAnalyzer(const rsn::Network& net, const rsn::CriticalitySpec& spec,
@@ -88,10 +95,30 @@ class CriticalityAnalyzer {
   const sp::DecompositionTree& tree() const { return tree_; }
 
  private:
+  /// Flat SoA image of the annotated tree.  Node kinds collapse to the
+  /// two bits the damage walks branch on.
+  struct Kernel {
+    static constexpr std::uint8_t kSeries = 1;
+    static constexpr std::uint8_t kParallel = 2;
+
+    std::vector<std::uint32_t> parent, left, right;  ///< per tree node
+    std::vector<std::uint8_t> kind;                  ///< 0 / kSeries / kParallel
+    std::vector<std::uint64_t> sumObs, sumSet;       ///< subtree damages
+    std::vector<std::uint32_t> leafOfSegment;        ///< per segment
+    std::vector<std::uint8_t> segHasInstrument;      ///< per segment
+    /// Mux m's branch subtree roots: branchRoots[branchOffsets[m],
+    /// branchOffsets[m + 1]).
+    std::vector<std::uint32_t> branchOffsets, branchRoots;
+
+    std::uint64_t segmentBreakDamage(std::uint32_t s) const;
+    std::uint64_t muxStuckDamage(std::uint32_t m, std::uint32_t stuck) const;
+  };
+
   const rsn::Network* net_;
   const rsn::CriticalitySpec* spec_;
   AnalysisOptions options_;
   sp::DecompositionTree tree_;
+  Kernel kernel_;
 };
 
 /// Oracle analysis from the flat-graph fault effects; cross-checks the

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "diag/diagnosis.hpp"
 #include "support/parallel.hpp"
@@ -56,8 +57,12 @@ DictMode dictModeFromEnv() {
 }
 
 BatchedSyndromeEngine::BatchedSyndromeEngine(const rsn::Network& net)
-    : cv_(sim::ControlView::build(net, rsn::buildGraphView(net))),
-      instruments_(net.instruments().size()) {
+    : BatchedSyndromeEngine(rsn::FlatNetwork::lower(net)) {}
+
+BatchedSyndromeEngine::BatchedSyndromeEngine(
+    std::shared_ptr<const rsn::FlatNetwork> flat)
+    : cv_(sim::ControlView::project(std::move(flat))),
+      instruments_(cv_.instrumentVertex.size()) {
   scratch_.resize(threadCount());
   for (Scratch& s : scratch_) {
     s.sel.assign(cv_.selWordCount, 0);
@@ -255,7 +260,7 @@ Syndrome BatchedSyndromeEngine::row(const fault::Fault* f,
   sweep(/*forward=*/false, s.sel.data(), /*tolerate=*/true, brokenV,
         graph::kNoVertex, /*avoidCtrlRegs=*/false, s.outWrite, s);
 
-  if (cv_.segmentControlsMux[f->prim] == 0) {
+  if (!cv_.segmentControlsMux(f->prim)) {
     // Clean-suffix mode: configuration CSUs may run with the break
     // exposed as long as no mux address register lies downstream of it
     // on the path — the X smeared over the downstream cells is then

@@ -35,9 +35,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "rsn/flat.hpp"
 #include "rsn/network.hpp"
 #include "sim/control_view.hpp"
 #include "support/bitset.hpp"
@@ -64,7 +66,13 @@ const char* dictModeName(DictMode mode);
 /// concurrently as long as every caller passes a distinct worker lane.
 class BatchedSyndromeEngine {
  public:
+  /// Lowers `net` into a fresh flat view first.  Callers that already
+  /// hold one (campaigns, services) should pass it instead so the
+  /// network is flattened once, not per engine.
   explicit BatchedSyndromeEngine(const rsn::Network& net);
+
+  /// Shares an existing arena: no lowering, just the scratch lanes.
+  explicit BatchedSyndromeEngine(std::shared_ptr<const rsn::FlatNetwork> flat);
 
   /// Syndrome row of `f` (nullptr = fault-free): bit 2i = instrument i
   /// observable, bit 2i+1 = settable.  `worker` < workerLanes() selects

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "rsn/flat.hpp"
 #include "rsn/network.hpp"
 
 namespace rrsn::harden {
@@ -35,6 +36,20 @@ struct CostModel {
     std::vector<std::uint64_t> out(net.primitiveCount());
     for (std::size_t i = 0; i < out.size(); ++i)
       out[i] = costOf(net, net.refOf(i));
+    return out;
+  }
+
+  /// Same vector from the flat view: one contiguous sweep over the
+  /// segment-length span instead of a refOf/segment lookup per id
+  /// (linear ids are segments [0, S) then muxes — the arena's order).
+  std::vector<std::uint64_t> costs(const rsn::FlatNetwork& flat) const {
+    const auto segLength = flat.segLength();
+    std::vector<std::uint64_t> out(flat.segmentCount() + flat.muxCount());
+    for (std::size_t s = 0; s < segLength.size(); ++s)
+      out[s] = segmentBaseCost +
+               (segLength[s] + cellsPerExtraUnit - 1) / cellsPerExtraUnit;
+    for (std::size_t m = flat.segmentCount(); m < out.size(); ++m)
+      out[m] = muxCost;
     return out;
   }
 };

@@ -23,6 +23,24 @@ HardeningProblem HardeningProblem::assemble(
   return p;
 }
 
+HardeningProblem HardeningProblem::assemble(
+    const rsn::Network& net, const rsn::FlatNetwork& flat,
+    const crit::CriticalityResult& analysis, const CostModel& model) {
+  RRSN_CHECK(&analysis.network() == &net,
+             "analysis belongs to a different network");
+  RRSN_CHECK(flat.segmentCount() == net.segments().size() &&
+                 flat.muxCount() == net.muxes().size(),
+             "flat view belongs to a different network");
+  HardeningProblem p;
+  p.net = &net;
+  p.linear.cost = model.costs(flat);
+  p.linear.gain = analysis.damages();
+  p.linear.checkConsistent();
+  p.maxCost = p.linear.costTotal();
+  p.maxDamage = analysis.totalDamage();
+  return p;
+}
+
 HardeningPlan::HardeningPlan(const rsn::Network& net, const moo::Genome& genome)
     : net_(&net), hardened_(net.primitiveCount()) {
   RRSN_CHECK(genome.bits() == net.primitiveCount(),

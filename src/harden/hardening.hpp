@@ -24,6 +24,14 @@ struct HardeningProblem {
   static HardeningProblem assemble(const rsn::Network& net,
                                    const crit::CriticalityResult& analysis,
                                    const CostModel& model = {});
+
+  /// Same assembly with the cost sweep taken from a prebuilt flat view
+  /// (callers holding one skip every per-id pointer lookup; identical
+  /// output to the overload above).
+  static HardeningProblem assemble(const rsn::Network& net,
+                                   const rsn::FlatNetwork& flat,
+                                   const crit::CriticalityResult& analysis,
+                                   const CostModel& model = {});
 };
 
 /// A concrete selection of primitives to harden — the synthesis output.

@@ -1,7 +1,8 @@
 #include "sim/control_view.hpp"
 
-#include <algorithm>
 #include <utility>
+
+#include "support/error.hpp"
 
 namespace rrsn::sim {
 
@@ -17,175 +18,41 @@ std::uint64_t tailMask(std::uint32_t arity, std::size_t word) {
 
 }  // namespace
 
-ControlView ControlView::build(const rsn::Network& net,
-                               const rsn::GraphView& gv) {
+ControlView ControlView::project(
+    std::shared_ptr<const rsn::FlatNetwork> flatNet) {
+  RRSN_CHECK(flatNet != nullptr, "cannot project a null flat view");
   ControlView cv;
-  const graph::Digraph& g = gv.graph;
-  const std::size_t vertices = g.vertexCount();
-  const std::size_t muxCount = net.muxes().size();
-  const std::size_t segCount = net.segments().size();
-
-  cv.vertexCount = vertices;
-  cv.scanIn = gv.scanIn;
-  cv.scanOut = gv.scanOut;
-  cv.segmentVertex = gv.segmentVertex;
-
-  cv.instrumentVertex.reserve(net.instruments().size());
-  cv.instrumentSegment.reserve(net.instruments().size());
-  for (const rsn::Instrument& inst : net.instruments()) {
-    cv.instrumentSegment.push_back(inst.segment);
-    cv.instrumentVertex.push_back(gv.segmentVertex[inst.segment]);
-  }
-
-  // ---------------------------------------------- per-mux control data
-  std::vector<std::uint32_t> muxOfVertex(vertices, rsn::kNone);
-  for (std::size_t m = 0; m < muxCount; ++m)
-    muxOfVertex[gv.muxVertex[m]] = static_cast<std::uint32_t>(m);
-
-  cv.muxControl.resize(muxCount, rsn::kNone);
-  cv.muxCtrlVertex.resize(muxCount, graph::kNoVertex);
-  cv.muxArity.resize(muxCount, 0);
-  cv.selOffset.resize(muxCount, 0);
-  cv.segmentControlsMux.assign(segCount, 0);
-  for (std::size_t m = 0; m < muxCount; ++m) {
-    const auto arity = static_cast<std::uint32_t>(gv.muxBranchExit[m].size());
-    cv.muxArity[m] = arity;
-    cv.selOffset[m] = static_cast<std::uint32_t>(cv.selWordCount);
-    cv.selWordCount += (static_cast<std::size_t>(arity) + 63) / 64;
-    const rsn::SegmentId ctrl = net.muxes()[m].controlSegment;
-    cv.muxControl[m] = ctrl;
-    if (ctrl == rsn::kNone) continue;
-    cv.muxCtrlVertex[m] = gv.segmentVertex[ctrl];
-    cv.ctrlMuxes.push_back(static_cast<std::uint32_t>(m));
-    cv.segmentControlsMux[ctrl] = 1;
-  }
-
-  cv.ctrlRegVertex.assign(vertices, 0);
-  for (std::size_t m = 0; m < muxCount; ++m)
-    if (cv.muxControl[m] != rsn::kNone)
-      cv.ctrlRegVertex[gv.segmentVertex[cv.muxControl[m]]] = 1;
-
-  cv.representableWords.assign(cv.selWordCount, 0);
-  for (std::size_t m = 0; m < muxCount; ++m) {
-    const std::uint32_t arity = cv.muxArity[m];
-    const std::size_t words = (static_cast<std::size_t>(arity) + 63) / 64;
-    const rsn::SegmentId ctrl = cv.muxControl[m];
-    if (ctrl == rsn::kNone || net.segment(ctrl).length >= 32) {
-      for (std::size_t w = 0; w < words; ++w)
-        cv.representableWords[cv.selOffset[m] + w] = tailMask(arity, w);
-      continue;
-    }
-    const std::uint64_t len = net.segment(ctrl).length;
-    for (std::uint32_t b = 0; b < arity; ++b) {
-      if (b != 0 && b >= (std::uint64_t{1} << len)) continue;
-      cv.representableWords[cv.selOffset[m] + (b >> 6)] |= 1ULL << (b & 63);
-    }
-  }
-
-  // --------------------------------------------------- guarded CSR
-  // Branch span of the original edge exit -> mux(m): every branch of m
-  // whose exit vertex is `exit` (parallel edges share the full span).
-  const auto appendSpan = [&](std::uint32_t m, graph::VertexId exit) {
-    const auto begin = static_cast<std::uint32_t>(cv.branchPool.size());
-    for (std::size_t b = 0; b < gv.muxBranchExit[m].size(); ++b)
-      if (gv.muxBranchExit[m][b] == exit)
-        cv.branchPool.push_back(static_cast<std::uint32_t>(b));
-    return std::pair{begin, static_cast<std::uint32_t>(cv.branchPool.size())};
-  };
-
-  const graph::Csr fwd = graph::buildCsr(g, /*reverse=*/false);
-  const graph::Csr bwd = graph::buildCsr(g, /*reverse=*/true);
-  cv.fwdOffsets = fwd.offsets;
-  cv.bwdOffsets = bwd.offsets;
-  cv.fwdEdges.resize(fwd.targets.size());
-  cv.bwdEdges.resize(bwd.targets.size());
-  for (graph::VertexId v = 0; v < vertices; ++v) {
-    for (std::uint32_t i = fwd.rowBegin(v); i < fwd.rowEnd(v); ++i) {
-      // Original edge v -> t: guarded iff t is a mux vertex.
-      const graph::VertexId t = fwd.targets[i];
-      Edge e{t, muxOfVertex[t], 0, 0};
-      if (e.mux != rsn::kNone) std::tie(e.branchBegin, e.branchEnd) =
-          appendSpan(e.mux, v);
-      cv.fwdEdges[i] = e;
-    }
-    for (std::uint32_t i = bwd.rowBegin(v); i < bwd.rowEnd(v); ++i) {
-      // Original edge p -> v: guarded iff v is a mux vertex.
-      const graph::VertexId p = bwd.targets[i];
-      Edge e{p, muxOfVertex[v], 0, 0};
-      if (e.mux != rsn::kNone) std::tie(e.branchBegin, e.branchEnd) =
-          appendSpan(e.mux, p);
-      cv.bwdEdges[i] = e;
-    }
-  }
-
-  // ---------------------------------------------------- guard sets
-  using GuardSet = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
-  std::vector<GuardSet> guardsOf(segCount);
-  GuardSet cur;
-  const auto walk = [&](auto&& self, rsn::NodeId id) -> void {
-    const auto& n = net.structure().node(id);
-    switch (n.kind) {
-      case rsn::NodeKind::Segment:
-        guardsOf[n.prim] = cur;
-        return;
-      case rsn::NodeKind::Wire:
-        return;
-      case rsn::NodeKind::Serial:
-        for (const rsn::NodeId c : n.children) self(self, c);
-        return;
-      case rsn::NodeKind::MuxJoin: {
-        const bool segCtrl = net.mux(n.prim).controlSegment != rsn::kNone;
-        for (std::size_t b = 0; b < n.children.size(); ++b) {
-          const bool guarded = segCtrl && b != 0;
-          if (guarded) cur.emplace_back(n.prim, static_cast<std::uint32_t>(b));
-          self(self, n.children[b]);
-          if (guarded) cur.pop_back();
-        }
-        return;
-      }
-    }
-  };
-  walk(walk, net.structure().root());
-
-  // ------------------------------------------- configuration depths
-  // Mutual recursion: a demand on mux m lands once its address register
-  // is on the path (the register's own guards are set), so
-  // demandDepth[m] = 1 + segDepth[control(m)], and segDepth[s] = max
-  // demandDepth over guards(s).  Control registers are declared before
-  // their mux, so real networks terminate; a (hypothetical) cyclic
-  // dependency saturates instead of recursing forever.
-  cv.demandDepth.assign(muxCount, 0);
-  cv.segDepth.assign(segCount, 0);
-  std::vector<char> segState(segCount, 0);  // 0 new, 1 visiting, 2 done
-  const auto segDepthOf = [&](auto&& self, rsn::SegmentId s) -> std::uint32_t {
-    if (segState[s] == 2) return cv.segDepth[s];
-    if (segState[s] == 1) return kUnrealizableDepth;
-    segState[s] = 1;
-    std::uint32_t depth = 0;
-    for (const auto& guard : guardsOf[s]) {
-      depth = std::max(
-          depth, std::min(kUnrealizableDepth,
-                          1 + self(self, cv.muxControl[guard.first])));
-    }
-    segState[s] = 2;
-    cv.segDepth[s] = depth;
-    return depth;
-  };
-  for (rsn::SegmentId s = 0; s < segCount; ++s) segDepthOf(segDepthOf, s);
-  for (const std::uint32_t m : cv.ctrlMuxes)
-    cv.demandDepth[m] = std::min(
-        kUnrealizableDepth,
-        1 + segDepthOf(segDepthOf, cv.muxControl[m]));
-
-  cv.guardOffsets.resize(segCount + 1, 0);
-  for (std::size_t s = 0; s < segCount; ++s) {
-    std::sort(guardsOf[s].begin(), guardsOf[s].end());
-    cv.guardOffsets[s] = static_cast<std::uint32_t>(cv.guardPool.size());
-    cv.guardPool.insert(cv.guardPool.end(), guardsOf[s].begin(),
-                        guardsOf[s].end());
-  }
-  cv.guardOffsets[segCount] = static_cast<std::uint32_t>(cv.guardPool.size());
+  const rsn::FlatNetwork& f = *flatNet;
+  cv.vertexCount = f.vertexCount();
+  cv.scanIn = f.scanIn();
+  cv.scanOut = f.scanOut();
+  cv.fwdOffsets = f.fwdOffsets();
+  cv.bwdOffsets = f.bwdOffsets();
+  cv.fwdEdges = f.fwdEdges();
+  cv.bwdEdges = f.bwdEdges();
+  cv.branchPool = f.branchPool();
+  cv.segmentVertex = f.segmentVertex();
+  cv.instrumentVertex = f.instrumentVertex();
+  cv.instrumentSegment = f.instrumentSegment();
+  cv.muxControl = f.muxControl();
+  cv.muxCtrlVertex = f.muxCtrlVertex();
+  cv.muxArity = f.muxArity();
+  cv.ctrlMuxes = f.ctrlMuxes();
+  cv.segFlags = f.segFlags();
+  cv.ctrlRegVertex = f.ctrlRegVertex();
+  cv.demandDepth = f.demandDepth();
+  cv.segDepth = f.segDepth();
+  cv.selOffset = f.selOffset();
+  cv.selWordCount = f.selWordCount();
+  cv.representableWords = f.representableWords();
+  cv.guardOffsets = f.guardOffsets();
+  cv.guardPool = f.guardPool();
+  cv.flat = std::move(flatNet);
   return cv;
+}
+
+ControlView ControlView::build(const rsn::Network& net) {
+  return project(rsn::FlatNetwork::lower(net));
 }
 
 void ControlView::baseSelectable(const fault::Fault* f,

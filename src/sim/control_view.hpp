@@ -1,20 +1,22 @@
-// Fault-conditioned control view of an RSN: the network lowered once
-// into flat CSR adjacency (forward and transposed) with per-edge mux
-// guards, plus everything a structural accessibility sweep needs to
-// evaluate faults without a simulator — per-mux control registers,
-// address-representability masks, and per-segment guard sets.
+// Fault-conditioned control view of an RSN: a thin projection of the
+// arena-backed rsn::FlatNetwork (which owns every array — CSR adjacency
+// with per-edge mux guards, per-mux control tuples, representability
+// masks, per-segment guard sets) plus the fault-selectable-set operators
+// the accessibility sweeps evaluate on top of it.
 //
-// The view is immutable after build() and shared read-only across
-// worker threads; per-fault state (the selectable-branch words) lives in
-// caller-owned scratch buffers laid out by selOffset/selWordCount.
+// The projection holds a shared_ptr to the flat view, so a ControlView
+// keeps the arena alive and is itself cheap to copy.  It is immutable
+// after project() and shared read-only across worker threads; per-fault
+// state (the selectable-branch words) lives in caller-owned scratch
+// buffers laid out by selOffset/selWordCount.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <memory>
 
 #include "fault/fault.hpp"
 #include "graph/digraph.hpp"
-#include "rsn/graph_view.hpp"
+#include "rsn/flat.hpp"
 #include "rsn/network.hpp"
 
 namespace rrsn::sim {
@@ -23,43 +25,40 @@ namespace rrsn::sim {
 /// edge entering a mux vertex is traversable only while at least one of
 /// the branches exiting at its source is selectable.
 struct ControlView {
-  /// One adjacency entry.  `mux` is the guarding mux (kNone for a plain
-  /// edge); the guard passes iff any branch in branchPool[branchBegin,
-  /// branchEnd) is selectable.  The annotation describes the *original*
-  /// edge, so a row entry means the same thing whether it was reached
-  /// from the forward or the transposed side.
-  struct Edge {
-    graph::VertexId other = graph::kNoVertex;
-    std::uint32_t mux = rsn::kNone;
-    std::uint32_t branchBegin = 0;
-    std::uint32_t branchEnd = 0;
-  };
+  template <typename T>
+  using Span = rsn::FlatNetwork::Span<T>;
+  using Edge = rsn::FlatNetwork::Edge;
+  using GuardRef = rsn::FlatNetwork::GuardRef;
+
+  /// The arena everything below points into (never null after
+  /// project()).
+  std::shared_ptr<const rsn::FlatNetwork> flat;
 
   std::size_t vertexCount = 0;
   graph::VertexId scanIn = graph::kNoVertex;
   graph::VertexId scanOut = graph::kNoVertex;
 
   /// fwd row v = out-edges of v; bwd row v = in-edges of v.
-  std::vector<std::uint32_t> fwdOffsets, bwdOffsets;
-  std::vector<Edge> fwdEdges, bwdEdges;
-  std::vector<std::uint32_t> branchPool;
+  Span<std::uint32_t> fwdOffsets, bwdOffsets;
+  Span<Edge> fwdEdges, bwdEdges;
+  Span<std::uint32_t> branchPool;
 
-  std::vector<graph::VertexId> segmentVertex;     ///< per SegmentId
-  std::vector<graph::VertexId> instrumentVertex;  ///< per InstrumentId
-  std::vector<rsn::SegmentId> instrumentSegment;  ///< per InstrumentId
+  Span<graph::VertexId> segmentVertex;     ///< per SegmentId
+  Span<graph::VertexId> instrumentVertex;  ///< per InstrumentId
+  Span<rsn::SegmentId> instrumentSegment;  ///< per InstrumentId
 
   // ------------------------------------------------ per-mux control
-  std::vector<rsn::SegmentId> muxControl;      ///< kNone = TAP-steered
-  std::vector<graph::VertexId> muxCtrlVertex;  ///< vertex of muxControl
-  std::vector<std::uint32_t> muxArity;
+  Span<rsn::SegmentId> muxControl;      ///< kNone = TAP-steered
+  Span<graph::VertexId> muxCtrlVertex;  ///< vertex of muxControl
+  Span<std::uint32_t> muxArity;
   /// Muxes whose address comes from a control segment (fixpoint targets).
-  std::vector<std::uint32_t> ctrlMuxes;
-  /// True per segment iff some mux's address register is that segment.
-  std::vector<char> segmentControlsMux;
-  /// True per vertex iff it holds some mux's address register — a scan
-  /// cell whose poisoning collapses every later path walk that consults
-  /// the mux.
-  std::vector<char> ctrlRegVertex;
+  Span<std::uint32_t> ctrlMuxes;
+  /// Per-segment flag bits (rsn::FlatNetwork::kSegFlag*).
+  Span<std::uint8_t> segFlags;
+  /// Nonzero per vertex iff it holds some mux's address register — a
+  /// scan cell whose poisoning collapses every later path walk that
+  /// consults the mux.
+  Span<std::uint8_t> ctrlRegVertex;
 
   /// Configuration-round schedule depths.  A non-reset demand on mux m
   /// is written in CSU round demandDepth[m] - 1 (its address register
@@ -68,31 +67,41 @@ struct ControlView {
   /// path — the max demandDepth over its guards, 0 for an always-on
   /// segment.  TAP-steered muxes have demandDepth 0 (set directly, no
   /// CSU round).  Cyclic control dependencies saturate at kUnrealizable.
-  static constexpr std::uint32_t kUnrealizableDepth = 0x40000000u;
-  std::vector<std::uint32_t> demandDepth;  ///< per mux
-  std::vector<std::uint32_t> segDepth;     ///< per segment
+  static constexpr std::uint32_t kUnrealizableDepth =
+      rsn::FlatNetwork::kUnrealizableDepth;
+  Span<std::uint32_t> demandDepth;  ///< per mux
+  Span<std::uint32_t> segDepth;     ///< per segment
 
   /// Word layout of the per-fault selectable sets: mux m owns words
   /// [selOffset[m], selOffset[m] + (muxArity[m] + 63) / 64), bit b =
   /// branch b selectable.
-  std::vector<std::uint32_t> selOffset;
+  Span<std::uint32_t> selOffset;
   std::size_t selWordCount = 0;
   /// Per-mux mask of branches whose address fits the control register
   /// (b == 0 or len >= 32 or b < 2^len), in the selectable layout.
   /// All-ones for TAP-steered muxes (never shrunk by the fixpoint).
-  std::vector<std::uint64_t> representableWords;
+  Span<std::uint64_t> representableWords;
 
   // ------------------------------------- per-segment guard sets
   /// Guard set of a segment: the sorted (mux, branch != 0) selections of
   /// its segment-controlled MuxJoin ancestors — the non-reset
   /// configuration that puts the segment on the active path.  Flattened:
   /// segment s owns guardPool[guardOffsets[s], guardOffsets[s + 1]).
-  std::vector<std::uint32_t> guardOffsets;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> guardPool;
+  Span<std::uint32_t> guardOffsets;
+  Span<GuardRef> guardPool;
 
-  /// Lowers `net` / `gv` (which must outlive nothing — everything is
-  /// copied into the view).
-  static ControlView build(const rsn::Network& net, const rsn::GraphView& gv);
+  /// Projects the spans of an already-lowered flat view (shares the
+  /// arena; no copies).
+  static ControlView project(std::shared_ptr<const rsn::FlatNetwork> flatNet);
+
+  /// Convenience: lower `net` and project — for one-shot consumers.
+  /// Batch consumers should lower once and project per use site.
+  static ControlView build(const rsn::Network& net);
+
+  /// True iff some mux's address register is segment s.
+  bool segmentControlsMux(rsn::SegmentId s) const {
+    return (segFlags[s] & rsn::FlatNetwork::kSegFlagControlsMux) != 0;
+  }
 
   /// Fills `sel` (selWordCount words) with the base selectable sets
   /// under `f` (nullptr = fault-free): every branch selectable, except
@@ -128,7 +137,7 @@ struct ControlView {
     const std::uint32_t beginB = guardOffsets[b], endB = guardOffsets[b + 1];
     if (endA - beginA != endB - beginB) return false;
     for (std::uint32_t i = 0; i < endA - beginA; ++i)
-      if (guardPool[beginA + i] != guardPool[beginB + i]) return false;
+      if (!(guardPool[beginA + i] == guardPool[beginB + i])) return false;
     return true;
   }
 };

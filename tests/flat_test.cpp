@@ -1,0 +1,225 @@
+// FlatNetwork: the arena-backed SoA view every hot consumer shares.
+// Covers the lowering against independent pointer-model recomputation,
+// serialization round-trips (byte-determinism at any thread count),
+// typed-Status rejection of corrupt/foreign buffers, the campaign's
+// flatten-once contract and engine equivalence on a reloaded arena.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "diag/batched.hpp"
+#include "diag/diagnosis.hpp"
+#include "fault/fault.hpp"
+#include "obs/obs.hpp"
+#include "rsn/example_networks.hpp"
+#include "rsn/flat.hpp"
+#include "rsn/graph_view.hpp"
+#include "support/parallel.hpp"
+#include "test_util.hpp"
+
+namespace rrsn::rsn {
+namespace {
+
+std::shared_ptr<const FlatNetwork> reload(const FlatNetwork& flat) {
+  std::shared_ptr<const FlatNetwork> out;
+  const Status st = FlatNetwork::deserialize(flat.buffer(), out);
+  EXPECT_TRUE(st.ok()) << st.toString();
+  return out;
+}
+
+std::uint64_t counterValue(const obs::Snapshot& snap, const std::string& name) {
+  for (const auto& [id, v] : snap.counters)
+    if (snap.names[id] == name) return v;
+  return 0;
+}
+
+TEST(FlatNetwork, LowerMatchesPointerModel) {
+  Rng rng(3);
+  for (int round = 0; round < 8; ++round) {
+    const Network net = test::randomNetwork(rng);
+    const GraphView gv = buildGraphView(net);
+    const auto flat = FlatNetwork::lower(net);
+
+    ASSERT_EQ(flat->segmentCount(), net.segments().size());
+    ASSERT_EQ(flat->muxCount(), net.muxes().size());
+    ASSERT_EQ(flat->instrumentCount(), net.instruments().size());
+    ASSERT_EQ(flat->vertexCount(), gv.graph.vertexCount());
+    EXPECT_EQ(flat->scanIn(), gv.scanIn);
+    EXPECT_EQ(flat->scanOut(), gv.scanOut);
+
+    for (SegmentId s = 0; s < net.segments().size(); ++s) {
+      EXPECT_EQ(flat->segLength()[s], net.segment(s).length);
+      EXPECT_EQ(flat->segInstrument()[s], net.segment(s).instrument);
+      EXPECT_EQ((flat->segFlags()[s] & FlatNetwork::kSegFlagSib) != 0,
+                net.segment(s).isSibRegister);
+      EXPECT_EQ(flat->segmentVertex()[s], gv.segmentVertex[s]);
+    }
+    for (MuxId m = 0; m < net.muxes().size(); ++m) {
+      EXPECT_EQ(flat->muxControl()[m], net.mux(m).controlSegment);
+      EXPECT_EQ(flat->muxVertex()[m], gv.muxVertex[m]);
+      if (flat->muxControl()[m] != kNone) {
+        EXPECT_EQ(flat->muxCtrlVertex()[m],
+                  flat->segmentVertex()[flat->muxControl()[m]]);
+      }
+      // Branch CSR row m reproduces the GraphView's per-mux exit list.
+      const auto begin = flat->muxBranchOffsets()[m];
+      const auto end = flat->muxBranchOffsets()[m + 1];
+      ASSERT_EQ(end - begin, gv.muxBranchExit[m].size());
+      for (std::uint64_t b = begin; b < end; ++b)
+        EXPECT_EQ(flat->muxBranchExit()[b], gv.muxBranchExit[m][b - begin]);
+    }
+    for (InstrumentId i = 0; i < net.instruments().size(); ++i)
+      EXPECT_EQ(flat->instrumentSegment()[i], net.instrument(i).segment);
+
+    // Forward CSR adjacency == the Digraph's successor lists, row for
+    // row (same construction order as graph::buildCsr).
+    ASSERT_EQ(flat->fwdOffsets().size(), gv.graph.vertexCount() + 1);
+    for (graph::VertexId v = 0; v < gv.graph.vertexCount(); ++v) {
+      const auto& succ = gv.graph.successors(v);
+      const auto begin = flat->fwdOffsets()[v];
+      const auto end = flat->fwdOffsets()[v + 1];
+      ASSERT_EQ(end - begin, succ.size()) << "vertex " << v;
+      std::vector<graph::VertexId> got;
+      for (std::uint64_t e = begin; e < end; ++e)
+        got.push_back(flat->fwdEdges()[e].other);
+      std::vector<graph::VertexId> want = succ;
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(got, want) << "vertex " << v;
+    }
+  }
+}
+
+TEST(FlatNetwork, WeightsFollowSpec) {
+  Rng rng(11);
+  const Network net = test::randomNetwork(rng);
+  const CriticalitySpec spec = test::randomSpecFor(net, rng);
+  const auto flat = FlatNetwork::lower(net, &spec);
+  for (InstrumentId i = 0; i < net.instruments().size(); ++i) {
+    EXPECT_EQ(flat->instrumentObsWeight()[i], spec.of(i).obs);
+    EXPECT_EQ(flat->instrumentSetWeight()[i], spec.of(i).set);
+  }
+  // Without a spec the weight lanes are zero-filled, not garbage.
+  const auto bare = FlatNetwork::lower(net);
+  for (InstrumentId i = 0; i < net.instruments().size(); ++i)
+    EXPECT_EQ(bare->instrumentObsWeight()[i], 0u);
+}
+
+TEST(FlatNetwork, RoundTripAndByteDeterminism) {
+  const Network net = makeFig1Network();
+  const auto flat = FlatNetwork::lower(net);
+
+  const auto loaded = reload(*flat);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->fingerprint(), flat->fingerprint());
+  EXPECT_TRUE(*loaded == *flat);
+  EXPECT_EQ(loaded->segmentCount(), flat->segmentCount());
+  EXPECT_EQ(loaded->buffer(), flat->buffer());
+
+  // The arena is a pure function of the network: byte-identical at any
+  // pool width (the runtime determinism contract extends to lowering).
+  const std::size_t before = threadCount();
+  for (const std::size_t t : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    setThreadCount(t);
+    const auto again = FlatNetwork::lower(net);
+    EXPECT_EQ(again->buffer(), flat->buffer()) << "threads=" << t;
+  }
+  setThreadCount(before);
+}
+
+TEST(FlatNetwork, RejectsCorruptBuffersWithTypedStatus) {
+  const Network net = makeFig1Network();
+  const auto flat = FlatNetwork::lower(net);
+  const std::vector<std::uint8_t>& good = flat->buffer();
+
+  const auto rejects = [](std::vector<std::uint8_t> buf) -> Status {
+    std::shared_ptr<const FlatNetwork> out;
+    Status st{};
+    EXPECT_NO_THROW(st = FlatNetwork::deserialize(std::move(buf), out));
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(out, nullptr);
+    return st;
+  };
+
+  (void)rejects({});                                   // empty
+  (void)rejects(std::vector<std::uint8_t>(16, 0xab));  // way too short
+  EXPECT_EQ(rejects({good.begin(),
+                     good.begin() + static_cast<std::ptrdiff_t>(
+                                        good.size() / 2)})
+                .code(),
+            StatusCode::kDataLoss);
+
+  {  // foreign magic
+    std::vector<std::uint8_t> bad = good;
+    bad[0] ^= 0xff;
+    const Status st = rejects(std::move(bad));
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.toString();
+    EXPECT_NE(st.message().find("magic"), std::string::npos)
+        << st.toString();
+  }
+  {  // version bump (format field is the u32 at byte 8)
+    std::vector<std::uint8_t> bad = good;
+    std::uint32_t version = 0;
+    std::memcpy(&version, bad.data() + 8, sizeof version);
+    version += 1;
+    std::memcpy(bad.data() + 8, &version, sizeof version);
+    const Status st = rejects(std::move(bad));
+    EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << st.toString();
+    EXPECT_NE(st.message().find("version"), std::string::npos)
+        << st.toString();
+  }
+  {  // payload bit flip -> fingerprint mismatch.  Flip inside the first
+     // section payload (the 64-byte-aligned slot after header + table);
+     // the zero padding after the last section is outside the
+     // fingerprint, so the arena's final byte would not do.
+    std::vector<std::uint8_t> bad = good;
+    bad[896] ^= 0x01;
+    const Status st = rejects(std::move(bad));
+    EXPECT_EQ(st.code(), StatusCode::kDataLoss) << st.toString();
+  }
+  {  // trailing garbage -> size mismatch
+    std::vector<std::uint8_t> bad = good;
+    bad.push_back(0);
+    (void)rejects(std::move(bad));
+  }
+
+  // And the pristine buffer still loads after all that.
+  EXPECT_NE(reload(*flat), nullptr);
+}
+
+TEST(FlatNetwork, CampaignFlattensOncePerEngine) {
+  const Network net = makeFig1Network();
+  obs::enable();
+  const obs::Snapshot before = obs::snapshot();
+  campaign::CampaignEngine engine(net);
+  (void)engine.run();
+  (void)engine.run();
+  const obs::Snapshot after = obs::snapshot();
+  obs::disable();
+  EXPECT_EQ(counterValue(after, "flat.flatten_calls") -
+                counterValue(before, "flat.flatten_calls"),
+            1u)
+      << "the campaign must lower once at construction and share the "
+         "arena across runs";
+}
+
+TEST(FlatNetwork, DeserializedEngineMatchesDirectLowering) {
+  Rng rng(29);
+  const Network net = test::randomNetwork(rng);
+  const auto flat = FlatNetwork::lower(net);
+  const auto loaded = reload(*flat);
+  ASSERT_NE(loaded, nullptr);
+
+  const diag::BatchedSyndromeEngine direct(flat);
+  const diag::BatchedSyndromeEngine reloaded(loaded);
+  const fault::FaultUniverse universe(net);
+  for (const fault::Fault& f : universe.faults())
+    EXPECT_EQ(direct.row(&f, 0), reloaded.row(&f, 0))
+        << fault::describe(net, f);
+}
+
+}  // namespace
+}  // namespace rrsn::rsn

@@ -8,6 +8,7 @@
 
 #include "graph/digraph.hpp"
 #include "lint/lint.hpp"
+#include "rsn/flat.hpp"
 #include "rsn/graph_view.hpp"
 #include "rsn/spec.hpp"
 #include "sim/simulator.hpp"
@@ -208,6 +209,33 @@ TEST_P(LintCleanGenerators, RandomNetworkAndSpecLintWithoutErrors) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LintCleanGenerators,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+class FlatRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+// lower -> serialize -> reload must reproduce the exact arena for any
+// network the random generator can produce, and lowering twice (with
+// and without a spec) must be byte-deterministic.
+TEST_P(FlatRoundTrip, LowerSerializeReloadCompare) {
+  Rng rng(GetParam() * 71 + 5);
+  const rsn::Network net = test::randomNetwork(rng);
+  const rsn::CriticalitySpec spec = test::randomSpecFor(net, rng);
+  const auto flat = rsn::FlatNetwork::lower(net, &spec);
+  const auto again = rsn::FlatNetwork::lower(net, &spec);
+  ASSERT_TRUE(*flat == *again) << "lowering is not deterministic";
+
+  std::shared_ptr<const rsn::FlatNetwork> loaded;
+  const Status st = rsn::FlatNetwork::deserialize(flat->buffer(), loaded);
+  ASSERT_TRUE(st.ok()) << st.toString();
+  ASSERT_TRUE(*loaded == *flat);
+  EXPECT_EQ(loaded->fingerprint(), flat->fingerprint());
+  EXPECT_EQ(loaded->segmentCount(), net.segments().size());
+  EXPECT_EQ(loaded->muxCount(), net.muxes().size());
+  for (rsn::SegmentId s = 0; s < net.segments().size(); ++s)
+    ASSERT_EQ(loaded->segLength()[s], net.segment(s).length);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatRoundTrip,
                          ::testing::Range<std::uint64_t>(1, 13));
 
 }  // namespace
