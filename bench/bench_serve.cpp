@@ -1,0 +1,366 @@
+// bench_serve — load generator for the rrsn_serve analysis daemon.
+//
+// Drives N concurrent clients x M mixed requests (analyze / lint /
+// diagnose / campaign / harden over a small corpus of Table-I networks)
+// against a Server and reports per-endpoint p50/p99 latency plus the
+// artifact-cache hit rate.  Two transports:
+//
+//   * in-process (default): each client gets a socketpair whose far end
+//     is pumped by Server::serveStream on its own thread — the full
+//     wire protocol without needing an external daemon;
+//   * --connect PATH: each client dials an already-running rrsn_serve
+//     Unix socket (the CI smoke job uses this).
+//
+// The cold phase issues the first-ever analyze per corpus design; the
+// warm phase repeats the mix against the populated cache.  The headline
+// number is warm_speedup = cold analyze p50 / warm analyze p50 — the
+// daemon's reason to exist.  --smoke shrinks the load and turns the
+// checks (no error responses, warm_speedup > 1, fingerprint match,
+// clean shutdown) into the exit code.
+//
+// Artifacts: text summary on stdout, BENCH_serve.json next to it.
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "bench_common.hpp"
+#include "rsn/flat.hpp"
+#include "rsn/netlist_io.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "support/error.hpp"
+#include "support/io.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace rrsn;
+
+struct Options {
+  std::size_t clients = 4;
+  std::size_t requests = 50;  ///< per client, warm phase
+  bool smoke = false;
+  std::string connectPath;  ///< empty: in-process transport
+  std::string out = "BENCH_serve.json";
+};
+
+Options parseArgs(int argc, char** argv) {
+  Options opt;
+  auto next = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) throw UsageError(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--clients") {
+      opt.clients = static_cast<std::size_t>(
+          parseUintBounded(next(i, "--clients"), "--clients", 1, 64));
+    } else if (arg == "--requests") {
+      opt.requests = static_cast<std::size_t>(
+          parseUintBounded(next(i, "--requests"), "--requests", 1, 100000));
+    } else if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--connect") {
+      opt.connectPath = next(i, "--connect");
+    } else if (arg == "--out") {
+      opt.out = next(i, "--out");
+    } else {
+      throw UsageError("unknown option: " + arg);
+    }
+  }
+  if (opt.smoke) {
+    opt.clients = std::min<std::size_t>(opt.clients, 2);
+    opt.requests = std::min<std::size_t>(opt.requests, 10);
+  }
+  return opt;
+}
+
+/// One protocol client: a connected stream fd plus, for the in-process
+/// transport, the thread pumping the server side of its socketpair.
+struct Client {
+  int fd = -1;
+  std::thread pump;
+
+  ~Client() {
+    if (fd >= 0) ::close(fd);
+    if (pump.joinable()) pump.join();
+  }
+};
+
+void connectInProcess(serve::Server& server, Client& c) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    throw IoError(std::string("socketpair() failed: ") + std::strerror(errno));
+  }
+  c.fd = sv[0];
+  c.pump = std::thread([&server, fd = sv[1]] {
+    (void)server.serveStream(fd, fd);
+    ::close(fd);
+  });
+}
+
+void connectSocket(const std::string& path, Client& c) {
+  c.fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (c.fd < 0) {
+    throw IoError(std::string("socket() failed: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw UsageError("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(c.fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    throw IoError("cannot connect to " + path + ": " + std::strerror(errno));
+  }
+}
+
+json::Value rpc(int fd, const json::Value& request) {
+  Status st = serve::writeFrame(fd, json::serialize(request));
+  if (!st.ok()) throw IoError("request write failed: " + st.toString());
+  std::string payload;
+  bool eof = false;
+  st = serve::readFrame(fd, payload, eof);
+  if (!st.ok()) throw IoError("response read failed: " + st.toString());
+  if (eof) throw IoError("server closed the stream mid-session");
+  return json::parse(payload);
+}
+
+json::Value makeRequest(std::uint64_t id, const std::string& method,
+                        const std::string& netlist, json::Object extra = {}) {
+  json::Object params(std::move(extra));
+  if (!netlist.empty()) params["netlist"] = json::Value(netlist);
+  json::Object req;
+  req["id"] = json::Value(id);
+  req["method"] = json::Value(method);
+  req["params"] = json::Value(std::move(params));
+  return json::Value(std::move(req));
+}
+
+/// The warm-phase mix: mostly analyze (the cache's showcase), spiced
+/// with every other endpoint.  Deterministic in the request index.
+std::pair<std::string, json::Object> mixedCall(std::size_t i) {
+  switch (i % 6) {
+    case 1:
+      return {"lint", {}};
+    case 2:
+      return {"diagnose", {}};
+    case 3: {
+      json::Object p;
+      p["sample"] = json::Value(std::uint64_t{8});
+      return {"campaign", std::move(p)};
+    }
+    case 5: {
+      json::Object p;
+      p["generations"] = json::Value(std::uint64_t{4});
+      p["population"] = json::Value(std::uint64_t{8});
+      return {"harden", std::move(p)};
+    }
+    default:
+      return {"analyze", {}};
+  }
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * double(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+struct MethodStats {
+  std::vector<double> latenciesMs;
+  std::size_t errors = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  io::ignoreSigpipe();
+  try {
+    const Options opt = parseArgs(argc, argv);
+    obs::enable();
+
+    // Corpus: small-to-medium Table-I designs so the mix exercises real
+    // analysis work while a full run stays interactive on one core.
+    const std::vector<std::string> corpusNames = {"TreeFlat", "TreeBalanced",
+                                                  "q12710", "MBIST_2_5_5"};
+    std::vector<std::string> corpus;
+    std::vector<std::uint64_t> flatFingerprints;
+    for (const std::string& name : corpusNames) {
+      const rsn::Network net = benchgen::buildBenchmark(name);
+      corpus.push_back(rsn::netlistToString(net));
+      // Reference lowering from the exact bytes the daemon will see
+      // (the text round trip is what the request carries).
+      flatFingerprints.push_back(
+          rsn::FlatNetwork::lower(rsn::parseNetlistString(corpus.back()))
+              ->fingerprint());
+    }
+
+    serve::Server server{serve::ServerOptions{}};
+    const bool inProcess = opt.connectPath.empty();
+    auto connect = [&](Client& c) {
+      if (inProcess) {
+        connectInProcess(server, c);
+      } else {
+        connectSocket(opt.connectPath, c);
+      }
+    };
+
+    // ---------------------------------------------------- cold phase
+    // First-ever analyze per design: parse + lower + criticality all
+    // count against these latencies.
+    std::vector<double> coldAnalyzeMs;
+    bool fingerprintMatch = true;
+    {
+      Client c;
+      connect(c);
+      for (std::size_t i = 0; i < corpus.size(); ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const json::Value resp = rpc(c.fd, makeRequest(i, "analyze", corpus[i]));
+        const std::chrono::duration<double, std::milli> dt =
+            std::chrono::steady_clock::now() - t0;
+        coldAnalyzeMs.push_back(dt.count());
+        if (!resp.at("ok").asBool()) throw Error("cold analyze failed");
+        // The daemon's flat view (possibly mmap-adopted from its disk
+        // tier) must be byte-identical to an in-process lowering.
+        const std::uint64_t served = static_cast<std::uint64_t>(
+            resp.at("result").at("flat_fingerprint").asInt());
+        fingerprintMatch = fingerprintMatch && served == flatFingerprints[i];
+      }
+    }
+
+    // ---------------------------------------------------- warm phase
+    std::mutex mu;
+    std::map<std::string, MethodStats> byMethod;
+    std::vector<std::thread> clients;
+    std::vector<std::unique_ptr<Client>> conns;
+    for (std::size_t c = 0; c < opt.clients; ++c) {
+      conns.push_back(std::make_unique<Client>());
+      connect(*conns.back());
+    }
+    for (std::size_t c = 0; c < opt.clients; ++c) {
+      clients.emplace_back([&, c] {
+        std::map<std::string, MethodStats> local;
+        for (std::size_t i = 0; i < opt.requests; ++i) {
+          const auto [method, extra] = mixedCall(c * opt.requests + i);
+          const std::string& netlist = corpus[(c + i) % corpus.size()];
+          const auto t0 = std::chrono::steady_clock::now();
+          const json::Value resp =
+              rpc(conns[c]->fd,
+                  makeRequest(1000 + c * opt.requests + i, method, netlist,
+                              json::Object(extra)));
+          const std::chrono::duration<double, std::milli> dt =
+              std::chrono::steady_clock::now() - t0;
+          MethodStats& ms = local[method];
+          ms.latenciesMs.push_back(dt.count());
+          if (!resp.at("ok").asBool()) ++ms.errors;
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        for (auto& [method, ms] : local) {
+          MethodStats& dst = byMethod[method];
+          dst.latenciesMs.insert(dst.latenciesMs.end(),
+                                 ms.latenciesMs.begin(),
+                                 ms.latenciesMs.end());
+          dst.errors += ms.errors;
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+
+    // -------------------------------------------- stats + shutdown
+    json::Value statsResp;
+    bool cleanShutdown = true;
+    {
+      Client c;
+      connect(c);
+      statsResp = rpc(c.fd, makeRequest(9000, "stats", ""));
+      if (!inProcess && opt.smoke) {
+        const json::Value bye = rpc(c.fd, makeRequest(9001, "shutdown", ""));
+        cleanShutdown = bye.at("ok").asBool();
+      }
+    }
+    conns.clear();  // closes fds; in-process pump threads drain on EOF
+    if (inProcess) server.requestStop();
+
+    const json::Value& cacheStats = statsResp.at("result").at("cache");
+    const double hitRate = cacheStats.at("hit_rate").asDouble();
+    const double coldP50 = percentile(coldAnalyzeMs, 0.5);
+    const double warmP50 = percentile(byMethod["analyze"].latenciesMs, 0.5);
+    const double warmSpeedup = warmP50 > 0.0 ? coldP50 / warmP50 : 0.0;
+    std::size_t totalErrors = 0;
+    for (const auto& [method, ms] : byMethod) totalErrors += ms.errors;
+
+    std::cout << "bench_serve: " << opt.clients << " clients x "
+              << opt.requests << " requests ("
+              << (inProcess ? "in-process" : opt.connectPath) << ")\n"
+              << "  cold analyze p50: " << coldP50 << " ms\n"
+              << "  warm analyze p50: " << warmP50 << " ms  (speedup "
+              << warmSpeedup << "x)\n"
+              << "  cache hit rate:   " << hitRate << '\n'
+              << "  error responses:  " << totalErrors << '\n'
+              << "  flat fingerprint match: "
+              << (fingerprintMatch ? "yes" : "NO") << '\n';
+
+    {
+      std::ofstream out(opt.out);
+      bench::JsonWriter json(out);
+      json.beginObject();
+      json.kv("bench", "serve");
+      json.kv("clients", static_cast<std::uint64_t>(opt.clients));
+      json.kv("requests_per_client", static_cast<std::uint64_t>(opt.requests));
+      json.kv("transport", inProcess ? "in-process" : "socket");
+      json.key("corpus").beginArray();
+      for (const std::string& name : corpusNames) json.value(name);
+      json.endArray();
+      json.kv("cold_analyze_p50_ms", coldP50);
+      json.kv("cold_analyze_p99_ms", percentile(coldAnalyzeMs, 0.99));
+      json.kv("warm_speedup", warmSpeedup);
+      json.kv("cache_hit_rate", hitRate);
+      json.kv("cache_hits", cacheStats.at("hits").asUnsigned());
+      json.kv("cache_misses", cacheStats.at("misses").asUnsigned());
+      json.kv("cache_evictions", cacheStats.at("evictions").asUnsigned());
+      json.kv("flat_fingerprint_match", fingerprintMatch);
+      json.kv("error_responses", static_cast<std::uint64_t>(totalErrors));
+      json.key("endpoints").beginArray();
+      for (const auto& [method, ms] : byMethod) {
+        json.beginObject();
+        json.kv("method", method);
+        json.kv("count", static_cast<std::uint64_t>(ms.latenciesMs.size()));
+        json.kv("p50_ms", percentile(ms.latenciesMs, 0.5));
+        json.kv("p99_ms", percentile(ms.latenciesMs, 0.99));
+        json.kv("errors", static_cast<std::uint64_t>(ms.errors));
+        json.endObject();
+      }
+      json.endArray();
+      json.endObject();
+      out << '\n';
+    }
+    std::cout << "wrote " << opt.out << '\n';
+
+    if (opt.smoke) {
+      const bool pass = totalErrors == 0 && warmSpeedup > 1.0 &&
+                        fingerprintMatch && cleanShutdown;
+      std::cout << (pass ? "SMOKE OK\n" : "SMOKE FAIL\n");
+      return pass ? 0 : 1;
+    }
+    return 0;
+  } catch (const rrsn::Error& e) {
+    std::cerr << "bench_serve: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -827,7 +827,12 @@ CampaignResult CampaignEngine::run() {
     faultsProbed += finished;
     if (!config_.checkpointPath.empty()) {
       RRSN_OBS_SPAN("campaign.checkpoint_save");
-      saveCheckpoint(config_.checkpointPath, fingerprint, result);
+      // A checkpoint that cannot be durably written must abort loudly:
+      // continuing would let a deadline later discard finished work the
+      // caller believes is resumable.
+      const Status st =
+          saveCheckpoint(config_.checkpointPath, fingerprint, result);
+      if (!st.ok()) throw IoError(st.toString());
     }
     if (config_.progress) config_.progress(done, result.records.size());
   }

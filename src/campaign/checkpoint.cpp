@@ -9,6 +9,7 @@
 
 #include "rsn/netlist_io.hpp"
 #include "support/hash.hpp"
+#include "support/io.hpp"
 
 namespace rrsn::campaign {
 
@@ -67,8 +68,8 @@ std::uint64_t campaignFingerprint(const rsn::Network& net,
   return h;
 }
 
-void saveCheckpoint(const std::string& path, std::uint64_t fingerprint,
-                    const CampaignResult& result) {
+Status saveCheckpoint(const std::string& path, std::uint64_t fingerprint,
+                      const CampaignResult& result) {
   json::Array records;
   for (std::size_t k = 0; k < result.records.size(); ++k) {
     const FaultRecord& rec = result.records[k];
@@ -95,16 +96,17 @@ void saveCheckpoint(const std::string& path, std::uint64_t fingerprint,
       json::Value(static_cast<std::uint64_t>(result.instruments));
   root["records"] = json::Value(std::move(records));
 
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw IoError("cannot open checkpoint file for writing: " + tmp);
-    out << json::serialize(json::Value(std::move(root)), 1) << '\n';
-    out.flush();
-    if (!out) throw IoError("short write to checkpoint file: " + tmp);
+  const std::string text =
+      json::serialize(json::Value(std::move(root)), 1) + '\n';
+  // io::atomicWriteFile checks every write, fsyncs before the rename
+  // and cleans up the temp file on failure, so a full disk or short
+  // write can never commit a truncated checkpoint.
+  Status st = io::atomicWriteFile(path, text);
+  if (!st.ok()) {
+    return Status::dataLoss("checkpoint save to " + path + " failed — " +
+                            st.toString());
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0)
-    throw IoError("cannot move checkpoint into place: " + path);
+  return Status{};
 }
 
 CheckpointLoad loadCheckpoint(const std::string& path,

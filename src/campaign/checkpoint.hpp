@@ -37,9 +37,14 @@ inline constexpr std::uint64_t kCheckpointVersion = 2;
 std::uint64_t campaignFingerprint(const rsn::Network& net,
                                   const CampaignConfig& config);
 
-/// Writes finished records of `result` to `path` atomically.
-void saveCheckpoint(const std::string& path, std::uint64_t fingerprint,
-                    const CampaignResult& result);
+/// Writes finished records of `result` to `path` atomically (staged
+/// `<path>.tmp`, every write checked, fsync before rename).  A failure
+/// — full disk, unwritable directory, short write — is a typed
+/// non-OK Status and leaves any previous checkpoint at `path` intact;
+/// it never silently commits a truncated file that would only be
+/// rejected at reload.
+Status saveCheckpoint(const std::string& path, std::uint64_t fingerprint,
+                      const CampaignResult& result);
 
 /// Outcome of a checkpoint load: how many finished records were merged
 /// into the result, and why the file was ignored if none were.

@@ -119,20 +119,20 @@ std::uint64_t tailMask(std::uint32_t arity, std::size_t word) {
   return (1ULL << (arity % 64)) - 1;
 }
 
-const Header& headerOf(const std::vector<std::uint8_t>& arena) {
-  return *reinterpret_cast<const Header*>(arena.data());
+const Header& headerOf(const std::uint8_t* base) {
+  return *reinterpret_cast<const Header*>(base);
 }
 
 /// Fingerprint of the section payloads: id, byte count and bytes of
 /// every section in id order (so a boundary shift cannot cancel out).
-std::uint64_t fingerprintSections(const std::vector<std::uint8_t>& arena,
+std::uint64_t fingerprintSections(const std::uint8_t* base,
                                   const SectionDesc* table,
                                   std::uint32_t count) {
   std::uint64_t h = hash::kFnvOffset;
   for (std::uint32_t i = 0; i < count; ++i) {
     hash::fnvMix(h, std::uint64_t{table[i].id});
     hash::fnvMix(h, table[i].byteCount);
-    const std::uint8_t* bytes = arena.data() + table[i].offset;
+    const std::uint8_t* bytes = base + table[i].offset;
     for (std::uint64_t b = 0; b < table[i].byteCount; ++b) {
       h ^= bytes[b];
       h *= hash::kFnvPrime;
@@ -418,7 +418,8 @@ std::shared_ptr<const FlatNetwork> FlatNetwork::lower(
   hdr.magic = kMagic;
   hdr.version = kFormatVersion;
   hdr.sectionCount = kSectionCount;
-  hdr.fingerprint = fingerprintSections(view->arena_, table, kSectionCount);
+  hdr.fingerprint =
+      fingerprintSections(view->arena_.data(), table, kSectionCount);
   hdr.byteSize = at;
   hdr.segments = segCount;
   hdr.muxes = muxCount;
@@ -442,11 +443,18 @@ std::shared_ptr<const FlatNetwork> FlatNetwork::lower(
 }
 
 Status FlatNetwork::attach() {
-  if (arena_.size() < sizeof(Header))
+  if (!mapped_.empty()) {
+    base_ = mapped_.data();
+    size_ = mapped_.size();
+  } else {
+    base_ = arena_.data();
+    size_ = arena_.size();
+  }
+  if (size_ < sizeof(Header))
     return Status::dataLoss("flat arena shorter than its header (" +
-                            std::to_string(arena_.size()) + " bytes)");
+                            std::to_string(size_) + " bytes)");
   Header hdr;
-  std::memcpy(&hdr, arena_.data(), sizeof hdr);
+  std::memcpy(&hdr, base_, sizeof hdr);
   if (hdr.magic != kMagic)
     return Status::invalidArgument(
         "not a FlatNetwork arena (bad magic number)");
@@ -454,20 +462,20 @@ Status FlatNetwork::attach() {
     return Status::failedPrecondition(
         "FlatNetwork format version " + std::to_string(hdr.version) +
         " is not the supported version " + std::to_string(kFormatVersion));
-  if (hdr.byteSize != arena_.size())
+  if (hdr.byteSize != size_)
     return Status::dataLoss("flat arena truncated: header claims " +
                             std::to_string(hdr.byteSize) + " bytes, got " +
-                            std::to_string(arena_.size()));
+                            std::to_string(size_));
   if (hdr.sectionCount != kSectionCount)
     return Status::dataLoss("flat arena section count " +
                             std::to_string(hdr.sectionCount) +
                             " does not match the format's " +
                             std::to_string(int{kSectionCount}));
-  if (arena_.size() < sizeof(Header) + kSectionCount * sizeof(SectionDesc))
+  if (size_ < sizeof(Header) + kSectionCount * sizeof(SectionDesc))
     return Status::dataLoss("flat arena shorter than its section table");
 
   SectionDesc table[kSectionCount];
-  std::memcpy(table, arena_.data() + sizeof(Header), sizeof table);
+  std::memcpy(table, base_ + sizeof(Header), sizeof table);
 
   // Expected element size and count of every section, derived from the
   // header counts — a table that disagrees is corrupt, not merely a
@@ -516,16 +524,16 @@ Status FlatNetwork::attach() {
         d.byteCount != expect[i].count * expect[i].elemSize)
       return Status::dataLoss("flat arena section " + std::to_string(i) +
                               " does not match the expected layout");
-    if (d.offset % kSectionAlign != 0 || d.offset > arena_.size() ||
-        d.byteCount > arena_.size() - d.offset)
+    if (d.offset % kSectionAlign != 0 || d.offset > size_ ||
+        d.byteCount > size_ - d.offset)
       return Status::dataLoss("flat arena section " + std::to_string(i) +
                               " lies outside the buffer");
   }
-  if (fingerprintSections(arena_, table, kSectionCount) != hdr.fingerprint)
+  if (fingerprintSections(base_, table, kSectionCount) != hdr.fingerprint)
     return Status::dataLoss(
         "flat arena payload does not match its fingerprint");
 
-  const std::uint8_t* base = arena_.data();
+  const std::uint8_t* base = base_;
   const auto u32 = [&](SectionId id) {
     return Span<std::uint32_t>(
         reinterpret_cast<const std::uint32_t*>(base + table[id].offset),
@@ -588,25 +596,46 @@ Status FlatNetwork::deserialize(std::vector<std::uint8_t> buffer,
   return Status{};
 }
 
+Status FlatNetwork::mapFile(const std::string& path,
+                            std::shared_ptr<const FlatNetwork>& out) {
+  auto view = std::shared_ptr<FlatNetwork>(new FlatNetwork());
+  Status st = io::MappedFile::map(path, view->mapped_);
+  if (!st.ok()) return st;
+  st = view->attach();
+  if (!st.ok()) return st;
+  out = std::move(view);
+  return Status{};
+}
+
+Status FlatNetwork::writeTo(const std::string& path) const {
+  return io::atomicWriteFile(
+      path, std::string_view(reinterpret_cast<const char*>(base_), size_));
+}
+
 std::uint64_t FlatNetwork::fingerprint() const {
-  return headerOf(arena_).fingerprint;
+  return headerOf(base_).fingerprint;
+}
+
+bool FlatNetwork::operator==(const FlatNetwork& other) const {
+  return size_ == other.size_ &&
+         std::memcmp(base_, other.base_, size_) == 0;
 }
 
 std::size_t FlatNetwork::segmentCount() const {
-  return static_cast<std::size_t>(headerOf(arena_).segments);
+  return static_cast<std::size_t>(headerOf(base_).segments);
 }
 std::size_t FlatNetwork::muxCount() const {
-  return static_cast<std::size_t>(headerOf(arena_).muxes);
+  return static_cast<std::size_t>(headerOf(base_).muxes);
 }
 std::size_t FlatNetwork::instrumentCount() const {
-  return static_cast<std::size_t>(headerOf(arena_).instruments);
+  return static_cast<std::size_t>(headerOf(base_).instruments);
 }
 std::size_t FlatNetwork::vertexCount() const {
-  return static_cast<std::size_t>(headerOf(arena_).vertices);
+  return static_cast<std::size_t>(headerOf(base_).vertices);
 }
-graph::VertexId FlatNetwork::scanIn() const { return headerOf(arena_).scanIn; }
+graph::VertexId FlatNetwork::scanIn() const { return headerOf(base_).scanIn; }
 graph::VertexId FlatNetwork::scanOut() const {
-  return headerOf(arena_).scanOut;
+  return headerOf(base_).scanOut;
 }
 
 }  // namespace rrsn::rsn

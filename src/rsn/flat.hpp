@@ -43,6 +43,7 @@
 #include "graph/digraph.hpp"
 #include "rsn/network.hpp"
 #include "rsn/spec.hpp"
+#include "support/io.hpp"
 #include "support/status.hpp"
 
 namespace rrsn::rsn {
@@ -116,7 +117,24 @@ class FlatNetwork {
   static Status deserialize(std::vector<std::uint8_t> buffer,
                             std::shared_ptr<const FlatNetwork>& out);
 
+  /// Adopts a serialized arena straight from disk via mmap (PROT_READ,
+  /// zero copies — the service cache's fast path).  The mapping lives
+  /// as long as the view.  The same validation as deserialize() runs
+  /// against the mapped bytes; a missing/unreadable file yields
+  /// kUnavailable, and `out` is only written on success.  Never throws.
+  static Status mapFile(const std::string& path,
+                        std::shared_ptr<const FlatNetwork>& out);
+
+  /// Durably serializes the arena to `path` (atomic tmp+fsync+rename
+  /// via io::atomicWriteFile); on failure `path` is left untouched.
+  Status writeTo(const std::string& path) const;
+
   /// The whole arena — writing these bytes to disk *is* serialization.
+  /// Valid for any backing (owned buffer or mmap).
+  Span<std::uint8_t> bytes() const { return {base_, size_}; }
+
+  /// The owned arena vector.  Empty for an mmap-backed view — callers
+  /// that need the raw bytes regardless of backing use bytes().
   const std::vector<std::uint8_t>& buffer() const { return arena_; }
 
   /// FNV-1a fingerprint of the section payloads (also stored in the
@@ -125,9 +143,8 @@ class FlatNetwork {
 
   /// Two views are equal iff their arenas are byte-identical (the
   /// lowering is canonical, so equal networks + specs compare equal).
-  bool operator==(const FlatNetwork& other) const {
-    return arena_ == other.arena_;
-  }
+  /// Backing (owned vs mmap) does not participate.
+  bool operator==(const FlatNetwork& other) const;
 
   // ------------------------------------------------------------ counts
   std::size_t segmentCount() const;
@@ -198,12 +215,19 @@ class FlatNetwork {
  private:
   FlatNetwork() = default;
 
-  /// Re-derives the cached section spans from arena_ (after lowering or
-  /// after adopting a deserialized buffer).  Returns a non-OK status
-  /// when the section table does not describe a well-formed arena.
+  /// Re-derives the cached section spans from [base_, base_ + size_)
+  /// (after lowering, adopting a deserialized buffer, or mapping a
+  /// file).  Returns a non-OK status when the section table does not
+  /// describe a well-formed arena.
   Status attach();
 
+  /// Arena backing: exactly one of arena_ (owned bytes) and mapped_
+  /// (read-only file mapping) is non-empty; base_/size_ always name
+  /// the live bytes and everything past construction reads only them.
   std::vector<std::uint8_t> arena_;
+  io::MappedFile mapped_;
+  const std::uint8_t* base_ = nullptr;
+  std::size_t size_ = 0;
 
   Span<std::uint32_t> segLength_, segInstrument_, segDepth_, guardOffsets_;
   Span<std::uint8_t> segFlags_;

@@ -1,0 +1,66 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+#include "support/io.hpp"
+
+namespace rrsn::serve {
+
+Status readFrame(int fd, std::string& payload, bool& eof) {
+  std::uint8_t prefix[4];
+  Status st = io::readExact(fd, prefix, sizeof prefix, eof);
+  if (!st.ok() || eof) return st;
+  const std::uint32_t length = static_cast<std::uint32_t>(prefix[0]) |
+                               (static_cast<std::uint32_t>(prefix[1]) << 8) |
+                               (static_cast<std::uint32_t>(prefix[2]) << 16) |
+                               (static_cast<std::uint32_t>(prefix[3]) << 24);
+  if (length > kMaxFrameBytes)
+    return Status::invalidArgument(
+        "frame length " + std::to_string(length) + " exceeds the " +
+        std::to_string(kMaxFrameBytes) + "-byte cap");
+  std::string body(length, '\0');
+  bool bodyEof = false;
+  st = io::readExact(fd, body.data(), body.size(), bodyEof);
+  if (!st.ok()) return st;
+  if (bodyEof && length != 0)
+    return Status::dataLoss("stream ended inside a frame body");
+  payload = std::move(body);
+  return Status{};
+}
+
+Status writeFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes)
+    return Status::invalidArgument("response frame exceeds the byte cap");
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::uint8_t prefix[4] = {
+      static_cast<std::uint8_t>(length & 0xff),
+      static_cast<std::uint8_t>((length >> 8) & 0xff),
+      static_cast<std::uint8_t>((length >> 16) & 0xff),
+      static_cast<std::uint8_t>((length >> 24) & 0xff),
+  };
+  Status st = io::writeAll(fd, prefix, sizeof prefix);
+  if (!st.ok()) return st;
+  return io::writeAll(fd, payload.data(), payload.size());
+}
+
+json::Value okResponse(const json::Value& id, json::Value result) {
+  json::Object o;
+  o["id"] = id;
+  o["ok"] = json::Value(true);
+  o["result"] = std::move(result);
+  return json::Value(std::move(o));
+}
+
+json::Value errorResponse(const json::Value& id, const std::string& code,
+                          const std::string& message) {
+  json::Object err;
+  err["code"] = json::Value(code);
+  err["message"] = json::Value(message);
+  json::Object o;
+  o["id"] = id;
+  o["ok"] = json::Value(false);
+  o["error"] = json::Value(std::move(err));
+  return json::Value(std::move(o));
+}
+
+}  // namespace rrsn::serve

@@ -1,0 +1,53 @@
+// Wire protocol of the rrsn_serve daemon.
+//
+// Frames are length-prefixed JSON: a 4-byte little-endian payload
+// length followed by exactly that many bytes of UTF-8 JSON.  The
+// prefix makes the stream self-delimiting over any byte transport
+// (Unix socket, pipes, the --stdio test mode) without sentinel
+// scanning, and the kMaxFrameBytes cap bounds what a malicious or
+// confused client can make the daemon buffer.
+//
+// Envelope (one request frame -> one response frame, in order):
+//
+//   request:  {"id": <any>, "method": "analyze", "params": {...}}
+//   response: {"id": <echoed>, "ok": true,  "result": {...}}
+//           | {"id": <echoed>, "ok": false, "error": {"code": "...",
+//                                                      "message": "..."}}
+//
+// Error codes mirror rrsn::StatusCode spellings (INVALID_ARGUMENT,
+// FAILED_PRECONDITION, ...) plus DEADLINE_EXCEEDED and UNIMPLEMENTED.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/json.hpp"
+#include "support/status.hpp"
+
+namespace rrsn::serve {
+
+/// Upper bound on one frame's payload (64 MiB — a 2^20-segment arena is
+/// ~50 MiB; netlist texts are far smaller).  Oversized frames are
+/// rejected with kInvalidArgument before any allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Reads one frame from `fd`.  A clean end-of-stream *between* frames
+/// sets `eof` and returns OK with `payload` untouched; EOF inside a
+/// frame is kDataLoss, an oversized length prefix kInvalidArgument.
+Status readFrame(int fd, std::string& payload, bool& eof);
+
+/// Writes one frame (length prefix + payload) to `fd`.  A consumer that
+/// disconnected mid-write yields kUnavailable (never SIGPIPE — the
+/// daemon ignores it at startup).
+Status writeFrame(int fd, std::string_view payload);
+
+/// Builds the success envelope ({"id": id, "ok": true, "result": ...}).
+json::Value okResponse(const json::Value& id, json::Value result);
+
+/// Builds the error envelope.  `code` is one of the protocol error
+/// codes documented above.
+json::Value errorResponse(const json::Value& id, const std::string& code,
+                          const std::string& message);
+
+}  // namespace rrsn::serve

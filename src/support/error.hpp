@@ -57,6 +57,15 @@ class IoError : public Error {
   using Error::Error;
 };
 
+/// Thrown when a command-line or request argument fails validation
+/// (garbage digits, out-of-range value).  CLIs catch it to print the
+/// message plus usage text and exit 1; the serve daemon maps it to a
+/// per-request INVALID_ARGUMENT error instead of dying.
+class UsageError : public Error {
+ public:
+  using Error::Error;
+};
+
 namespace detail {
 
 [[noreturn]] inline void throwCheckFailed(const char* expr, const char* file,

@@ -1,0 +1,137 @@
+#include "support/io.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace rrsn::io {
+
+namespace {
+
+std::string errnoText(const char* what, int err) {
+  std::string msg = what;
+  msg += ": ";
+  msg += std::strerror(err);
+  return msg;
+}
+
+}  // namespace
+
+void ignoreSigpipe() {
+#ifdef SIGPIPE
+  struct sigaction sa {};
+  sa.sa_handler = SIG_IGN;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGPIPE, &sa, nullptr);
+#endif
+}
+
+Status writeAll(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t left = n;
+  while (left > 0) {
+    const ssize_t wrote = ::write(fd, p, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::unavailable(errnoText("write: consumer gone", errno));
+      }
+      return Status::dataLoss(errnoText("write failed", errno));
+    }
+    if (wrote == 0) return Status::dataLoss("write wrote 0 bytes");
+    p += static_cast<std::size_t>(wrote);
+    left -= static_cast<std::size_t>(wrote);
+  }
+  return Status{};
+}
+
+Status readExact(int fd, void* data, std::size_t n, bool& eof) {
+  eof = false;
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::unavailable(errnoText("read failed", errno));
+    }
+    if (r == 0) {
+      if (got == 0) {
+        eof = true;
+        return Status{};
+      }
+      return Status::dataLoss("unexpected end of stream mid-record (" +
+                              std::to_string(got) + " of " +
+                              std::to_string(n) + " bytes)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return Status{};
+}
+
+Status atomicWriteFile(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::unavailable(errnoText(("open " + tmp).c_str(), errno));
+  }
+  Status st = writeAll(fd, bytes.data(), bytes.size());
+  if (st.ok() && ::fsync(fd) != 0) {
+    st = Status::dataLoss(errnoText("fsync failed", errno));
+  }
+  // close() can surface deferred write errors (NFS, full disk); a file
+  // is only durable once both fsync and close succeeded.
+  if (::close(fd) != 0 && st.ok()) {
+    st = Status::dataLoss(errnoText("close failed", errno));
+  }
+  if (st.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = Status::unavailable(
+        errnoText(("rename to " + path).c_str(), errno));
+  }
+  if (!st.ok()) ::unlink(tmp.c_str());
+  return st;
+}
+
+Status MappedFile::map(const std::string& path, MappedFile& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::unavailable(errnoText(("open " + path).c_str(), errno));
+  }
+  struct stat sb {};
+  if (::fstat(fd, &sb) != 0) {
+    const Status st =
+        Status::unavailable(errnoText(("fstat " + path).c_str(), errno));
+    ::close(fd);
+    return st;
+  }
+  if (sb.st_size <= 0) {
+    ::close(fd);
+    return Status::dataLoss("mmap " + path + ": file is empty");
+  }
+  const auto size = static_cast<std::size_t>(sb.st_size);
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (addr == MAP_FAILED) {
+    return Status::dataLoss(errnoText(("mmap " + path).c_str(), errno));
+  }
+  out.reset();
+  out.data_ = static_cast<const std::uint8_t*>(addr);
+  out.size_ = size;
+  return Status{};
+}
+
+void MappedFile::reset() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace rrsn::io

@@ -1,0 +1,95 @@
+// Robust POSIX I/O primitives shared by the CLIs, the serve daemon and
+// the checkpoint writer.
+//
+// Three failure modes that a one-shot CLI merely tolerates become
+// correctness bugs in a long-running service and in multi-hour
+// campaigns, so they are handled here once, as typed `Status` values:
+//  * SIGPIPE: writing to a consumer that went away (a closed pipe, a
+//    disconnected client) kills the whole process by default.
+//    ignoreSigpipe() turns that into an EPIPE write error the caller
+//    classifies per request.
+//  * Short or failed writes: std::ofstream silently swallows a full
+//    disk until close (and often past it).  writeAll / atomicWriteFile
+//    check every byte, fsync before publishing, and never report
+//    success for a file that is not durably complete.
+//  * Torn files: atomicWriteFile stages into `<path>.tmp` and renames
+//    only after a successful fsync, so readers see the old bytes or the
+//    new bytes, never a prefix.
+//
+// MappedFile is the read side: a whole file mapped read-only, used by
+// the serve artifact cache to adopt serialized FlatNetwork arenas with
+// zero copies (rsn::FlatNetwork::mapFile).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "support/status.hpp"
+
+namespace rrsn::io {
+
+/// Idempotently sets SIGPIPE to SIG_IGN for the whole process, so a
+/// write to a closed pipe/socket fails with EPIPE instead of killing
+/// the process.  Call once at tool/daemon startup, before any output.
+void ignoreSigpipe();
+
+/// Writes all `n` bytes to `fd`, retrying on EINTR and short writes.
+/// EPIPE / ECONNRESET (the consumer went away) yield kUnavailable; any
+/// other write failure yields kDataLoss with errno text.
+Status writeAll(int fd, const void* data, std::size_t n);
+
+/// Reads exactly `n` bytes into `data`, retrying on EINTR.  `eof` is
+/// set iff the stream ended cleanly *before the first byte* (OK status,
+/// nothing read); an EOF mid-read is kDataLoss, a read error
+/// kUnavailable.
+Status readExact(int fd, void* data, std::size_t n, bool& eof);
+
+/// Atomically replaces `path` with `bytes`: write to `<path>.tmp` with
+/// every write checked, fsync, close (checked), then rename into place.
+/// On any failure the temp file is removed, `path` keeps its previous
+/// content, and the returned Status says what failed (kUnavailable for
+/// open/rename problems, kDataLoss for write/fsync/close problems).
+Status atomicWriteFile(const std::string& path, std::string_view bytes);
+
+/// A whole file mapped read-only (PROT_READ, MAP_PRIVATE).  Movable,
+/// not copyable; unmaps on destruction.  A default-constructed or
+/// moved-from instance is empty (data() == nullptr).
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() { reset(); }
+
+  /// Maps `path` read-only into `out` (replacing its previous mapping).
+  /// A missing/unopenable file yields kUnavailable, an empty file or
+  /// failed mmap kDataLoss; `out` is only modified on success.
+  static Status map(const std::string& path, MappedFile& out);
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return data_ == nullptr; }
+
+  /// Unmaps; the instance becomes empty.
+  void reset();
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rrsn::io

@@ -54,6 +54,37 @@ std::uint64_t parseUnsigned(std::string_view s, std::string_view context) {
   return value;
 }
 
+std::uint64_t parseUintBounded(std::string_view s, std::string_view context,
+                               std::uint64_t lo, std::uint64_t hi) {
+  const std::string_view trimmed = trim(s);
+  const std::string shown(trimmed.empty() ? s : trimmed);
+  bool digitsOnly = !trimmed.empty();
+  for (const char c : trimmed) {
+    if (c < '0' || c > '9') {
+      digitsOnly = false;
+      break;
+    }
+  }
+  std::uint64_t value = 0;
+  if (digitsOnly) {
+    const auto [ptr, ec] =
+        std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), value);
+    if (ec != std::errc{} || ptr != trimmed.data() + trimmed.size()) {
+      digitsOnly = false;  // overflowed uint64
+    }
+  }
+  if (!digitsOnly) {
+    throw UsageError("invalid value for " + std::string(context) + ": '" +
+                     shown + "' is not an unsigned integer");
+  }
+  if (value < lo || value > hi) {
+    throw UsageError("value out of range for " + std::string(context) + ": " +
+                     std::to_string(value) + " not in [" + std::to_string(lo) +
+                     ", " + std::to_string(hi) + "]");
+  }
+  return value;
+}
+
 double parseDouble(std::string_view s, std::string_view context) {
   s = trim(s);
   double value = 0;

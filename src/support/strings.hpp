@@ -22,6 +22,14 @@ bool startsWith(std::string_view s, std::string_view prefix);
 /// Parses a non-negative integer; throws ParseError with `context` on failure.
 std::uint64_t parseUnsigned(std::string_view s, std::string_view context);
 
+/// Strict bounded integer parsing for CLI options and serve request
+/// fields: the whole (trimmed) string must be digits — no sign, no
+/// suffix, no empty input — and the value must lie in [lo, hi].
+/// Violations throw UsageError naming `context`, the offending text and
+/// the accepted range, so tools can print it next to their usage text.
+std::uint64_t parseUintBounded(std::string_view s, std::string_view context,
+                               std::uint64_t lo, std::uint64_t hi);
+
 /// Parses a double; throws ParseError with `context` on failure.
 double parseDouble(std::string_view s, std::string_view context);
 

@@ -1,0 +1,565 @@
+// rrsn_serve daemon: wire protocol framing, the content-addressed
+// artifact cache (LRU eviction, fingerprint-collision verification),
+// endpoint dispatch over a real socketpair transport, thread-count
+// determinism of cached responses, deadline-expired campaigns as typed
+// errors, the FlatStore mmap-adopt tier — plus regression tests for the
+// I/O-robustness bugfix sweep this PR ships (strict numeric CLI
+// parsing, checkpoint save failures surfaced as Status, SIGPIPE
+// immunity of the tools).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "benchgen/registry.hpp"
+#include "campaign/checkpoint.hpp"
+#include "rsn/example_networks.hpp"
+#include "rsn/flat.hpp"
+#include "rsn/netlist_io.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "support/error.hpp"
+#include "support/io.hpp"
+#include "support/json.hpp"
+#include "support/parallel.hpp"
+#include "support/strings.hpp"
+
+namespace rrsn::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fig1Text() {
+  return rsn::netlistToString(rsn::makeFig1Network());
+}
+
+// ------------------------------------------------------------ protocol
+
+TEST(Protocol, FrameRoundTripOverPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string messages[] = {"", "x", R"({"id":1,"method":"ping"})",
+                                  std::string(100000, 'z')};
+  // The 100 kB frame exceeds the pipe buffer, so a writer thread pumps
+  // while this thread reads (also proves writeAll handles short writes).
+  std::thread writer([&] {
+    for (const std::string& m : messages) {
+      EXPECT_TRUE(writeFrame(fds[1], m).ok());
+    }
+  });
+  for (const std::string& m : messages) {
+    std::string payload = "sentinel";
+    bool eof = true;
+    const Status st = readFrame(fds[0], payload, eof);
+    ASSERT_TRUE(st.ok()) << st.toString();
+    EXPECT_FALSE(eof);
+    EXPECT_EQ(payload, m);
+  }
+  writer.join();
+  ::close(fds[1]);
+  std::string payload;
+  bool eof = false;
+  const Status st = readFrame(fds[0], payload, eof);
+  EXPECT_TRUE(st.ok()) << st.toString();
+  EXPECT_TRUE(eof) << "clean close between frames must report eof, not error";
+  ::close(fds[0]);
+}
+
+TEST(Protocol, TruncatedFrameIsDataLoss) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // Announce 100 bytes, deliver 3, close.
+  const std::uint8_t prefix[4] = {100, 0, 0, 0};
+  ASSERT_TRUE(io::writeAll(fds[1], prefix, 4).ok());
+  ASSERT_TRUE(io::writeAll(fds[1], "abc", 3).ok());
+  ::close(fds[1]);
+  std::string payload;
+  bool eof = false;
+  const Status st = readFrame(fds[0], payload, eof);
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss) << st.toString();
+  ::close(fds[0]);
+}
+
+TEST(Protocol, OversizedFrameRejectedBeforeAllocation) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  std::uint8_t prefix[4];
+  std::memcpy(prefix, &huge, 4);
+  ASSERT_TRUE(io::writeAll(fds[1], prefix, 4).ok());
+  std::string payload;
+  bool eof = false;
+  const Status st = readFrame(fds[0], payload, eof);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.toString();
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ------------------------------------------------------- ArtifactCache
+
+TEST(ArtifactCache, HitMissAndLruEviction) {
+  ArtifactCache cache(100);
+  auto blob = [](char c) { return std::make_shared<std::string>(10, c); };
+  cache.put(1, "k", blob('a'), 40);
+  cache.put(2, "k", blob('b'), 40);
+  EXPECT_NE(cache.get(1, "k"), nullptr);  // 1 is now hotter than 2
+  cache.put(3, "k", blob('c'), 40);       // evicts the cold entry: 2
+  EXPECT_EQ(cache.get(2, "k"), nullptr);
+  EXPECT_NE(cache.get(1, "k"), nullptr);
+  EXPECT_NE(cache.get(3, "k"), nullptr);
+
+  const ArtifactCache::Stats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.bytes, 80u);
+  EXPECT_EQ(s.misses, 1u);  // only the get of the evicted key
+  EXPECT_EQ(s.hits, 3u);
+}
+
+TEST(ArtifactCache, OverBudgetEntryIsKeptAloneInCache) {
+  ArtifactCache cache(50);
+  cache.put(1, "k", std::make_shared<int>(1), 10);
+  cache.put(2, "k", std::make_shared<int>(2), 500);  // alone over budget
+  EXPECT_EQ(cache.get(1, "k"), nullptr) << "cold entry must be evicted";
+  EXPECT_NE(cache.get(2, "k"), nullptr)
+      << "the fresh entry itself is never evicted by its own insert";
+}
+
+TEST(ArtifactCache, VerifierRejectionCountsCollisionAndEvicts) {
+  ArtifactCache cache(0);
+  cache.put(7, "net", std::make_shared<std::string>("contentA"), 8);
+  const auto reject = [](const std::shared_ptr<const void>& v) {
+    return *static_cast<const std::string*>(v.get()) == "contentB";
+  };
+  EXPECT_EQ(cache.get(7, "net", reject), nullptr);
+  const ArtifactCache::Stats s = cache.stats();
+  EXPECT_EQ(s.collisions, 1u);
+  EXPECT_EQ(s.entries, 0u) << "the impostor entry must be erased";
+  // The slot is free for the verified content now.
+  cache.put(7, "net", std::make_shared<std::string>("contentB"), 8);
+  EXPECT_NE(cache.get(7, "net", reject), nullptr);
+}
+
+TEST(ArtifactCache, SharedPtrSurvivesEviction) {
+  ArtifactCache cache(10);
+  cache.put(1, "k", std::make_shared<std::string>("alive"), 8);
+  auto held = cache.getAs<std::string>(1, "k");
+  ASSERT_NE(held, nullptr);
+  cache.put(2, "k", std::make_shared<std::string>("pusher"), 8);  // evicts 1
+  EXPECT_EQ(cache.get(1, "k"), nullptr);
+  EXPECT_EQ(*held, "alive") << "readers keep evicted values alive";
+}
+
+// ------------------------------------------------- server over stream
+
+/// One in-process client: socketpair + a thread pumping serveStream.
+class StreamClient {
+ public:
+  explicit StreamClient(Server& server) {
+    int sv[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    fd_ = sv[0];
+    pump_ = std::thread([&server, fd = sv[1]] {
+      (void)server.serveStream(fd, fd);
+      ::close(fd);
+    });
+  }
+  ~StreamClient() {
+    ::close(fd_);
+    pump_.join();
+  }
+
+  json::Value call(const std::string& method, json::Object params = {},
+                   std::uint64_t id = 1) {
+    json::Object req;
+    req["id"] = json::Value(id);
+    req["method"] = json::Value(method);
+    req["params"] = json::Value(std::move(params));
+    const Status ws = writeFrame(fd_, json::serialize(json::Value(std::move(req))));
+    EXPECT_TRUE(ws.ok()) << ws.toString();
+    std::string payload;
+    bool eof = false;
+    const Status rs = readFrame(fd_, payload, eof);
+    EXPECT_TRUE(rs.ok() && !eof) << rs.toString();
+    return json::parse(payload);
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  std::thread pump_;
+};
+
+json::Object netlistParams(const std::string& text) {
+  json::Object p;
+  p["netlist"] = json::Value(text);
+  return p;
+}
+
+TEST(Server, PingAndUnknownMethod) {
+  Server server;
+  StreamClient client(server);
+  const json::Value pong = client.call("ping");
+  EXPECT_TRUE(pong.at("ok").asBool());
+  EXPECT_TRUE(pong.at("result").at("pong").asBool());
+
+  const json::Value unknown = client.call("frobnicate");
+  EXPECT_FALSE(unknown.at("ok").asBool());
+  EXPECT_EQ(unknown.at("error").at("code").asString(), "UNIMPLEMENTED");
+}
+
+TEST(Server, MalformedFrameGetsErrorResponseAndStreamSurvives) {
+  Server server;
+  StreamClient client(server);
+  ASSERT_TRUE(writeFrame(client.fd(), "this is not json").ok());
+  std::string payload;
+  bool eof = false;
+  ASSERT_TRUE(readFrame(client.fd(), payload, eof).ok());
+  const json::Value resp = json::parse(payload);
+  EXPECT_FALSE(resp.at("ok").asBool());
+  EXPECT_EQ(resp.at("error").at("code").asString(), "INVALID_ARGUMENT");
+  // The framing stayed in sync: the next request works.
+  EXPECT_TRUE(client.call("ping").at("ok").asBool());
+}
+
+TEST(Server, AnalyzeIsCachedAndByteIdentical) {
+  Server server;
+  StreamClient client(server);
+  const std::string text = fig1Text();
+  const json::Value first = client.call("analyze", netlistParams(text), 1);
+  ASSERT_TRUE(first.at("ok").asBool()) << json::serialize(first);
+  const json::Value second = client.call("analyze", netlistParams(text), 2);
+  ASSERT_TRUE(second.at("ok").asBool());
+  // The envelope differs (echoed ids); the result payload must not.
+  EXPECT_EQ(json::serialize(first.at("result")),
+            json::serialize(second.at("result")));
+
+  StreamClient other(server);  // cache is per-server, not per-connection
+  const json::Value third = other.call("analyze", netlistParams(text), 3);
+  EXPECT_EQ(json::serialize(first.at("result")),
+            json::serialize(third.at("result")));
+
+  const json::Value stats = client.call("stats");
+  EXPECT_GE(stats.at("result").at("cache").at("hits").asUnsigned(), 2u);
+}
+
+TEST(Server, NumericParamsShareTheCliValidator) {
+  Server server;
+  StreamClient client(server);
+  json::Object params = netlistParams(fig1Text());
+  params["top"] = json::Value("0x10");  // strings take the strict CLI path
+  const json::Value resp = client.call("analyze", std::move(params));
+  ASSERT_FALSE(resp.at("ok").asBool());
+  EXPECT_EQ(resp.at("error").at("code").asString(), "INVALID_ARGUMENT");
+  EXPECT_NE(resp.at("error").at("message").asString().find(
+                "not an unsigned integer"),
+            std::string::npos);
+
+  json::Object negative = netlistParams(fig1Text());
+  negative["top"] = json::Value(std::int64_t{-3});
+  const json::Value resp2 = client.call("analyze", std::move(negative));
+  ASSERT_FALSE(resp2.at("ok").asBool());
+  EXPECT_EQ(resp2.at("error").at("code").asString(), "INVALID_ARGUMENT");
+
+  json::Object good = netlistParams(fig1Text());
+  good["top"] = json::Value("3");  // valid decimal string is accepted
+  EXPECT_TRUE(client.call("analyze", std::move(good)).at("ok").asBool());
+}
+
+TEST(Server, BadNetlistIsInvalidArgumentNotInternal) {
+  Server server;
+  StreamClient client(server);
+  const json::Value resp =
+      client.call("analyze", netlistParams("segment s1 length=banana"));
+  ASSERT_FALSE(resp.at("ok").asBool());
+  EXPECT_EQ(resp.at("error").at("code").asString(), "INVALID_ARGUMENT");
+}
+
+TEST(Server, CampaignDeadlineExpiresAsTypedError) {
+  Server server;
+  StreamClient client(server);
+  // Exhaustive pair campaign on a large SoC design with a 1 ms budget:
+  // the deadline fires mid-run and must surface as DEADLINE_EXCEEDED,
+  // not as a truncated success.
+  json::Object params = netlistParams(
+      rsn::netlistToString(benchgen::buildBenchmark("q12710")));
+  params["mode"] = json::Value("pairs");
+  params["sample"] = json::Value(std::uint64_t{0});
+  params["deadline_ms"] = json::Value(std::uint64_t{1});
+  const json::Value resp = client.call("campaign", std::move(params));
+  ASSERT_FALSE(resp.at("ok").asBool()) << json::serialize(resp);
+  EXPECT_EQ(resp.at("error").at("code").asString(), "DEADLINE_EXCEEDED");
+}
+
+TEST(Server, ConcurrentClientsThreadCountInvariance) {
+  const std::string text = fig1Text();
+  std::vector<std::string> perThreadCount;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    setThreadCount(threads);
+    Server server;
+    // 4 concurrent clients hammer the same design; every response
+    // result for a given request must be identical across clients,
+    // connections and RRSN_THREADS.
+    std::vector<std::string> results(4);
+    {
+      std::vector<std::unique_ptr<StreamClient>> clients;
+      for (int c = 0; c < 4; ++c)
+        clients.push_back(std::make_unique<StreamClient>(server));
+      std::vector<std::thread> drivers;
+      for (int c = 0; c < 4; ++c) {
+        drivers.emplace_back([&, c] {
+          std::string acc;
+          acc += json::serialize(
+              clients[c]->call("analyze", netlistParams(text)).at("result"));
+          acc += json::serialize(
+              clients[c]->call("diagnose", netlistParams(text)).at("result"));
+          json::Object h = netlistParams(text);
+          h["generations"] = json::Value(std::uint64_t{4});
+          h["population"] = json::Value(std::uint64_t{8});
+          acc += json::serialize(
+              clients[c]->call("harden", std::move(h)).at("result"));
+          results[c] = std::move(acc);
+        });
+      }
+      for (auto& d : drivers) d.join();
+    }
+    for (int c = 1; c < 4; ++c) EXPECT_EQ(results[0], results[c]);
+    perThreadCount.push_back(results[0]);
+  }
+  setThreadCount(1);
+  ASSERT_EQ(perThreadCount.size(), 3u);
+  EXPECT_EQ(perThreadCount[0], perThreadCount[1])
+      << "responses must be byte-identical at RRSN_THREADS=1 vs 2";
+  EXPECT_EQ(perThreadCount[0], perThreadCount[2])
+      << "responses must be byte-identical at RRSN_THREADS=1 vs 4";
+}
+
+// -------------------------------------------------- FlatStore (mmap)
+
+TEST(FlatStore, PublishesThenMapsAcrossServerInstances) {
+  const fs::path dir =
+      fs::temp_directory_path() / "rrsn_serve_flatstore_test";
+  fs::remove_all(dir);
+  const std::string text = fig1Text();
+
+  ServerOptions opts;
+  opts.cacheDir = dir.string();
+  std::string firstFingerprint, secondFingerprint;
+  {
+    Server server(opts);
+    StreamClient client(server);
+    const json::Value resp = client.call("analyze", netlistParams(text));
+    ASSERT_TRUE(resp.at("ok").asBool());
+    firstFingerprint =
+        json::serialize(resp.at("result").at("flat_fingerprint"));
+    const json::Value stats = client.call("stats");
+    EXPECT_EQ(
+        stats.at("result").at("flat_store").at("published").asUnsigned(), 1u);
+  }
+  ASSERT_FALSE(fs::is_empty(dir)) << "arena file must be on disk";
+  {
+    // A fresh daemon process (modelled by a fresh Server) adopts the
+    // published arena zero-copy instead of re-lowering.
+    Server server(opts);
+    StreamClient client(server);
+    const json::Value resp = client.call("analyze", netlistParams(text));
+    ASSERT_TRUE(resp.at("ok").asBool());
+    secondFingerprint =
+        json::serialize(resp.at("result").at("flat_fingerprint"));
+    const json::Value stats = client.call("stats");
+    EXPECT_GE(stats.at("result").at("flat_store").at("map_hits").asUnsigned(),
+              1u);
+    EXPECT_EQ(stats.at("result").at("flat_store").at("lowers").asUnsigned(),
+              0u);
+  }
+  EXPECT_EQ(firstFingerprint, secondFingerprint)
+      << "mmap-adopted arena must be byte-identical to in-process lowering";
+  fs::remove_all(dir);
+}
+
+TEST(FlatStore, CorruptArenaFileIsRejectedAndRepublished) {
+  const fs::path dir =
+      fs::temp_directory_path() / "rrsn_serve_flatstore_corrupt";
+  fs::remove_all(dir);
+  const std::string text = fig1Text();
+  ServerOptions opts;
+  opts.cacheDir = dir.string();
+  {
+    Server server(opts);
+    StreamClient client(server);
+    ASSERT_TRUE(client.call("analyze", netlistParams(text)).at("ok").asBool());
+  }
+  // Flip bytes in the published arena.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const int fd = ::open(entry.path().c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0);
+    const char garbage[8] = {'X', 'X', 'X', 'X', 'X', 'X', 'X', 'X'};
+    ASSERT_EQ(::pwrite(fd, garbage, sizeof garbage, 64), 8);
+    ::close(fd);
+  }
+  {
+    Server server(opts);
+    StreamClient client(server);
+    const json::Value resp = client.call("analyze", netlistParams(text));
+    ASSERT_TRUE(resp.at("ok").asBool())
+        << "corrupt disk tier must degrade to re-lowering, not fail";
+    const json::Value stats = client.call("stats");
+    EXPECT_EQ(stats.at("result").at("flat_store").at("map_hits").asUnsigned(),
+              0u);
+    EXPECT_GE(stats.at("result").at("flat_store").at("lowers").asUnsigned(),
+              1u);
+  }
+  fs::remove_all(dir);
+}
+
+// ----------------------------------------------- daemon binary (stdio)
+
+TEST(DaemonBinary, StdioProtocolRoundTripAndCleanShutdown) {
+  int toChild[2], fromChild[2];
+  ASSERT_EQ(::pipe(toChild), 0);
+  ASSERT_EQ(::pipe(fromChild), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::dup2(toChild[0], STDIN_FILENO);
+    ::dup2(fromChild[1], STDOUT_FILENO);
+    ::close(toChild[0]);
+    ::close(toChild[1]);
+    ::close(fromChild[0]);
+    ::close(fromChild[1]);
+    ::execl(RRSN_SERVE_BIN, RRSN_SERVE_BIN, "--stdio",
+            static_cast<char*>(nullptr));
+    _exit(98);
+  }
+  ::close(toChild[0]);
+  ::close(fromChild[1]);
+
+  auto call = [&](const std::string& method) {
+    json::Object req;
+    req["id"] = json::Value(std::uint64_t{1});
+    req["method"] = json::Value(method);
+    const Status ws =
+        writeFrame(toChild[1], json::serialize(json::Value(std::move(req))));
+    EXPECT_TRUE(ws.ok()) << ws.toString();
+    std::string payload;
+    bool eof = false;
+    const Status rs = readFrame(fromChild[0], payload, eof);
+    EXPECT_TRUE(rs.ok() && !eof) << rs.toString();
+    return json::parse(payload);
+  };
+  EXPECT_TRUE(call("ping").at("result").at("pong").asBool());
+  EXPECT_TRUE(call("shutdown").at("result").at("stopping").asBool());
+  ::close(toChild[1]);
+  ::close(fromChild[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "shutdown must exit the daemon cleanly";
+}
+
+TEST(DaemonBinary, MalformedCliOptionExitsOneWithUsage) {
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    ::dup2(devnull, STDOUT_FILENO);
+    ::dup2(devnull, STDERR_FILENO);
+    ::execl(RRSN_SERVE_BIN, RRSN_SERVE_BIN, "--stdio", "--cache-bytes",
+            "banana", static_cast<char*>(nullptr));
+    _exit(98);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 1)
+      << "the daemon shares the strict numeric validator with rrsn_tool";
+}
+
+// --------------------------------------- bugfix regressions: CLI args
+
+int runTool(const std::vector<std::string>& args, bool closeStdout = false) {
+  std::vector<const char*> argv;
+  argv.push_back(RRSN_TOOL_BIN);
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (closeStdout) {
+      // Simulate `rrsn_tool ... | head`: stdout is a pipe whose read
+      // end is already gone, so the first flush hits EPIPE.
+      int fds[2];
+      if (::pipe(fds) != 0) _exit(97);
+      ::close(fds[0]);
+      ::dup2(fds[1], STDOUT_FILENO);
+    } else {
+      ::dup2(devnull, STDOUT_FILENO);
+    }
+    ::dup2(devnull, STDERR_FILENO);
+    ::execv(RRSN_TOOL_BIN, const_cast<char**>(argv.data()));
+    _exit(98);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status))
+      << "tool must exit, not die on a signal (status " << status << ")";
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(ToolRegression, MalformedNumericOptionExitsOneNotGarbage) {
+  // Pre-fix, "--seed banana" was silently parsed as 0 by atoll-style
+  // parsing; now every numeric option rejects with a usage error.
+  EXPECT_EQ(runTool({"analyze", "example:fig1", "--seed", "banana"}), 1);
+  EXPECT_EQ(runTool({"analyze", "example:fig1", "--top", "12abc"}), 1);
+  EXPECT_EQ(runTool({"campaign", "example:fig1", "--sample", "1e6"}), 1);
+  EXPECT_EQ(runTool({"campaign", "example:fig1", "--deadline-ms",
+                     "99999999999999999999999999"}),
+            1);
+  EXPECT_EQ(runTool({"harden", "example:fig1", "--population", "-5"}), 1);
+  // Sanity: a valid invocation still succeeds.
+  EXPECT_EQ(runTool({"info", "example:fig1"}), 0);
+}
+
+TEST(ToolRegression, SigpipeDoesNotKillTheTool) {
+  // Dot output into a pipe whose read end is closed: pre-fix the
+  // process died on SIGPIPE (exit status 141); now the EPIPE write
+  // error is reported on stderr and the tool exits 1.
+  EXPECT_EQ(runTool({"dot", "example:fig1"}, /*closeStdout=*/true), 1);
+}
+
+// ------------------------------------ bugfix regression: checkpoints
+
+TEST(CheckpointRegression, SaveFailureIsTypedStatusNotSilentSuccess) {
+  campaign::CampaignResult result;
+  // Parent directory does not exist: the staged tmp file cannot even be
+  // created.  Pre-fix this returned void with the stream error ignored.
+  const Status st = campaign::saveCheckpoint(
+      "/nonexistent-dir-for-rrsn-test/checkpoint.json", 42, result);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss) << st.toString();
+
+  // And the success path still round-trips.
+  const fs::path ok =
+      fs::temp_directory_path() / "rrsn_serve_checkpoint_ok.json";
+  fs::remove(ok);
+  const Status good = campaign::saveCheckpoint(ok.string(), 42, result);
+  EXPECT_TRUE(good.ok()) << good.toString();
+  EXPECT_TRUE(fs::exists(ok));
+  EXPECT_FALSE(fs::exists(ok.string() + ".tmp"))
+      << "staged tmp file must not linger after a successful rename";
+  fs::remove(ok);
+}
+
+}  // namespace
+}  // namespace rrsn::serve

@@ -64,6 +64,7 @@
 // resolve the built-in example networks.
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <sstream>
 
@@ -81,6 +82,7 @@
 #include "sim/retarget.hpp"
 #include "sp/decomposition.hpp"
 #include "sp/sp_reduce.hpp"
+#include "support/io.hpp"
 #include "support/strings.hpp"
 
 namespace {
@@ -120,17 +122,21 @@ struct Options {
   std::optional<std::string> metricsOut;
 };
 
+const char* usageText() {
+  return
+      "usage: rrsn_tool <info|dot|tree|analyze|harden|access|diagnose|"
+      "campaign|bench|lint> <netlist|name> [args] [--spec file] [--fault F] "
+      "[--seed N] [--generations N] [--population N] [--top K] "
+      "[--plan-out file] [--pairs] [--transient] [--transient-rounds list] "
+      "[--sample N] [--sample-fraction F] [--deadline-ms N] "
+      "[--checkpoint file] "
+      "[--batch N] [--csv file] [--json file] [--max-reroutes N] "
+      "[--no-reroute] [--trace file] [--metrics file] [--plan file] "
+      "[--sarif file] [--no-lint] [--dict-mode probe|batched|verify]\n";
+}
+
 [[noreturn]] void usage() {
-  std::cerr
-      << "usage: rrsn_tool <info|dot|tree|analyze|harden|access|diagnose|"
-         "campaign|bench|lint> <netlist|name> [args] [--spec file] [--fault F] "
-         "[--seed N] [--generations N] [--population N] [--top K] "
-         "[--plan-out file] [--pairs] [--transient] [--transient-rounds list] "
-         "[--sample N] [--sample-fraction F] [--deadline-ms N] "
-         "[--checkpoint file] "
-         "[--batch N] [--csv file] [--json file] [--max-reroutes N] "
-         "[--no-reroute] [--trace file] [--metrics file] [--plan file] "
-         "[--sarif file] [--no-lint] [--dict-mode probe|batched|verify]\n";
+  std::cerr << usageText();
   std::exit(2);
 }
 
@@ -162,29 +168,38 @@ Options parseArgs(int argc, char** argv) {
     else if (arg == "--no-lint") opt.noLint = true;
     else if (arg == "--fault") opt.faultText = value();
     else if (arg == "--dict-mode") opt.dictMode = value();
-    else if (arg == "--seed") opt.seed = parseUnsigned(value(), "--seed");
+    // All numeric options go through the strict bounded parser: the
+    // whole string must be digits and the value must be in range, or a
+    // UsageError surfaces the message next to the usage text (exit 1).
+    // The same helper validates rrsn_serve request fields.
+    else if (arg == "--seed")
+      opt.seed = parseUintBounded(value(), "--seed", 0,
+                                  std::numeric_limits<std::uint64_t>::max());
     else if (arg == "--generations")
-      opt.generations = parseUnsigned(value(), "--generations");
+      opt.generations = parseUintBounded(value(), "--generations", 1, 1000000);
     else if (arg == "--population")
-      opt.population = parseUnsigned(value(), "--population");
-    else if (arg == "--top") opt.top = parseUnsigned(value(), "--top");
+      opt.population = parseUintBounded(value(), "--population", 1, 1000000);
+    else if (arg == "--top")
+      opt.top = parseUintBounded(value(), "--top", 1, 1000000);
     else if (arg == "--pairs") opt.pairs = true;
     else if (arg == "--transient") opt.transientMode = true;
     else if (arg == "--transient-rounds") {
       std::vector<std::uint32_t> rounds;
       for (const std::string& part : split(value(), ','))
         rounds.push_back(static_cast<std::uint32_t>(
-            parseUnsigned(part, "--transient-rounds")));
+            parseUintBounded(part, "--transient-rounds", 0, 1000000)));
       opt.transientRounds = std::move(rounds);
     }
-    else if (arg == "--sample") opt.sample = parseUnsigned(value(), "--sample");
+    else if (arg == "--sample")
+      opt.sample = parseUintBounded(value(), "--sample", 0, 100000000);
     else if (arg == "--sample-fraction")
       opt.sampleFraction = parseDouble(value(), "--sample-fraction");
     else if (arg == "--deadline-ms")
-      opt.deadlineMs = parseUnsigned(value(), "--deadline-ms");
-    else if (arg == "--batch") opt.batch = parseUnsigned(value(), "--batch");
+      opt.deadlineMs = parseUintBounded(value(), "--deadline-ms", 0, 86400000);
+    else if (arg == "--batch")
+      opt.batch = parseUintBounded(value(), "--batch", 1, 1000000);
     else if (arg == "--max-reroutes")
-      opt.maxReroutes = parseUnsigned(value(), "--max-reroutes");
+      opt.maxReroutes = parseUintBounded(value(), "--max-reroutes", 0, 1000000);
     else if (arg == "--no-reroute") opt.noReroute = true;
     else if (arg == "--checkpoint") opt.checkpoint = value();
     else if (arg == "--csv") opt.csvOut = value();
@@ -200,6 +215,13 @@ Options parseArgs(int argc, char** argv) {
   }
   if (opt.positional.empty()) usage();
   return opt;
+}
+
+/// Flushes and verifies an output stream after writing a report; an
+/// ofstream swallows ENOSPC/EPIPE silently until checked.
+void checkStreamWrite(std::ostream& out, const std::string& what) {
+  out.flush();
+  if (!out) throw IoError("short write to " + what);
 }
 
 rsn::Network loadNetwork(const std::string& path) {
@@ -312,6 +334,7 @@ int cmdHarden(const Options& opt) {
       RRSN_CHECK(static_cast<bool>(out),
                  "cannot write plan '" + *opt.planOut + "'");
       harden::writePlan(out, plan);
+      checkStreamWrite(out, "plan '" + *opt.planOut + "'");
       std::cout << "plan written to " << *opt.planOut << '\n';
     }
   }
@@ -455,6 +478,7 @@ int cmdCampaign(const Options& opt) {
     RRSN_CHECK(static_cast<bool>(out),
                "cannot write csv '" + *opt.csvOut + "'");
     out << campaign::outcomeTable(net, result).renderCsv();
+    checkStreamWrite(out, "csv '" + *opt.csvOut + "'");
     std::cout << "\nper-fault outcomes written to " << *opt.csvOut << '\n';
   }
   if (opt.jsonOut) {
@@ -462,6 +486,7 @@ int cmdCampaign(const Options& opt) {
     RRSN_CHECK(static_cast<bool>(out),
                "cannot write json '" + *opt.jsonOut + "'");
     out << json::serialize(campaign::reportJson(net, result), 1) << '\n';
+    checkStreamWrite(out, "json '" + *opt.jsonOut + "'");
     std::cout << "report written to " << *opt.jsonOut << '\n';
   }
   if (!s.complete()) {
@@ -532,12 +557,14 @@ int cmdLint(const Options& opt) {
     RRSN_CHECK(static_cast<bool>(out),
                "cannot write json '" + *opt.jsonOut + "'");
     out << json::serialize(lint::jsonReport(result, artifact), 1) << '\n';
+    checkStreamWrite(out, "json '" + *opt.jsonOut + "'");
   }
   if (opt.sarifOut) {
     std::ofstream out(*opt.sarifOut);
     RRSN_CHECK(static_cast<bool>(out),
                "cannot write sarif '" + *opt.sarifOut + "'");
     out << json::serialize(lint::sarifReport(result, artifact), 1) << '\n';
+    checkStreamWrite(out, "sarif '" + *opt.sarifOut + "'");
   }
   return result.clean() ? 0 : 1;
 }
@@ -567,6 +594,7 @@ void exportObservability(const Options& opt) {
     RRSN_CHECK(static_cast<bool>(out),
                "cannot write trace '" + *opt.traceOut + "'");
     out << obs::traceEventJson(snap) << '\n';
+    checkStreamWrite(out, "trace '" + *opt.traceOut + "'");
     std::cerr << "trace written to " << *opt.traceOut << '\n';
   }
   if (opt.metricsOut) {
@@ -574,6 +602,7 @@ void exportObservability(const Options& opt) {
     RRSN_CHECK(static_cast<bool>(out),
                "cannot write metrics '" + *opt.metricsOut + "'");
     out << json::serialize(obs::metricsJson(snap), 1) << '\n';
+    checkStreamWrite(out, "metrics '" + *opt.metricsOut + "'");
     std::cerr << "metrics written to " << *opt.metricsOut << '\n';
   }
   if (opt.traceOut || opt.metricsOut)
@@ -584,12 +613,23 @@ void exportObservability(const Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // With SIGPIPE ignored, `rrsn_tool ... | head` makes stdout writes
+  // fail with EPIPE (badbit on std::cout) instead of killing the
+  // process; the flush check below turns that into a typed error.
+  rrsn::io::ignoreSigpipe();
   try {
     const Options opt = parseArgs(argc, argv);
     if (opt.traceOut || opt.metricsOut) obs::enable();
     const int code = dispatch(opt);
+    std::cout.flush();
+    if (!std::cout) {
+      throw rrsn::IoError("stdout write failed (consumer closed the pipe?)");
+    }
     exportObservability(opt);
     return code;
+  } catch (const rrsn::UsageError& e) {
+    std::cerr << "error: " << e.what() << '\n' << usageText();
+    return 1;
   } catch (const rrsn::Error& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
