@@ -1,16 +1,17 @@
-// SARIF 2.1.0 export of lint results.
+// SARIF 2.1.0 export of lint results, via the shared sarif::document
+// builder (support/sarif.hpp).
 //
-// Emits one run whose tool.driver carries the full rule registry
-// (shortDescription = what the rule proves, help = the fix-it) and one
-// result per finding.  Findings with a known source line get a
-// physicalLocation region; location-less findings still carry the
-// artifactLocation so viewers group them under the netlist file.  The
-// json::Object map keeps keys sorted, so the serialized document is
-// canonical — CI diffs SARIF artifacts byte-for-byte.
+// The adapter maps the rule registry to SARIF rules (shortDescription =
+// what the rule proves, help = the fix-it) and each finding to one
+// result; findings with a known source line get a physicalLocation
+// region, location-less findings still carry the artifactLocation so
+// viewers group them under the netlist file.  The serialized document is
+// canonical and byte-identical to the pre-refactor emitter — CI diffs
+// SARIF artifacts byte-for-byte.
 #include <string>
-#include <unordered_map>
 
 #include "lint/lint.hpp"
+#include "support/sarif.hpp"
 
 namespace rrsn::lint {
 
@@ -18,71 +19,25 @@ json::Value sarifReport(const LintResult& result,
                         const std::string& artifactUri) {
   const std::vector<RuleInfo>& registry = ruleRegistry();
 
-  json::Array rules;
-  std::unordered_map<std::string, std::size_t> ruleIndex;
-  for (std::size_t i = 0; i < registry.size(); ++i) {
-    const RuleInfo& r = registry[i];
-    ruleIndex.emplace(r.id, i);
-    json::Object rule;
-    rule["id"] = r.id;
-    json::Object shortDesc;
-    shortDesc["text"] = r.summary;
-    rule["shortDescription"] = std::move(shortDesc);
-    json::Object help;
-    help["text"] = r.fixit;
-    rule["help"] = std::move(help);
-    json::Object config;
-    config["level"] = severityName(r.severity);
-    rule["defaultConfiguration"] = std::move(config);
-    rules.emplace_back(std::move(rule));
-  }
+  std::vector<sarif::Rule> rules;
+  rules.reserve(registry.size());
+  for (const RuleInfo& r : registry)
+    rules.push_back({r.id, r.summary, r.fixit, severityName(r.severity)});
 
-  json::Array results;
+  std::vector<sarif::Result> results;
+  results.reserve(result.findings.size());
   for (const Finding& f : result.findings) {
-    json::Object res;
-    res["ruleId"] = f.ruleId;
-    if (const auto it = ruleIndex.find(f.ruleId); it != ruleIndex.end())
-      res["ruleIndex"] = static_cast<std::uint64_t>(it->second);
-    res["level"] = severityName(f.severity);
-    json::Object message;
     std::string text = f.message;
     if (!f.fixit.empty()) text += " — fix: " + f.fixit;
-    message["text"] = std::move(text);
-    res["message"] = std::move(message);
-
-    json::Object artifactLocation;
-    artifactLocation["uri"] = artifactUri;
-    json::Object physicalLocation;
-    physicalLocation["artifactLocation"] = std::move(artifactLocation);
-    if (f.line != 0) {
-      json::Object region;
-      region["startLine"] = static_cast<std::uint64_t>(f.line);
-      physicalLocation["region"] = std::move(region);
-    }
-    json::Object location;
-    location["physicalLocation"] = std::move(physicalLocation);
-    res["locations"] = json::Array{json::Value(std::move(location))};
-    results.emplace_back(std::move(res));
+    results.push_back(
+        {f.ruleId, severityName(f.severity), std::move(text), f.line});
   }
 
-  json::Object driver;
-  driver["name"] = "rrsn_lint";
-  driver["informationUri"] =
-      "https://example.invalid/rrsn";  // repo-local tool, no public URI
-  driver["version"] = "1.0.0";
-  driver["rules"] = std::move(rules);
-  json::Object tool;
-  tool["driver"] = std::move(driver);
-
-  json::Object run;
-  run["tool"] = std::move(tool);
-  run["results"] = std::move(results);
-
-  json::Object doc;
-  doc["$schema"] = "https://json.schemastore.org/sarif-2.1.0.json";
-  doc["version"] = "2.1.0";
-  doc["runs"] = json::Array{json::Value(std::move(run))};
-  return json::Value(std::move(doc));
+  const sarif::Driver driver{
+      "rrsn_lint",
+      "https://example.invalid/rrsn",  // repo-local tool, no public URI
+      "1.0.0"};
+  return sarif::document(driver, rules, results, artifactUri);
 }
 
 }  // namespace rrsn::lint

@@ -28,6 +28,69 @@ std::shared_ptr<const void> ArtifactCache::get(std::uint64_t fingerprint,
   return it->second.value;
 }
 
+std::shared_ptr<const void> ArtifactCache::getOrCompute(
+    std::uint64_t fingerprint, const std::string& kind,
+    const Compute& compute, const Verifier& verify) {
+  const Key key{fingerprint, kind};
+  for (;;) {
+    std::shared_future<std::shared_ptr<const void>> pending;
+    std::promise<std::shared_ptr<const void>> promise;
+    bool winner = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        if (!verify || verify(it->second.value)) {
+          ++hits_;
+          lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+          return it->second.value;
+        }
+        // Counted as a collision only; the retry iteration below counts
+        // the miss (or coalesces) exactly once.
+        ++collisions_;
+        bytes_ -= it->second.bytes;
+        lru_.erase(it->second.lruIt);
+        entries_.erase(it);
+      } else if (auto inIt = inflight_.find(key); inIt != inflight_.end()) {
+        ++coalesced_;
+        pending = inIt->second;
+      } else {
+        ++misses_;
+        inflight_.emplace(key, promise.get_future().share());
+        winner = true;
+      }
+    }
+    if (pending.valid()) {
+      // Wait outside the lock; the winner's exception (if any)
+      // propagates to every coalesced waiter here.
+      std::shared_ptr<const void> value = pending.get();
+      if (!verify || verify(value)) return value;
+      continue;  // collision against the winner's content: recompute
+    }
+    if (!winner) continue;  // collision path: retry as a fresh miss
+
+    try {
+      std::pair<std::shared_ptr<const void>, std::size_t> r = compute();
+      put(fingerprint, kind, r.first, r.second);
+      {
+        // Erase before resolving: a thread arriving in between sees the
+        // interned entry (put happened first), never a dead future.
+        std::lock_guard<std::mutex> lock(mu_);
+        inflight_.erase(key);
+      }
+      promise.set_value(r.first);
+      return r.first;
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        inflight_.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+  }
+}
+
 void ArtifactCache::put(std::uint64_t fingerprint, const std::string& kind,
                         std::shared_ptr<const void> value, std::size_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -69,6 +132,7 @@ ArtifactCache::Stats ArtifactCache::stats() const {
   s.misses = misses_;
   s.evictions = evictions_;
   s.collisions = collisions_;
+  s.coalesced = coalesced_;
   s.bytes = bytes_;
   s.entries = entries_.size();
   s.byteBudget = byteBudget_;

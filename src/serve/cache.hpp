@@ -31,11 +31,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "rsn/flat.hpp"
 #include "rsn/network.hpp"
@@ -74,11 +76,45 @@ class ArtifactCache {
     return std::static_pointer_cast<const T>(get(fingerprint, kind, verify));
   }
 
+  /// Produces (value, approx byte weight) on a miss.
+  using Compute =
+      std::function<std::pair<std::shared_ptr<const void>, std::size_t>()>;
+
+  /// get() with *coalesced* miss computation: the first thread to miss
+  /// on (fingerprint, kind) runs `compute` (outside the cache lock) and
+  /// interns the result; any thread that misses the same key while that
+  /// computation is in flight waits for it instead of redundantly
+  /// recomputing (counted in Stats::coalesced).  A compute exception
+  /// propagates to the computing thread *and* every coalesced waiter;
+  /// nothing is cached.  When `verify` rejects the winner's value
+  /// (fingerprint collision between different contents), the rejecting
+  /// caller computes its own — collision handling never rests on the
+  /// coalescing tier.
+  std::shared_ptr<const void> getOrCompute(std::uint64_t fingerprint,
+                                           const std::string& kind,
+                                           const Compute& compute,
+                                           const Verifier& verify = nullptr);
+
+  /// Typed convenience wrapper over getOrCompute().
+  template <typename T, typename Fn>
+  std::shared_ptr<const T> getOrComputeAs(std::uint64_t fingerprint,
+                                          const std::string& kind, Fn&& fn,
+                                          const Verifier& verify = nullptr) {
+    const Compute compute =
+        [&fn]() -> std::pair<std::shared_ptr<const void>, std::size_t> {
+      std::pair<std::shared_ptr<const T>, std::size_t> r = fn();
+      return {std::move(r.first), r.second};
+    };
+    return std::static_pointer_cast<const T>(
+        getOrCompute(fingerprint, kind, compute, verify));
+  }
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t collisions = 0;
+    std::uint64_t coalesced = 0;  ///< misses served by an in-flight compute
     std::size_t bytes = 0;
     std::size_t entries = 0;
     std::size_t byteBudget = 0;
@@ -115,9 +151,13 @@ class ArtifactCache {
   mutable std::mutex mu_;
   std::map<Key, Entry> entries_;
   std::list<Key> lru_;  ///< most recently used first
+  /// Pending compute per key: coalesced waiters block on the shared
+  /// future outside the lock.
+  std::map<Key, std::shared_future<std::shared_ptr<const void>>> inflight_;
   std::size_t bytes_ = 0;
   std::size_t byteBudget_;
-  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0, collisions_ = 0;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0, collisions_ = 0,
+                coalesced_ = 0;
 };
 
 /// Disk tier for FlatNetwork arenas (mmap adopt path).

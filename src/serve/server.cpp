@@ -26,6 +26,7 @@
 #include "rsn/spec.hpp"
 #include "serve/protocol.hpp"
 #include "support/error.hpp"
+#include "verify/certifier.hpp"
 #include "support/hash.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
@@ -77,6 +78,9 @@ const EndpointMetrics* endpointMetrics(const std::string& method) {
     t["whatif"] = {obs::counter("serve.whatif.requests"),
                    obs::counter("serve.whatif.errors"),
                    obs::histogram("serve.whatif.latency_us")};
+    t["certify"] = {obs::counter("serve.certify.requests"),
+                    obs::counter("serve.certify.errors"),
+                    obs::histogram("serve.certify.latency_us")};
     t["stats"] = {obs::counter("serve.stats.requests"),
                   obs::counter("serve.stats.errors"),
                   obs::histogram("serve.stats.latency_us")};
@@ -215,30 +219,33 @@ std::shared_ptr<const Server::NetworkEntry> Server::internNetwork(
   const auto verify = [&text](const std::shared_ptr<const void>& v) {
     return static_cast<const NetworkEntry*>(v.get())->rawText == text;
   };
-  if (auto hit = cache_.getAs<NetworkEntry>(fp, "network", verify)) return hit;
-
-  auto parsed = [&]() -> rsn::Network {
-    try {
-      return rsn::parseNetlistString(text);
-    } catch (const Error& e) {
-      throw UsageError(std::string("netlist rejected: ") + e.what());
-    }
-  }();
-  auto entry = std::make_shared<NetworkEntry>(text, std::move(parsed));
-  entry->canonicalText = rsn::netlistToString(entry->net);
-  entry->canonicalFp = textFingerprint(entry->canonicalText);
-  cache_.put(fp, "network", entry, entry->approxBytes());
-  return entry;
+  return cache_.getOrComputeAs<NetworkEntry>(
+      fp, "network",
+      [&]() -> std::pair<std::shared_ptr<const NetworkEntry>, std::size_t> {
+        auto parsed = [&]() -> rsn::Network {
+          try {
+            return rsn::parseNetlistString(text);
+          } catch (const Error& e) {
+            throw UsageError(std::string("netlist rejected: ") + e.what());
+          }
+        }();
+        auto entry = std::make_shared<NetworkEntry>(text, std::move(parsed));
+        entry->canonicalText = rsn::netlistToString(entry->net);
+        entry->canonicalFp = textFingerprint(entry->canonicalText);
+        return {entry, entry->approxBytes()};
+      },
+      verify);
 }
 
 std::shared_ptr<const rsn::FlatNetwork> Server::flatOf(
     const NetworkEntry& entry) {
-  if (auto hit = cache_.getAs<rsn::FlatNetwork>(entry.canonicalFp, "flat")) {
-    return hit;
-  }
-  auto flat = flatStore_.loadOrLower(entry.canonicalFp, entry.net);
-  cache_.put(entry.canonicalFp, "flat", flat, flat->bytes().size());
-  return flat;
+  return cache_.getOrComputeAs<rsn::FlatNetwork>(
+      entry.canonicalFp, "flat",
+      [&]()
+          -> std::pair<std::shared_ptr<const rsn::FlatNetwork>, std::size_t> {
+        auto flat = flatStore_.loadOrLower(entry.canonicalFp, entry.net);
+        return {flat, flat->bytes().size()};
+      });
 }
 
 json::Value Server::dispatch(const std::string& method,
@@ -258,12 +265,66 @@ json::Value Server::dispatch(const std::string& method,
     return json::Value(std::move(o));
   }
 
+  if (method == "lint") {
+    const std::string& text = stringParam(params, "netlist");
+    const std::uint64_t fp = textFingerprint(text);
+    const auto verify = [&text](const std::shared_ptr<const void>& v) {
+      return static_cast<const LintEntry*>(v.get())->rawText == text;
+    };
+    const auto hit = cache_.getOrComputeAs<LintEntry>(
+        fp, "lint",
+        [&]() -> std::pair<std::shared_ptr<const LintEntry>, std::size_t> {
+          auto fresh = std::make_shared<LintEntry>();
+          fresh->rawText = text;
+          const lint::LintedNetlist linted = lint::lintNetlistText(text);
+          fresh->report = lint::jsonReport(linted.result, "<request>");
+          fresh->reportBytes = json::serialize(fresh->report).size();
+          return {fresh, text.size() + fresh->reportBytes + 64};
+        },
+        verify);
+    return hit->report;
+  }
+
+  if (method != "analyze" && method != "harden" && method != "diagnose" &&
+      method != "campaign" && method != "certify" && method != "whatif") {
+    throw RequestError{"UNIMPLEMENTED", "unknown method: " + method};
+  }
+
+  // Every remaining endpoint analyzes a parsed network.
+  const auto entry = internNetwork(stringParam(params, "netlist"));
+
   if (method == "whatif") {
+    // Validation first (netlist parse above, change shape here), so a
+    // malformed request is INVALID_ARGUMENT — never a cheery stub
+    // acknowledgement of garbage.
+    const std::string& change = stringParam(params, "change");
+    const auto parts = split(change, ':');
+    const bool isBreak = parts.size() == 2 && parts[0] == "break";
+    const bool isStuck = parts.size() == 3 && parts[0] == "stuck";
+    if (!isBreak && !isStuck) {
+      throw UsageError(
+          "param change must be break:<segment> or stuck:<mux>:<branch>, "
+          "got '" + change + "'");
+    }
+    if (isBreak && entry->net.findSegment(parts[1]) == rsn::kNone) {
+      throw UsageError("param change names unknown segment '" + parts[1] +
+                       "'");
+    }
+    if (isStuck) {
+      const rsn::MuxId mux = entry->net.findMux(parts[1]);
+      if (mux == rsn::kNone) {
+        throw UsageError("param change names unknown mux '" + parts[1] + "'");
+      }
+      const auto flat = flatOf(*entry);
+      (void)parseUintBounded(parts[2], "param change branch", 0,
+                             flat->muxArity()[mux] - 1);
+    }
     // Placeholder until the incremental delta-update engine lands (see
-    // ROADMAP "what-if" item): acknowledges the request shape without
-    // pretending to compute anything.
+    // ROADMAP "what-if" item): acknowledges the validated request shape
+    // without pretending to compute anything.
     json::Object o;
     o["stub"] = json::Value(true);
+    o["change"] = json::Value(change);
     o["note"] = json::Value(
         "what-if re-analysis is not implemented yet; full analyze runs "
         "are cached per design, so re-submitting the edited netlist is "
@@ -271,50 +332,24 @@ json::Value Server::dispatch(const std::string& method,
     return json::Value(std::move(o));
   }
 
-  if (method == "lint") {
-    const std::string& text = stringParam(params, "netlist");
-    const std::uint64_t fp = textFingerprint(text);
-    const auto verify = [&text](const std::shared_ptr<const void>& v) {
-      return static_cast<const LintEntry*>(v.get())->rawText == text;
-    };
-    auto hit = cache_.getAs<LintEntry>(fp, "lint", verify);
-    if (!hit) {
-      auto fresh = std::make_shared<LintEntry>();
-      fresh->rawText = text;
-      const lint::LintedNetlist linted = lint::lintNetlistText(text);
-      fresh->report = lint::jsonReport(linted.result, "<request>");
-      fresh->reportBytes = json::serialize(fresh->report).size();
-      cache_.put(fp, "lint", fresh, text.size() + fresh->reportBytes + 64);
-      hit = fresh;
-    }
-    return hit->report;
-  }
-
-  if (method != "analyze" && method != "harden" && method != "diagnose" &&
-      method != "campaign") {
-    throw RequestError{"UNIMPLEMENTED", "unknown method: " + method};
-  }
-
-  // Every remaining endpoint analyzes a parsed network.
-  const auto entry = internNetwork(stringParam(params, "netlist"));
-
   if (method == "analyze") {
     const std::uint64_t seed = uintParam(params, "seed", 1, 0, ~0ull);
     const std::uint64_t top = uintParam(params, "top", 10, 1, 1'000'000);
     const std::string key = "crit:" + std::to_string(seed);
-    auto crit = cache_.getAs<CritEntry>(entry->canonicalFp, key);
-    if (!crit) {
-      Rng rng(seed);
-      const rsn::CriticalitySpec spec = rsn::randomSpec(entry->net, {}, rng);
-      const crit::CriticalityResult result =
-          crit::CriticalityAnalyzer(entry->net, spec).run();
-      auto fresh = std::make_shared<CritEntry>();
-      fresh->damages = result.damages();
-      fresh->total = result.totalDamage();
-      fresh->ranking = result.ranking();
-      cache_.put(entry->canonicalFp, key, fresh, fresh->approxBytes());
-      crit = fresh;
-    }
+    const auto crit = cache_.getOrComputeAs<CritEntry>(
+        entry->canonicalFp, key,
+        [&]() -> std::pair<std::shared_ptr<const CritEntry>, std::size_t> {
+          Rng rng(seed);
+          const rsn::CriticalitySpec spec =
+              rsn::randomSpec(entry->net, {}, rng);
+          const crit::CriticalityResult result =
+              crit::CriticalityAnalyzer(entry->net, spec).run();
+          auto fresh = std::make_shared<CritEntry>();
+          fresh->damages = result.damages();
+          fresh->total = result.totalDamage();
+          fresh->ranking = result.ranking();
+          return {fresh, fresh->approxBytes()};
+        });
     const auto flat = flatOf(*entry);
 
     json::Object o;
@@ -346,29 +381,29 @@ json::Value Server::dispatch(const std::string& method,
     const std::string key = "harden:" + std::to_string(seed) + ":" +
                             std::to_string(generations) + ":" +
                             std::to_string(population);
-    auto front = cache_.getAs<FrontEntry>(entry->canonicalFp, key);
-    if (!front) {
-      Rng rng(seed);
-      const rsn::CriticalitySpec spec = rsn::randomSpec(entry->net, {}, rng);
-      const crit::CriticalityResult analysis =
-          crit::CriticalityAnalyzer(entry->net, spec).run();
-      const auto flat = flatOf(*entry);
-      const harden::HardeningProblem problem =
-          harden::HardeningProblem::assemble(entry->net, *flat, analysis);
-      moo::EvolutionOptions eo;
-      eo.populationSize = population;
-      eo.generations = generations;
-      eo.seed = seed;
-      const moo::RunResult run = moo::runSpea2(problem.linear, eo);
-      auto fresh = std::make_shared<FrontEntry>();
-      fresh->totalDamage = analysis.totalDamage();
-      for (const moo::Individual& ind : run.archive.members()) {
-        fresh->rows.emplace_back(ind.obj.cost, ind.obj.damage);
-      }
-      cache_.put(entry->canonicalFp, key, fresh,
-                 fresh->rows.size() * 16 + 64);
-      front = fresh;
-    }
+    const auto front = cache_.getOrComputeAs<FrontEntry>(
+        entry->canonicalFp, key,
+        [&]() -> std::pair<std::shared_ptr<const FrontEntry>, std::size_t> {
+          Rng rng(seed);
+          const rsn::CriticalitySpec spec =
+              rsn::randomSpec(entry->net, {}, rng);
+          const crit::CriticalityResult analysis =
+              crit::CriticalityAnalyzer(entry->net, spec).run();
+          const auto flat = flatOf(*entry);
+          const harden::HardeningProblem problem =
+              harden::HardeningProblem::assemble(entry->net, *flat, analysis);
+          moo::EvolutionOptions eo;
+          eo.populationSize = population;
+          eo.generations = generations;
+          eo.seed = seed;
+          const moo::RunResult run = moo::runSpea2(problem.linear, eo);
+          auto fresh = std::make_shared<FrontEntry>();
+          fresh->totalDamage = analysis.totalDamage();
+          for (const moo::Individual& ind : run.archive.members()) {
+            fresh->rows.emplace_back(ind.obj.cost, ind.obj.damage);
+          }
+          return {fresh, fresh->rows.size() * 16 + 64};
+        });
     json::Object o;
     o["total_damage"] = json::Value(front->totalDamage);
     o["front_size"] = json::Value(std::uint64_t(front->rows.size()));
@@ -384,19 +419,20 @@ json::Value Server::dispatch(const std::string& method,
   }
 
   if (method == "diagnose") {
-    auto res = cache_.getAs<ResolutionEntry>(entry->canonicalFp, "dict");
-    if (!res) {
-      const diag::FaultDictionary dict =
-          diag::FaultDictionary::build(entry->net);
-      const auto r = dict.resolution();
-      auto fresh = std::make_shared<ResolutionEntry>();
-      fresh->faults = r.faults;
-      fresh->detectable = r.detectable;
-      fresh->classes = r.classes;
-      fresh->avgAmbiguity = r.avgAmbiguity;
-      cache_.put(entry->canonicalFp, "dict", fresh, sizeof(ResolutionEntry));
-      res = fresh;
-    }
+    const auto res = cache_.getOrComputeAs<ResolutionEntry>(
+        entry->canonicalFp, "dict",
+        [&]()
+            -> std::pair<std::shared_ptr<const ResolutionEntry>, std::size_t> {
+          const diag::FaultDictionary dict =
+              diag::FaultDictionary::build(entry->net);
+          const auto r = dict.resolution();
+          auto fresh = std::make_shared<ResolutionEntry>();
+          fresh->faults = r.faults;
+          fresh->detectable = r.detectable;
+          fresh->classes = r.classes;
+          fresh->avgAmbiguity = r.avgAmbiguity;
+          return {fresh, sizeof(ResolutionEntry)};
+        });
     json::Object o;
     o["faults"] = json::Value(std::uint64_t(res->faults));
     o["detectable"] = json::Value(std::uint64_t(res->detectable));
@@ -418,46 +454,71 @@ json::Value Server::dispatch(const std::string& method,
         std::to_string(sample) + ":" + std::to_string(seed);
     // Complete summaries are deterministic in (design, mode, sample,
     // seed) — the deadline only decides whether we got one, so it stays
-    // out of the key and incomplete runs are never cached.
-    auto cached = cache_.getAs<SummaryEntry>(entry->canonicalFp, key);
-    if (cached) return cached->summary;
+    // out of the key, incomplete runs are never cached, and a deadline
+    // failure propagates to every coalesced waiter.
+    const auto cached = cache_.getOrComputeAs<SummaryEntry>(
+        entry->canonicalFp, key,
+        [&]() -> std::pair<std::shared_ptr<const SummaryEntry>, std::size_t> {
+          campaign::CampaignConfig cfg;
+          cfg.mode = mode;
+          cfg.sample = sample;
+          cfg.seed = seed;
+          CancellationToken token;
+          token.setDeadlineFromNow(std::chrono::milliseconds(deadlineMs));
+          cfg.cancel = &token;
+          campaign::CampaignEngine engine(entry->net, cfg);
+          const campaign::CampaignResult result = engine.run();
+          const campaign::CampaignSummary s = result.summary();
+          if (!s.complete()) {
+            throw RequestError{
+                "DEADLINE_EXCEEDED",
+                "campaign interrupted after " + std::to_string(s.faultsDone) +
+                    " of " + std::to_string(s.faultsTotal) + " scenarios (" +
+                    std::to_string(deadlineMs) + " ms deadline)"};
+          }
+          json::Object o;
+          o["mode"] = json::Value(campaign::campaignModeName(s.mode));
+          o["faults_total"] = json::Value(std::uint64_t(s.faultsTotal));
+          o["faults_done"] = json::Value(std::uint64_t(s.faultsDone));
+          o["instruments"] = json::Value(std::uint64_t(s.instruments));
+          o["read_accessible"] = json::Value(std::uint64_t(s.readAccessible));
+          o["read_recovered"] = json::Value(std::uint64_t(s.readRecovered));
+          o["read_lost"] = json::Value(std::uint64_t(s.readLost));
+          o["write_accessible"] =
+              json::Value(std::uint64_t(s.writeAccessible));
+          o["write_recovered"] = json::Value(std::uint64_t(s.writeRecovered));
+          o["write_lost"] = json::Value(std::uint64_t(s.writeLost));
+          o["read_mismatches"] = json::Value(std::uint64_t(s.readMismatches));
+          o["write_mismatches"] =
+              json::Value(std::uint64_t(s.writeMismatches));
+          auto fresh = std::make_shared<SummaryEntry>();
+          fresh->summary = json::Value(std::move(o));
+          return {fresh, json::serialize(fresh->summary).size() + 64};
+        });
+    return cached->summary;
+  }
 
-    campaign::CampaignConfig cfg;
-    cfg.mode = mode;
-    cfg.sample = sample;
-    cfg.seed = seed;
-    CancellationToken token;
-    token.setDeadlineFromNow(std::chrono::milliseconds(deadlineMs));
-    cfg.cancel = &token;
-    campaign::CampaignEngine engine(entry->net, cfg);
-    const campaign::CampaignResult result = engine.run();
-    const campaign::CampaignSummary s = result.summary();
-    if (!s.complete()) {
-      throw RequestError{
-          "DEADLINE_EXCEEDED",
-          "campaign interrupted after " + std::to_string(s.faultsDone) +
-              " of " + std::to_string(s.faultsTotal) + " scenarios (" +
-              std::to_string(deadlineMs) + " ms deadline)"};
-    }
-    json::Object o;
-    o["mode"] = json::Value(campaign::campaignModeName(s.mode));
-    o["faults_total"] = json::Value(std::uint64_t(s.faultsTotal));
-    o["faults_done"] = json::Value(std::uint64_t(s.faultsDone));
-    o["instruments"] = json::Value(std::uint64_t(s.instruments));
-    o["read_accessible"] = json::Value(std::uint64_t(s.readAccessible));
-    o["read_recovered"] = json::Value(std::uint64_t(s.readRecovered));
-    o["read_lost"] = json::Value(std::uint64_t(s.readLost));
-    o["write_accessible"] = json::Value(std::uint64_t(s.writeAccessible));
-    o["write_recovered"] = json::Value(std::uint64_t(s.writeRecovered));
-    o["write_lost"] = json::Value(std::uint64_t(s.writeLost));
-    o["read_mismatches"] = json::Value(std::uint64_t(s.readMismatches));
-    o["write_mismatches"] = json::Value(std::uint64_t(s.writeMismatches));
-    json::Value summary(std::move(o));
-    auto fresh = std::make_shared<SummaryEntry>();
-    fresh->summary = summary;
-    cache_.put(entry->canonicalFp, key, fresh,
-               json::serialize(summary).size() + 64);
-    return summary;
+  if (method == "certify") {
+    const std::uint64_t budget =
+        uintParam(params, "budget", 1024, 1, 1'000'000);
+    const std::string key = "certify:" + std::to_string(budget);
+    // The full canonical certification report is the artifact: verdict
+    // rows, witnesses and tier counters are deterministic in (design,
+    // budget), so coalesced and repeated requests share one run.
+    const auto cached = cache_.getOrComputeAs<SummaryEntry>(
+        entry->canonicalFp, key,
+        [&]() -> std::pair<std::shared_ptr<const SummaryEntry>, std::size_t> {
+          const auto flat = flatOf(*entry);
+          const verify::Certifier certifier(flat);
+          verify::CertifyOptions co;
+          co.fixpointBudget = budget;
+          co.crossCheck = verify::crossCheckDefault();
+          const verify::CertificationResult result = certifier.run(co);
+          auto fresh = std::make_shared<SummaryEntry>();
+          fresh->summary = verify::reportJson(entry->net, result);
+          return {fresh, json::serialize(fresh->summary).size() + 64};
+        });
+    return cached->summary;
   }
 
   throw RequestError{"UNIMPLEMENTED", "unknown method: " + method};

@@ -1,0 +1,75 @@
+#include "support/sarif.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+namespace rrsn::sarif {
+
+json::Value document(const Driver& driver, const std::vector<Rule>& rules,
+                     const std::vector<Result>& results,
+                     const std::string& artifactUri) {
+  json::Array ruleArray;
+  std::unordered_map<std::string, std::size_t> ruleIndex;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const Rule& r = rules[i];
+    ruleIndex.emplace(r.id, i);
+    json::Object rule;
+    rule["id"] = r.id;
+    json::Object shortDesc;
+    shortDesc["text"] = r.summary;
+    rule["shortDescription"] = std::move(shortDesc);
+    json::Object help;
+    help["text"] = r.help;
+    rule["help"] = std::move(help);
+    json::Object config;
+    config["level"] = r.level;
+    rule["defaultConfiguration"] = std::move(config);
+    ruleArray.emplace_back(std::move(rule));
+  }
+
+  json::Array resultArray;
+  for (const Result& r : results) {
+    json::Object res;
+    res["ruleId"] = r.ruleId;
+    if (const auto it = ruleIndex.find(r.ruleId); it != ruleIndex.end())
+      res["ruleIndex"] = static_cast<std::uint64_t>(it->second);
+    res["level"] = r.level;
+    json::Object message;
+    message["text"] = r.message;
+    res["message"] = std::move(message);
+
+    json::Object artifactLocation;
+    artifactLocation["uri"] = artifactUri;
+    json::Object physicalLocation;
+    physicalLocation["artifactLocation"] = std::move(artifactLocation);
+    if (r.line != 0) {
+      json::Object region;
+      region["startLine"] = static_cast<std::uint64_t>(r.line);
+      physicalLocation["region"] = std::move(region);
+    }
+    json::Object location;
+    location["physicalLocation"] = std::move(physicalLocation);
+    res["locations"] = json::Array{json::Value(std::move(location))};
+    resultArray.emplace_back(std::move(res));
+  }
+
+  json::Object driverObj;
+  driverObj["name"] = driver.name;
+  driverObj["informationUri"] = driver.informationUri;
+  driverObj["version"] = driver.version;
+  driverObj["rules"] = std::move(ruleArray);
+  json::Object tool;
+  tool["driver"] = std::move(driverObj);
+
+  json::Object run;
+  run["tool"] = std::move(tool);
+  run["results"] = std::move(resultArray);
+
+  json::Object doc;
+  doc["$schema"] = "https://json.schemastore.org/sarif-2.1.0.json";
+  doc["version"] = "2.1.0";
+  doc["runs"] = json::Array{json::Value(std::move(run))};
+  return json::Value(std::move(doc));
+}
+
+}  // namespace rrsn::sarif

@@ -1,0 +1,55 @@
+// Generic SARIF 2.1.0 document builder shared by every static-analysis
+// producer in the repo (lint findings, verify verdicts, future passes).
+//
+// SARIF structure is rigid but producers differ in how they name rules
+// and format result messages, so the builder takes plain-data rule and
+// result descriptions and assembles the canonical document: one run,
+// the rule table under tool.driver.rules, one result per entry with a
+// physicalLocation into the analyzed artifact.  The json::Object map
+// keeps keys sorted, so serialization is byte-stable — CI diffs SARIF
+// artifacts byte-for-byte, and lint's historical output is preserved
+// exactly (guarded by lint_test).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace rrsn::sarif {
+
+/// Identity of the producing tool (tool.driver).
+struct Driver {
+  std::string name;
+  std::string informationUri;
+  std::string version;
+};
+
+/// One entry of tool.driver.rules.
+struct Rule {
+  std::string id;
+  std::string summary;  ///< shortDescription.text
+  std::string help;     ///< help.text (always emitted, may be empty)
+  std::string level;    ///< defaultConfiguration.level ("error"/...)
+};
+
+/// One run.results entry.  `line` 0 means "no region" — the location
+/// still carries the artifact URI so viewers group the result under the
+/// analyzed file.
+struct Result {
+  std::string ruleId;
+  std::string level;
+  std::string message;
+  std::size_t line = 0;
+};
+
+/// Assembles the canonical single-run document.  ruleIndex is emitted
+/// for every result whose ruleId appears in `rules`; unknown ids keep
+/// only the ruleId string (lint emits parse.* findings that have no
+/// registry entry).
+json::Value document(const Driver& driver, const std::vector<Rule>& rules,
+                     const std::vector<Result>& results,
+                     const std::string& artifactUri);
+
+}  // namespace rrsn::sarif

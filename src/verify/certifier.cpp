@@ -1,0 +1,863 @@
+#include "verify/certifier.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "campaign/campaign.hpp"
+#include "diag/batched.hpp"
+#include "obs/obs.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+
+namespace rrsn::verify {
+
+namespace {
+
+const obs::MetricId kCertifyCalls = obs::counter("verify.certify_calls");
+const obs::MetricId kRowsFast = obs::counter("verify.rows_fast");
+const obs::MetricId kRowsFixpoint = obs::counter("verify.rows_fixpoint");
+const obs::MetricId kCellsUnknown = obs::counter("verify.cells_unknown");
+const obs::MetricId kRowsCrossChecked =
+    obs::counter("verify.rows_crosschecked");
+const obs::MetricId kUniverseFaults = obs::histogram("verify.universe_faults");
+
+constexpr std::uint16_t packCell(Verdict r, WitnessKind rk, Verdict w,
+                                 WitnessKind wk) {
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(r) | (static_cast<std::uint16_t>(w) << 2) |
+      (static_cast<std::uint16_t>(rk) << 4) |
+      (static_cast<std::uint16_t>(wk) << 8));
+}
+
+constexpr std::uint16_t kUnknownCell =
+    packCell(Verdict::Unknown, WitnessKind::Budget, Verdict::Unknown,
+             WitnessKind::Budget);
+
+/// Nearest-common-dominator walk of the Cooper–Harvey–Kennedy scheme,
+/// parameterized on the rank order (topological for dominators,
+/// reverse-topological for post-dominators).
+graph::VertexId intersect(graph::VertexId a, graph::VertexId b,
+                          const std::vector<graph::VertexId>& idom,
+                          const std::vector<std::uint32_t>& rank) {
+  while (a != b) {
+    while (rank[a] > rank[b]) a = idom[a];
+    while (rank[b] > rank[a]) b = idom[b];
+  }
+  return a;
+}
+
+/// DFS entry/exit numbering of an idom tree: `a` dominates `v` iff
+/// tin[a] <= tin[v] && tout[v] <= tout[a].  Vertices outside the tree
+/// keep tin = 0, which no ancestor test matches.
+void domIntervals(const std::vector<graph::VertexId>& idom,
+                  graph::VertexId root, std::vector<std::uint32_t>& tin,
+                  std::vector<std::uint32_t>& tout) {
+  const std::size_t vertices = idom.size();
+  tin.assign(vertices, 0);
+  tout.assign(vertices, 0);
+  std::vector<std::uint32_t> offsets(vertices + 1, 0);
+  for (std::size_t v = 0; v < vertices; ++v)
+    if (v != root && idom[v] != graph::kNoVertex) ++offsets[idom[v] + 1];
+  for (std::size_t v = 0; v < vertices; ++v) offsets[v + 1] += offsets[v];
+  std::vector<graph::VertexId> children(offsets[vertices]);
+  std::vector<std::uint32_t> fill(offsets.begin(), offsets.end() - 1);
+  for (std::size_t v = 0; v < vertices; ++v)
+    if (v != root && idom[v] != graph::kNoVertex)
+      children[fill[idom[v]]++] = static_cast<graph::VertexId>(v);
+
+  std::uint32_t clock = 0;
+  std::vector<std::pair<graph::VertexId, std::uint32_t>> stack;
+  stack.reserve(64);
+  stack.emplace_back(root, offsets[root]);
+  tin[root] = ++clock;
+  while (!stack.empty()) {
+    const graph::VertexId v = stack.back().first;
+    const std::uint32_t next = stack.back().second;
+    if (next < offsets[v + 1]) {
+      ++stack.back().second;  // advance before the push invalidates back()
+      const graph::VertexId c = children[next];
+      tin[c] = ++clock;
+      stack.emplace_back(c, offsets[c]);
+    } else {
+      tout[v] = clock;
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+char toChar(Verdict v) {
+  switch (v) {
+    case Verdict::Proven:
+      return 'P';
+    case Verdict::Vulnerable:
+      return 'V';
+    case Verdict::Unknown:
+      return 'U';
+  }
+  return '?';
+}
+
+Verdict verdictFromChar(char c) {
+  switch (c) {
+    case 'P':
+      return Verdict::Proven;
+    case 'V':
+      return Verdict::Vulnerable;
+    case 'U':
+      return Verdict::Unknown;
+    default:
+      throw Error(std::string("unknown verdict character '") + c + "'");
+  }
+}
+
+const char* witnessKindName(WitnessKind k) {
+  switch (k) {
+    case WitnessKind::None:
+      return "none";
+    case WitnessKind::NonCut:
+      return "non-cut";
+    case WitnessKind::StuckBenign:
+      return "stuck-benign";
+    case WitnessKind::PathStrict:
+      return "path-strict";
+    case WitnessKind::PathCleanSuffix:
+      return "path-clean-suffix";
+    case WitnessKind::PathDepthBounded:
+      return "path-depth-bounded";
+    case WitnessKind::SelfFault:
+      return "self-fault";
+    case WitnessKind::Unreachable:
+      return "unreachable";
+    case WitnessKind::DominatorCut:
+      return "dominator-cut";
+    case WitnessKind::ControlCollapse:
+      return "control-collapse";
+    case WitnessKind::GuardCut:
+      return "guard-cut";
+    case WitnessKind::Budget:
+      return "budget";
+  }
+  return "?";
+}
+
+bool crossCheckDefault() {
+#ifdef NDEBUG
+  constexpr bool kDefault = false;
+#else
+  constexpr bool kDefault = true;
+#endif
+  const char* text = std::getenv("RRSN_CERTIFY_MODE");
+  if (text == nullptr || *text == '\0') return kDefault;
+  const std::string v(text);
+  if (v == "fast") return false;
+  if (v == "checked") return true;
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "rrsn: RRSN_CERTIFY_MODE='%s' is not fast|checked; "
+                 "using '%s'\n",
+                 text, kDefault ? "checked" : "fast");
+  }
+  return kDefault;
+}
+
+// --------------------------------------------------------------- result
+
+Witness CertificationResult::witnessAt(std::size_t faultIdx, std::size_t inst,
+                                       bool isRead) const {
+  const std::uint16_t c = cell(faultIdx, inst);
+  const auto kind =
+      static_cast<WitnessKind>((c >> (isRead ? 4 : 8)) & 0xFu);
+  std::uint32_t subject = rsn::kNone;
+  switch (kind) {
+    case WitnessKind::SelfFault:
+    case WitnessKind::DominatorCut:
+    case WitnessKind::GuardCut:
+      subject = universe[faultIdx].prim;
+      break;
+    case WitnessKind::Unreachable:
+      subject = instrumentSegment[inst];
+      break;
+    case WitnessKind::ControlCollapse:
+      subject = collapsedMux[faultIdx];
+      break;
+    default:
+      break;
+  }
+  return {kind, subject};
+}
+
+Witness CertificationResult::readWitness(std::size_t faultIdx,
+                                         std::size_t inst) const {
+  return witnessAt(faultIdx, inst, /*isRead=*/true);
+}
+
+Witness CertificationResult::writeWitness(std::size_t faultIdx,
+                                          std::size_t inst) const {
+  return witnessAt(faultIdx, inst, /*isRead=*/false);
+}
+
+std::string CertificationResult::readRow(std::size_t faultIdx) const {
+  std::string row(instruments, '?');
+  for (std::size_t i = 0; i < instruments; ++i) row[i] = toChar(read(faultIdx, i));
+  return row;
+}
+
+std::string CertificationResult::writeRow(std::size_t faultIdx) const {
+  std::string row(instruments, '?');
+  for (std::size_t i = 0; i < instruments; ++i)
+    row[i] = toChar(write(faultIdx, i));
+  return row;
+}
+
+CertifySummary CertificationResult::summary() const {
+  CertifySummary s;
+  s.instruments = instruments;
+  s.faults = universe.size();
+  s.reachableInstruments = reachable.count();
+  s.fastRows = fastRowCount;
+  s.fixpointRows = fixpointRowCount;
+  s.crossCheckedRows = crossCheckedRowCount;
+  for (std::size_t fi = 0; fi < universe.size(); ++fi) {
+    for (std::size_t i = 0; i < instruments; ++i) {
+      const std::uint16_t c = cell(fi, i);
+      switch (static_cast<Verdict>(c & 3u)) {
+        case Verdict::Proven:
+          ++s.provenRead;
+          break;
+        case Verdict::Vulnerable:
+          ++s.vulnerableRead;
+          break;
+        case Verdict::Unknown:
+          ++s.unknownRead;
+          break;
+      }
+      switch (static_cast<Verdict>((c >> 2) & 3u)) {
+        case Verdict::Proven:
+          ++s.provenWrite;
+          break;
+        case Verdict::Vulnerable:
+          ++s.vulnerableWrite;
+          break;
+        case Verdict::Unknown:
+          ++s.unknownWrite;
+          break;
+      }
+      if (static_cast<WitnessKind>((c >> 4) & 0xFu) ==
+          WitnessKind::ControlCollapse)
+        ++s.controlCollapseCells;
+      if (static_cast<WitnessKind>((c >> 8) & 0xFu) ==
+          WitnessKind::ControlCollapse)
+        ++s.controlCollapseCells;
+    }
+  }
+  return s;
+}
+
+// ------------------------------------------------------------- scratch
+
+struct Certifier::Scratch {
+  std::vector<std::uint64_t> sel;
+  DynamicBitset inStrict, outStrict, inRead, outWrite;
+  DynamicBitset cleanToOut, cleanFromB, bwdFromB;
+  std::vector<graph::VertexId> queue;
+  DynamicBitset obs, set;
+  std::vector<std::uint8_t> obsMode, setMode;  ///< WitnessKind per inst
+  std::uint32_t collapsedMux = rsn::kNone;
+
+  void init(const sim::ControlView& cv) {
+    sel.assign(cv.selWordCount, 0);
+    inStrict = DynamicBitset(cv.vertexCount);
+    outStrict = DynamicBitset(cv.vertexCount);
+    inRead = DynamicBitset(cv.vertexCount);
+    outWrite = DynamicBitset(cv.vertexCount);
+    cleanToOut = DynamicBitset(cv.vertexCount);
+    cleanFromB = DynamicBitset(cv.vertexCount);
+    bwdFromB = DynamicBitset(cv.vertexCount);
+    obs = DynamicBitset(cv.instrumentVertex.size());
+    set = DynamicBitset(cv.instrumentVertex.size());
+    obsMode.assign(cv.instrumentVertex.size(), 0);
+    setMode.assign(cv.instrumentVertex.size(), 0);
+  }
+};
+
+// ----------------------------------------------------------- certifier
+
+Certifier::Certifier(const rsn::Network& net)
+    : Certifier(rsn::FlatNetwork::lower(net)) {}
+
+Certifier::Certifier(std::shared_ptr<const rsn::FlatNetwork> flat)
+    : cv_(sim::ControlView::project(std::move(flat))) {
+  buildBase();
+}
+
+void Certifier::sweep(bool forward, const std::uint64_t* sel, bool tolerate,
+                      graph::VertexId brokenV, graph::VertexId source,
+                      bool avoidCtrlRegs, DynamicBitset& visited,
+                      std::vector<graph::VertexId>& queue) const {
+  // A plain FIFO worklist — deliberately *not* the oracle's direction-
+  // optimizing hybrid BFS.  Both compute the same traversal-order-
+  // independent closure, so the engines stay independent implementations
+  // of one definition (the cross-check leans on exactly that).
+  const auto& outOff = forward ? cv_.fwdOffsets : cv_.bwdOffsets;
+  const auto& outEdges = forward ? cv_.fwdEdges : cv_.bwdEdges;
+  if (source == graph::kNoVertex) source = forward ? cv_.scanIn : cv_.scanOut;
+  visited.clearAll();
+  visited.set(source);
+  queue.clear();
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const graph::VertexId v = queue[head];
+    for (std::uint32_t i = outOff[v]; i < outOff[v + 1]; ++i) {
+      const sim::ControlView::Edge& e = outEdges[i];
+      const graph::VertexId u = e.other;
+      if (visited.test(u)) continue;
+      if (!tolerate && u == brokenV) continue;
+      if (avoidCtrlRegs && cv_.ctrlRegVertex[u] != 0) continue;
+      if (!cv_.edgeOpen(e, sel)) continue;
+      visited.set(u);
+      queue.push_back(u);
+    }
+  }
+}
+
+bool Certifier::controlFixpoint(const fault::Fault* f, graph::VertexId brokenV,
+                                std::uint64_t* sel, DynamicBitset& inStrict,
+                                Scratch& s, std::size_t budget) const {
+  // Shrink non-reset branches to those whose control register keeps a
+  // strict scan-in path over the surviving branches.  The selectable
+  // sets only ever shrink and branch 0 is never cleared, so the loop
+  // terminates in at most (total selectable bits) iterations; `budget`
+  // bounds it anyway and exhaustion surfaces as Unknown, never as a
+  // wrong verdict.
+  const std::uint32_t stuckMux =
+      f != nullptr && f->kind == fault::FaultKind::MuxStuck ? f->prim
+                                                           : rsn::kNone;
+  for (std::size_t iter = 0;; ++iter) {
+    if (iter >= budget) return false;
+    sweep(/*forward=*/true, sel, /*tolerate=*/false, brokenV,
+          graph::kNoVertex, /*avoidCtrlRegs=*/false, inStrict, s.queue);
+    bool changed = false;
+    for (const std::uint32_t m : cv_.ctrlMuxes) {
+      if (m == stuckMux) continue;
+      const bool ctrlReach = inStrict.test(cv_.muxCtrlVertex[m]);
+      const std::uint32_t off = cv_.selOffset[m];
+      const std::size_t words =
+          (static_cast<std::size_t>(cv_.muxArity[m]) + 63) / 64;
+      for (std::size_t w = 0; w < words; ++w) {
+        const std::uint64_t mask = ctrlReach
+                                       ? cv_.representableWords[off + w]
+                                       : (w == 0 ? 1ULL : 0ULL);
+        const std::uint64_t next = sel[off + w] & mask;
+        if (next != sel[off + w]) {
+          sel[off + w] = next;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) return true;
+  }
+}
+
+void Certifier::buildBase() {
+  const std::size_t vertices = cv_.vertexCount;
+  Scratch s;
+  s.init(cv_);
+
+  // Fault-free fixpoint: final selectable sets + strict reaches.
+  sel0_.assign(cv_.selWordCount, 0);
+  cv_.baseSelectable(nullptr, sel0_.data());
+  inStrict0_ = DynamicBitset(vertices);
+  const bool converged =
+      controlFixpoint(nullptr, graph::kNoVertex, sel0_.data(), inStrict0_, s,
+                      static_cast<std::size_t>(-1));
+  RRSN_CHECK(converged, "unbudgeted fixpoint must converge");
+  outStrict0_ = DynamicBitset(vertices);
+  sweep(/*forward=*/false, sel0_.data(), /*tolerate=*/false,
+        graph::kNoVertex, graph::kNoVertex, /*avoidCtrlRegs=*/false,
+        outStrict0_, s.queue);
+
+  accessible0_ = DynamicBitset(cv_.instrumentVertex.size());
+  for (std::size_t i = 0; i < cv_.instrumentVertex.size(); ++i) {
+    const graph::VertexId v = cv_.instrumentVertex[i];
+    if (inStrict0_.test(v) && outStrict0_.test(v)) accessible0_.set(i);
+  }
+
+  // Topological order of the full data graph (Kahn, FIFO seeded in id
+  // order — deterministic).  Any topo order of the DAG orders every
+  // subgraph, so one order serves both dominator passes.
+  std::vector<std::uint32_t> indeg(vertices);
+  for (std::size_t v = 0; v < vertices; ++v)
+    indeg[v] = cv_.bwdOffsets[v + 1] - cv_.bwdOffsets[v];
+  std::vector<graph::VertexId> order;
+  order.reserve(vertices);
+  for (std::size_t v = 0; v < vertices; ++v)
+    if (indeg[v] == 0) order.push_back(static_cast<graph::VertexId>(v));
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const graph::VertexId v = order[head];
+    for (std::uint32_t i = cv_.fwdOffsets[v]; i < cv_.fwdOffsets[v + 1]; ++i) {
+      const graph::VertexId u = cv_.fwdEdges[i].other;
+      if (--indeg[u] == 0) order.push_back(u);
+    }
+  }
+  RRSN_CHECK(order.size() == vertices, "data graph must be acyclic");
+  topoIdx_.assign(vertices, 0);
+  rtopoIdx_.assign(vertices, 0);
+  for (std::size_t k = 0; k < vertices; ++k) {
+    topoIdx_[order[k]] = static_cast<std::uint32_t>(k);
+    rtopoIdx_[order[k]] = static_cast<std::uint32_t>(vertices - 1 - k);
+  }
+
+  // Immediate dominators over the *open* subgraph (edges admissible
+  // under the final fault-free sets, vertices in the strict reach).
+  // One topo-ordered pass suffices on a DAG: every predecessor is
+  // final before its successor is visited.
+  idom_.assign(vertices, graph::kNoVertex);
+  idom_[cv_.scanIn] = cv_.scanIn;
+  for (std::size_t k = 0; k < vertices; ++k) {
+    const graph::VertexId v = order[k];
+    if (v == cv_.scanIn || !inStrict0_.test(v)) continue;
+    graph::VertexId cand = graph::kNoVertex;
+    for (std::uint32_t i = cv_.bwdOffsets[v]; i < cv_.bwdOffsets[v + 1]; ++i) {
+      const sim::ControlView::Edge& e = cv_.bwdEdges[i];
+      const graph::VertexId u = e.other;
+      if (!inStrict0_.test(u) || idom_[u] == graph::kNoVertex) continue;
+      if (!cv_.edgeOpen(e, sel0_.data())) continue;
+      cand = cand == graph::kNoVertex ? u : intersect(cand, u, idom_, topoIdx_);
+    }
+    idom_[v] = cand;
+  }
+
+  // Immediate post-dominators: the same pass on the transposed open
+  // subgraph, rooted at scan-out, in reverse topological order.
+  ipdom_.assign(vertices, graph::kNoVertex);
+  ipdom_[cv_.scanOut] = cv_.scanOut;
+  for (std::size_t k = vertices; k-- > 0;) {
+    const graph::VertexId v = order[k];
+    if (v == cv_.scanOut || !outStrict0_.test(v)) continue;
+    graph::VertexId cand = graph::kNoVertex;
+    for (std::uint32_t i = cv_.fwdOffsets[v]; i < cv_.fwdOffsets[v + 1]; ++i) {
+      const sim::ControlView::Edge& e = cv_.fwdEdges[i];
+      const graph::VertexId u = e.other;
+      if (!outStrict0_.test(u) || ipdom_[u] == graph::kNoVertex) continue;
+      if (!cv_.edgeOpen(e, sel0_.data())) continue;
+      cand =
+          cand == graph::kNoVertex ? u : intersect(cand, u, ipdom_, rtopoIdx_);
+    }
+    ipdom_[v] = cand;
+  }
+
+  domIntervals(idom_, cv_.scanIn, domTin_, domTout_);
+  domIntervals(ipdom_, cv_.scanOut, pdomTin_, pdomTout_);
+
+  // Control-critical set: every vertex that dominates some reachable
+  // control register.  A break off this set provably leaves the control
+  // fixpoint at the fault-free solution (the severed vertex cuts no
+  // register's last scan-in path).  Chains share suffixes, so each walk
+  // stops at the first already-marked vertex.
+  ctrlCritical_ = DynamicBitset(vertices);
+  for (const std::uint32_t m : cv_.ctrlMuxes) {
+    graph::VertexId v = cv_.muxCtrlVertex[m];
+    if (!inStrict0_.test(v)) continue;
+    while (!ctrlCritical_.test(v)) {
+      ctrlCritical_.set(v);
+      if (v == cv_.scanIn) break;
+      v = idom_[v];
+    }
+  }
+
+  // Stuck-safety masks: branch b of mux m is safe iff pinning the mux
+  // to {b} flips no guard decision taken under the fault-free final
+  // sets — then the per-fault fixpoint provably converges to the same
+  // solution and the whole row equals the fault-free row.
+  const std::size_t muxes = cv_.muxArity.size();
+  stuckSafe_.assign(cv_.selWordCount, 0);
+  std::size_t maxWords = 0;
+  for (std::size_t m = 0; m < muxes; ++m) {
+    const std::uint32_t off = cv_.selOffset[m];
+    const std::size_t arity = cv_.muxArity[m];
+    const std::size_t words = (arity + 63) / 64;
+    maxWords = std::max(maxWords, words);
+    for (std::size_t w = 0; w < words; ++w) {
+      const bool tail = w == words - 1 && arity % 64 != 0;
+      stuckSafe_[off + w] = tail ? (1ULL << (arity % 64)) - 1 : ~0ULL;
+    }
+  }
+  std::vector<std::uint64_t> poolWords(maxWords);
+  for (const sim::ControlView::Edge& e : cv_.fwdEdges) {
+    if (e.mux == rsn::kNone) continue;
+    const std::uint32_t off = cv_.selOffset[e.mux];
+    const std::size_t words =
+        (static_cast<std::size_t>(cv_.muxArity[e.mux]) + 63) / 64;
+    std::fill(poolWords.begin(),
+              poolWords.begin() + static_cast<std::ptrdiff_t>(words), 0);
+    for (std::uint32_t i = e.branchBegin; i < e.branchEnd; ++i) {
+      const std::uint32_t b = cv_.branchPool[i];
+      poolWords[b >> 6] |= 1ULL << (b & 63);
+    }
+    const bool open0 = cv_.edgeOpen(e, sel0_.data());
+    for (std::size_t w = 0; w < words; ++w)
+      stuckSafe_[off + w] &= open0 ? poolWords[w] : ~poolWords[w];
+  }
+}
+
+bool Certifier::domAncestor(graph::VertexId a, graph::VertexId v) const {
+  return domTin_[a] != 0 && domTin_[v] != 0 && domTin_[a] <= domTin_[v] &&
+         domTout_[v] <= domTout_[a];
+}
+
+bool Certifier::pdomAncestor(graph::VertexId a, graph::VertexId v) const {
+  return pdomTin_[a] != 0 && pdomTin_[v] != 0 && pdomTin_[a] <= pdomTin_[v] &&
+         pdomTout_[v] <= pdomTout_[a];
+}
+
+bool Certifier::tryFastRow(const fault::Fault& f,
+                           std::uint16_t* rowCells) const {
+  const std::size_t instruments = cv_.instrumentVertex.size();
+  if (f.kind == fault::FaultKind::SegmentBreak) {
+    const rsn::SegmentId seg = f.prim;
+    const graph::VertexId v = cv_.segmentVertex[seg];
+    // A broken control register poisons its mux's address whenever the
+    // region is walked (the clean-suffix carve-out), and a break that
+    // dominates a reachable control register can shrink the fixpoint —
+    // both need the slow tier.
+    if (cv_.segmentControlsMux(seg)) return false;
+    if (ctrlCritical_.test(v)) return false;
+    for (std::size_t i = 0; i < instruments; ++i) {
+      const graph::VertexId u = cv_.instrumentVertex[i];
+      if (u == v || !accessible0_.test(i)) continue;
+      if (domAncestor(v, u) || pdomAncestor(v, u)) return false;
+    }
+    // Sound now: the fixpoint stays at the fault-free solution and no
+    // accessible instrument loses its strict path, so the oracle row
+    // equals the fault-free row (breaks only ever shrink reaches).
+    for (std::size_t i = 0; i < instruments; ++i) {
+      const graph::VertexId u = cv_.instrumentVertex[i];
+      if (u == v)
+        rowCells[i] = packCell(Verdict::Vulnerable, WitnessKind::SelfFault,
+                               Verdict::Vulnerable, WitnessKind::SelfFault);
+      else if (accessible0_.test(i))
+        rowCells[i] = packCell(Verdict::Proven, WitnessKind::NonCut,
+                               Verdict::Proven, WitnessKind::NonCut);
+      else
+        rowCells[i] =
+            packCell(Verdict::Vulnerable, WitnessKind::Unreachable,
+                     Verdict::Vulnerable, WitnessKind::Unreachable);
+    }
+    return true;
+  }
+
+  // MuxStuck: safe iff the pinned branch leaves every guard decision of
+  // this mux unchanged — the row equals the fault-free row.  (The
+  // converse is *not* monotone: an unsafe stuck branch can also expand
+  // accessibility, because the stuck mux is exempt from the fixpoint's
+  // reset pinning; those rows go to the slow tier.)
+  const std::uint32_t off = cv_.selOffset[f.prim];
+  const std::uint32_t b = f.stuckBranch;
+  if (((stuckSafe_[off + (b >> 6)] >> (b & 63)) & 1) == 0) return false;
+  for (std::size_t i = 0; i < instruments; ++i) {
+    if (accessible0_.test(i))
+      rowCells[i] = packCell(Verdict::Proven, WitnessKind::StuckBenign,
+                             Verdict::Proven, WitnessKind::StuckBenign);
+    else
+      rowCells[i] = packCell(Verdict::Vulnerable, WitnessKind::Unreachable,
+                             Verdict::Vulnerable, WitnessKind::Unreachable);
+  }
+  return true;
+}
+
+bool Certifier::analyzeRow(const fault::Fault& f, Scratch& s,
+                           std::size_t budget) const {
+  // The slow tier replays the syndrome oracle's exact access-mode
+  // composition (see diag/batched.cpp for the physics derivation):
+  // strict, then — for breaks at non-control segments — clean-suffix,
+  // then depth-bounded, OR-ing per-instrument bits and recording the
+  // first mode that proved each direction.
+  const bool isBreak = f.kind == fault::FaultKind::SegmentBreak;
+  const graph::VertexId brokenV =
+      isBreak ? cv_.segmentVertex[f.prim] : graph::kNoVertex;
+  const std::size_t instruments = cv_.instrumentVertex.size();
+
+  s.obs.clearAll();
+  s.set.clearAll();
+  std::fill(s.obsMode.begin(), s.obsMode.end(),
+            static_cast<std::uint8_t>(WitnessKind::None));
+  std::fill(s.setMode.begin(), s.setMode.end(),
+            static_cast<std::uint8_t>(WitnessKind::None));
+  s.collapsedMux = rsn::kNone;
+
+  cv_.baseSelectable(&f, s.sel.data());
+  if (!controlFixpoint(&f, brokenV, s.sel.data(), s.inStrict, s, budget))
+    return false;
+
+  // Property (3) witness: the first control mux that lost selectable
+  // branches relative to the fault-free solution.  (Recorded before the
+  // depth-bounded stage shrinks the sets for its own reason.)  A stuck
+  // mux's own pinning is the fault, not a collapse.
+  for (const std::uint32_t m : cv_.ctrlMuxes) {
+    if (!isBreak && m == f.prim) continue;
+    const std::uint32_t off = cv_.selOffset[m];
+    const std::size_t words =
+        (static_cast<std::size_t>(cv_.muxArity[m]) + 63) / 64;
+    for (std::size_t w = 0; w < words; ++w) {
+      if ((sel0_[off + w] & ~s.sel[off + w]) != 0) {
+        s.collapsedMux = m;
+        break;
+      }
+    }
+    if (s.collapsedMux != rsn::kNone) break;
+  }
+
+  sweep(/*forward=*/false, s.sel.data(), /*tolerate=*/false, brokenV,
+        graph::kNoVertex, /*avoidCtrlRegs=*/false, s.outStrict, s.queue);
+
+  const auto emit = [&](const DynamicBitset& inRead,
+                        const DynamicBitset& outStrict,
+                        const DynamicBitset& inStrict,
+                        const DynamicBitset& outWrite, WitnessKind mode) {
+    for (std::size_t i = 0; i < instruments; ++i) {
+      const graph::VertexId v = cv_.instrumentVertex[i];
+      if (v == brokenV) continue;  // the instrument's own segment is dead
+      if (inRead.test(v) && outStrict.test(v) && !s.obs.test(i)) {
+        s.obs.set(i);
+        s.obsMode[i] = static_cast<std::uint8_t>(mode);
+      }
+      if (inStrict.test(v) && outWrite.test(v) && !s.set.test(i)) {
+        s.set.set(i);
+        s.setMode[i] = static_cast<std::uint8_t>(mode);
+      }
+    }
+  };
+
+  if (brokenV == graph::kNoVertex) {
+    // Mux-stuck rows have no broken vertex: strict mode is the whole
+    // story (break-tolerant reaches equal the strict ones).
+    emit(s.inStrict, s.outStrict, s.inStrict, s.outStrict,
+         WitnessKind::PathStrict);
+    return true;
+  }
+
+  emit(s.inStrict, s.outStrict, s.inStrict, s.outStrict,
+       WitnessKind::PathStrict);
+
+  sweep(/*forward=*/true, s.sel.data(), /*tolerate=*/true, brokenV,
+        graph::kNoVertex, /*avoidCtrlRegs=*/false, s.inRead, s.queue);
+  sweep(/*forward=*/false, s.sel.data(), /*tolerate=*/true, brokenV,
+        graph::kNoVertex, /*avoidCtrlRegs=*/false, s.outWrite, s.queue);
+
+  if (!cv_.segmentControlsMux(f.prim)) {
+    sweep(/*forward=*/false, s.sel.data(), /*tolerate=*/true, brokenV,
+          graph::kNoVertex, /*avoidCtrlRegs=*/true, s.cleanToOut, s.queue);
+    const bool writeSuffixOk = s.cleanToOut.test(brokenV);
+    const bool readPrefixOk = s.inRead.test(brokenV);
+    if (writeSuffixOk) {
+      sweep(/*forward=*/false, s.sel.data(), /*tolerate=*/true, brokenV,
+            brokenV, /*avoidCtrlRegs=*/false, s.bwdFromB, s.queue);
+    }
+    if (readPrefixOk) {
+      sweep(/*forward=*/true, s.sel.data(), /*tolerate=*/true, brokenV,
+            brokenV, /*avoidCtrlRegs=*/true, s.cleanFromB, s.queue);
+    }
+    if (writeSuffixOk || readPrefixOk) {
+      for (std::size_t i = 0; i < instruments; ++i) {
+        const graph::VertexId v = cv_.instrumentVertex[i];
+        if (v == brokenV) continue;
+        if (readPrefixOk && s.cleanFromB.test(v) && s.cleanToOut.test(v) &&
+            !s.obs.test(i)) {
+          s.obs.set(i);
+          s.obsMode[i] =
+              static_cast<std::uint8_t>(WitnessKind::PathCleanSuffix);
+        }
+        if (writeSuffixOk && s.inStrict.test(v) && s.bwdFromB.test(v) &&
+            !s.set.test(i)) {
+          s.set.set(i);
+          s.setMode[i] =
+              static_cast<std::uint8_t>(WitnessKind::PathCleanSuffix);
+        }
+      }
+    }
+  }
+
+  cv_.limitDemandDepth(cv_.segDepth[f.prim], s.sel.data());
+  if (!controlFixpoint(&f, brokenV, s.sel.data(), s.inStrict, s, budget))
+    return false;
+  sweep(/*forward=*/false, s.sel.data(), /*tolerate=*/false, brokenV,
+        graph::kNoVertex, /*avoidCtrlRegs=*/false, s.outStrict, s.queue);
+  sweep(/*forward=*/true, s.sel.data(), /*tolerate=*/true, brokenV,
+        graph::kNoVertex, /*avoidCtrlRegs=*/false, s.inRead, s.queue);
+  sweep(/*forward=*/false, s.sel.data(), /*tolerate=*/true, brokenV,
+        graph::kNoVertex, /*avoidCtrlRegs=*/false, s.outWrite, s.queue);
+  emit(s.inRead, s.outStrict, s.inStrict, s.outWrite,
+       WitnessKind::PathDepthBounded);
+  return true;
+}
+
+CertificationResult Certifier::run(const CertifyOptions& options) const {
+  RRSN_OBS_SPAN("verify.certify");
+  obs::count(kCertifyCalls);
+
+  const rsn::FlatNetwork& flat = *cv_.flat;
+  const std::size_t segments = flat.segmentCount();
+  const std::size_t muxes = flat.muxCount();
+  const std::size_t instruments = flat.instrumentCount();
+  if (!options.excludePrimitives.empty()) {
+    RRSN_CHECK(options.excludePrimitives.size() == segments + muxes,
+               "excludePrimitives must be sized segments + muxes");
+  }
+  if (options.crossCheck) {
+    RRSN_CHECK(options.crossCheckSampleEvery > 0,
+               "crossCheckSampleEvery must be positive");
+  }
+  const auto excluded = [&](std::size_t linear) {
+    return !options.excludePrimitives.empty() &&
+           options.excludePrimitives.test(linear);
+  };
+
+  CertificationResult result;
+  result.instruments = instruments;
+  result.reachable = accessible0_;
+  result.instrumentSegment.assign(flat.instrumentSegment().begin(),
+                                  flat.instrumentSegment().end());
+  for (std::size_t s = 0; s < segments; ++s)
+    if (!excluded(s))
+      result.universe.push_back(
+          fault::Fault::segmentBreak(static_cast<rsn::SegmentId>(s)));
+  for (std::size_t m = 0; m < muxes; ++m) {
+    if (excluded(segments + m)) continue;
+    for (std::uint32_t b = 0; b < cv_.muxArity[m]; ++b)
+      result.universe.push_back(
+          fault::Fault::muxStuck(static_cast<rsn::MuxId>(m), b));
+  }
+  const std::size_t faults = result.universe.size();
+  result.cells.assign(faults * instruments, 0);
+  result.collapsedMux.assign(faults, rsn::kNone);
+  obs::sample(kUniverseFaults, faults);
+
+  std::unique_ptr<diag::BatchedSyndromeEngine> oracle;
+  if (options.crossCheck)
+    oracle = std::make_unique<diag::BatchedSyndromeEngine>(cv_.flat);
+
+  std::vector<Scratch> scratch(threadCount());
+  for (Scratch& s : scratch) s.init(cv_);
+
+  std::atomic<std::size_t> fastRows{0}, slowRows{0}, checkedRows{0};
+  std::atomic<std::size_t> unknownCells{0};
+  std::mutex divergenceMu;
+  std::vector<std::string> divergences;
+
+  parallelForChunks(
+      faults,
+      [&](std::size_t begin, std::size_t end, std::size_t worker) {
+        Scratch& s = scratch[worker];
+        for (std::size_t fi = begin; fi < end; ++fi) {
+          const fault::Fault& f = result.universe[fi];
+          std::uint16_t* row = result.cells.data() + fi * instruments;
+          bool rowUnknown = false;
+          if (tryFastRow(f, row)) {
+            fastRows.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            slowRows.fetch_add(1, std::memory_order_relaxed);
+            if (!analyzeRow(f, s, options.fixpointBudget)) {
+              rowUnknown = true;
+              unknownCells.fetch_add(2 * instruments,
+                                     std::memory_order_relaxed);
+              for (std::size_t i = 0; i < instruments; ++i)
+                row[i] = kUnknownCell;
+            } else {
+              result.collapsedMux[fi] = s.collapsedMux;
+              const graph::VertexId brokenV =
+                  f.kind == fault::FaultKind::SegmentBreak
+                      ? cv_.segmentVertex[f.prim]
+                      : graph::kNoVertex;
+              for (std::size_t i = 0; i < instruments; ++i) {
+                const graph::VertexId u = cv_.instrumentVertex[i];
+                const auto vuln = [&]() -> WitnessKind {
+                  if (u == brokenV) return WitnessKind::SelfFault;
+                  if (!accessible0_.test(i)) return WitnessKind::Unreachable;
+                  if (brokenV != graph::kNoVertex &&
+                      (domAncestor(brokenV, u) || pdomAncestor(brokenV, u)))
+                    return WitnessKind::DominatorCut;
+                  if (s.collapsedMux != rsn::kNone)
+                    return WitnessKind::ControlCollapse;
+                  return WitnessKind::GuardCut;
+                };
+                Verdict rv, wv;
+                WitnessKind rk, wk;
+                if (s.obs.test(i)) {
+                  rv = Verdict::Proven;
+                  rk = static_cast<WitnessKind>(s.obsMode[i]);
+                } else {
+                  rv = Verdict::Vulnerable;
+                  rk = vuln();
+                }
+                if (s.set.test(i)) {
+                  wv = Verdict::Proven;
+                  wk = static_cast<WitnessKind>(s.setMode[i]);
+                } else {
+                  wv = Verdict::Vulnerable;
+                  wk = vuln();
+                }
+                row[i] = packCell(rv, rk, wv, wk);
+              }
+            }
+          }
+
+          if (oracle == nullptr || rowUnknown) continue;
+          bool hasVulnerable = false;
+          for (std::size_t i = 0; i < instruments && !hasVulnerable; ++i)
+            hasVulnerable = (row[i] & 3u) == 1u || ((row[i] >> 2) & 3u) == 1u;
+          if (!hasVulnerable && fi % options.crossCheckSampleEvery != 0)
+            continue;
+          checkedRows.fetch_add(1, std::memory_order_relaxed);
+          const campaign::Expectation expect =
+              campaign::expectedAccessibility(*oracle, instruments, f, worker);
+          for (std::size_t i = 0; i < instruments; ++i) {
+            const bool provenRead = (row[i] & 3u) == 0u;
+            const bool provenWrite = ((row[i] >> 2) & 3u) == 0u;
+            if (provenRead == expect.observable.test(i) &&
+                provenWrite == expect.settable.test(i))
+              continue;
+            std::string msg =
+                "fault #" + std::to_string(fi) + " instrument #" +
+                std::to_string(i) + ": certifier " +
+                std::string(1, toChar(static_cast<Verdict>(row[i] & 3u))) +
+                std::string(
+                    1, toChar(static_cast<Verdict>((row[i] >> 2) & 3u))) +
+                " vs oracle " + (expect.observable.test(i) ? "A" : "L") +
+                (expect.settable.test(i) ? "A" : "L");
+            const std::lock_guard<std::mutex> lock(divergenceMu);
+            divergences.push_back(std::move(msg));
+          }
+        }
+      },
+      /*grain=*/1);
+
+  if (!divergences.empty()) {
+    std::sort(divergences.begin(), divergences.end());
+    std::string what = "certifier cross-check diverged from the syndrome "
+                       "oracle on " +
+                       std::to_string(divergences.size()) + " verdict(s):";
+    const std::size_t shown = std::min<std::size_t>(divergences.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i) what += "\n  " + divergences[i];
+    throw Error(what);
+  }
+
+  result.fastRowCount = fastRows.load();
+  result.fixpointRowCount = slowRows.load();
+  result.crossCheckedRowCount = checkedRows.load();
+  obs::count(kRowsFast, result.fastRowCount);
+  obs::count(kRowsFixpoint, result.fixpointRowCount);
+  obs::count(kRowsCrossChecked, result.crossCheckedRowCount);
+  if (const std::size_t u = unknownCells.load()) obs::count(kCellsUnknown, u);
+  return result;
+}
+
+}  // namespace rrsn::verify

@@ -1,0 +1,287 @@
+// Static robustness certifier: a flow-sensitive fixpoint dataflow
+// engine over the flat arena (rsn::FlatNetwork) that *proves* — without
+// simulation — the paper's robustness claim per instrument:
+//
+//  (1) reachability       — a satisfiable control assignment exists
+//                           that puts the instrument on the active scan
+//                           path (the fault-free fixpoint's strict
+//                           forward ∩ backward reach);
+//  (2) single-fault
+//      accessibility      — for every structural fault in the universe,
+//                           either the fault provably cannot sever all
+//                           of the instrument's access paths (dominator
+//                           /cut analysis over the guarded-CSR data
+//                           graph), or the surviving access mode is
+//                           named, or a concrete severing witness is
+//                           produced;
+//  (3) control-safety     — no control register that gates the access
+//                           is itself only reachable through what the
+//                           same fault severs (a shrinking fixpoint
+//                           over the control-dependency structure; a
+//                           collapse is witnessed by the mux whose
+//                           selectable set shrank).
+//
+// Verdict lattice per (fault, instrument, direction):
+//
+//          Unknown            (fixpoint budget exhausted; bounded and
+//         /       \            counted, never silently dropped)
+//      Proven   Vulnerable    (each carrying a witness)
+//
+// The engine has two tiers.  The *fast tier* decides whole fault rows
+// from the fault-free analysis alone: a segment break whose vertex
+// controls no mux, is not control-critical (does not dominate any
+// reachable control register) and neither dominates nor post-dominates
+// any accessible instrument cannot change the control fixpoint or cut
+// any access — the row equals the fault-free row.  Likewise a mux
+// stuck on a branch that leaves every guard decision of that mux
+// unchanged under the fault-free selectable sets.  The *slow tier*
+// replays the exact access-mode composition of the batched syndrome
+// oracle (strict / clean-suffix / depth-bounded; see diag/batched.cpp)
+// with an independent plain-BFS sweep and a budgeted control fixpoint —
+// so certifier verdicts are definitionally comparable to
+// campaign::expectedAccessibility, and the cross-check mode replays
+// Vulnerable rows and sampled Proven rows through the oracle engine,
+// treating any divergence as a hard error.
+//
+// Determinism: every cell depends only on its fault index; the per-
+// fault fan-out uses the deterministic chunk grid, so results (and all
+// serialized reports) are byte-identical at any RRSN_THREADS.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "rsn/flat.hpp"
+#include "rsn/network.hpp"
+#include "sim/control_view.hpp"
+#include "support/bitset.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace rrsn::verify {
+
+enum class Verdict : std::uint8_t { Proven = 0, Vulnerable = 1, Unknown = 2 };
+
+/// 'P' / 'V' / 'U' — the per-instrument encoding used in reports and
+/// cached artifacts.
+char toChar(Verdict v);
+Verdict verdictFromChar(char c);
+
+/// Why a verdict holds.  Proven kinds name the surviving structure,
+/// Vulnerable kinds the severing one, Budget the bounded give-up.
+enum class WitnessKind : std::uint8_t {
+  None = 0,          ///< padding default (never emitted for a cell)
+  // ------------------------------------------------------- Proven
+  NonCut,            ///< fast tier: fault site off every access cut
+  StuckBenign,       ///< fast tier: stuck branch changes no guard
+  PathStrict,        ///< a strict (fault-avoiding) access path survives
+  PathCleanSuffix,   ///< survives via the clean-suffix access mode
+  PathDepthBounded,  ///< survives via the depth-bounded access mode
+  // --------------------------------------------------- Vulnerable
+  SelfFault,         ///< the instrument's own segment is the fault site
+  Unreachable,       ///< inaccessible even fault-free (property 1 fails)
+  DominatorCut,      ///< fault site dominates/post-dominates the access
+  ControlCollapse,   ///< a gating control register loses its last path
+  GuardCut,          ///< selectable-set shrink closes every guard
+  // ------------------------------------------------------ Unknown
+  Budget,            ///< control fixpoint iteration budget exhausted
+};
+
+/// Stable kebab-case name ("dominator-cut", ...) for reports.
+const char* witnessKindName(WitnessKind k);
+
+/// One materialized witness.  `subject` is kind-dependent: the severing
+/// segment for SelfFault/DominatorCut/GuardCut, the collapsed mux for
+/// ControlCollapse, the instrument's own segment for Unreachable,
+/// rsn::kNone otherwise.
+struct Witness {
+  WitnessKind kind = WitnessKind::None;
+  std::uint32_t subject = rsn::kNone;
+
+  bool operator==(const Witness&) const = default;
+};
+
+/// Certification knobs.
+struct CertifyOptions {
+  /// Faults located at these primitives (by Network::linearId: segments
+  /// in [0, S), muxes in [S, S + M)) are excluded — a hardened
+  /// primitive cannot fail.  Empty = the full single-fault universe.
+  DynamicBitset excludePrimitives;
+  /// Iteration budget of each per-fault control fixpoint.  Exhaustion
+  /// yields Unknown(Budget) for the whole row — counted, never hidden.
+  /// The fixpoint shrinks a finite set monotonically, so any budget
+  /// >= the control-nesting depth terminates with a proof; the default
+  /// is far above every realistic nesting.
+  std::size_t fixpointBudget = 1024;
+  /// Replay every row containing a Vulnerable verdict, and every
+  /// crossCheckSampleEvery-th row regardless, through the batched
+  /// syndrome oracle; any divergence throws support::Error.  See
+  /// crossCheckDefault() for the environment policy.
+  bool crossCheck = false;
+  std::size_t crossCheckSampleEvery = 16;
+};
+
+/// RRSN_CERTIFY_MODE=fast|checked; unset defaults to checked in debug
+/// builds and fast in release builds (the dictionary-verify pattern).
+bool crossCheckDefault();
+
+/// Aggregate counters over one certification.
+struct CertifySummary {
+  std::size_t instruments = 0;
+  std::size_t faults = 0;
+  std::size_t reachableInstruments = 0;  ///< property (1)
+  std::size_t provenRead = 0, provenWrite = 0;
+  std::size_t vulnerableRead = 0, vulnerableWrite = 0;
+  std::size_t unknownRead = 0, unknownWrite = 0;
+  std::size_t fastRows = 0;      ///< rows decided by the fast tier
+  std::size_t fixpointRows = 0;  ///< rows that ran the slow tier
+  std::size_t controlCollapseCells = 0;  ///< property (3) violations
+  std::size_t crossCheckedRows = 0;
+
+  std::size_t unknownCells() const { return unknownRead + unknownWrite; }
+};
+
+/// Full certification state: the (filtered) fault universe in canonical
+/// order plus one packed cell per (fault, instrument).
+class CertificationResult {
+ public:
+  /// Canonical fault order: one SegmentBreak per non-excluded segment
+  /// in id order, then one MuxStuck per non-excluded (mux, branch).
+  std::vector<fault::Fault> universe;
+  std::size_t instruments = 0;
+  /// Property (1) per instrument: accessible under the fault-free
+  /// control fixpoint.
+  DynamicBitset reachable;
+
+  Verdict read(std::size_t faultIdx, std::size_t inst) const {
+    return static_cast<Verdict>(cell(faultIdx, inst) & 3u);
+  }
+  Verdict write(std::size_t faultIdx, std::size_t inst) const {
+    return static_cast<Verdict>((cell(faultIdx, inst) >> 2) & 3u);
+  }
+  Witness readWitness(std::size_t faultIdx, std::size_t inst) const;
+  Witness writeWitness(std::size_t faultIdx, std::size_t inst) const;
+
+  CertifySummary summary() const;
+
+  /// "PVU..." strings (one char per instrument) for row `faultIdx`.
+  std::string readRow(std::size_t faultIdx) const;
+  std::string writeRow(std::size_t faultIdx) const;
+
+  // ------------------------------------------------- packed internals
+  // One cell per (fault, instrument), row-major: bits 0-1 read verdict,
+  // 2-3 write verdict, 4-7 read witness kind, 8-11 write witness kind.
+  // Witness *subjects* are derivable (fault site, instrument segment,
+  // or the per-row collapsed mux), so cells stay 2 bytes and a full
+  // MBIST-class universe certifies in memory comparable to its fault
+  // dictionary.
+  std::vector<std::uint16_t> cells;
+  /// Per-fault: first control mux whose selectable set collapsed under
+  /// the fault (kNone when the control fixpoint matched fault-free).
+  std::vector<std::uint32_t> collapsedMux;
+  /// Per-instrument hosting segment (witness subjects for Unreachable).
+  std::vector<std::uint32_t> instrumentSegment;
+  /// Tier accounting, filled by Certifier::run (not derivable from the
+  /// cells): rows decided by the fast tier, rows that ran the slow
+  /// tier, and rows replayed through the syndrome oracle.
+  std::size_t fastRowCount = 0;
+  std::size_t fixpointRowCount = 0;
+  std::size_t crossCheckedRowCount = 0;
+
+  std::uint16_t cell(std::size_t faultIdx, std::size_t inst) const {
+    return cells[faultIdx * instruments + inst];
+  }
+
+ private:
+  Witness witnessAt(std::size_t faultIdx, std::size_t inst,
+                    bool isRead) const;
+};
+
+/// The certifier.  Construction runs the fault-free base analysis
+/// (final selectable sets, strict reaches, topological order of the
+/// open subgraph, immediate dominators and post-dominators with DFS
+/// interval numbering, the control-critical vertex set, and per-
+/// (mux, branch) stuck-safety masks); run() fans the per-fault tiers
+/// out over the thread pool.
+class Certifier {
+ public:
+  explicit Certifier(const rsn::Network& net);
+  explicit Certifier(std::shared_ptr<const rsn::FlatNetwork> flat);
+
+  /// Certifies the (filtered) single-fault universe.  Throws
+  /// support::Error on cross-check divergence or malformed options.
+  CertificationResult run(const CertifyOptions& options = {}) const;
+
+  const rsn::FlatNetwork& flat() const { return *cv_.flat; }
+
+ private:
+  struct Scratch;
+
+  void buildBase();
+
+  void sweep(bool forward, const std::uint64_t* sel, bool tolerate,
+             graph::VertexId brokenV, graph::VertexId source,
+             bool avoidCtrlRegs, DynamicBitset& visited,
+             std::vector<graph::VertexId>& queue) const;
+
+  /// Budgeted control fixpoint; leaves `inStrict` = strict forward
+  /// reach under the final sets.  Returns false when `budget`
+  /// iterations did not reach the fixpoint.
+  bool controlFixpoint(const fault::Fault* f, graph::VertexId brokenV,
+                       std::uint64_t* sel, DynamicBitset& inStrict,
+                       Scratch& s, std::size_t budget) const;
+
+  /// Slow tier: the oracle's exact access-mode composition.  Fills
+  /// s.obs / s.set and the per-instrument first-proving mode bytes;
+  /// returns false on budget exhaustion (row is Unknown).
+  bool analyzeRow(const fault::Fault& f, Scratch& s,
+                  std::size_t budget) const;
+
+  /// Fast tier: decides the whole row from the base analysis when
+  /// sound; returns false when the row needs the slow tier.
+  bool tryFastRow(const fault::Fault& f, std::uint16_t* rowCells) const;
+
+  bool domAncestor(graph::VertexId a, graph::VertexId v) const;
+  bool pdomAncestor(graph::VertexId a, graph::VertexId v) const;
+
+  sim::ControlView cv_;
+
+  // ------------------------------------------------ fault-free base
+  std::vector<std::uint64_t> sel0_;   ///< final fault-free selectable sets
+  DynamicBitset inStrict0_, outStrict0_;
+  DynamicBitset accessible0_;         ///< per instrument (property 1)
+  std::vector<std::uint32_t> topoIdx_, rtopoIdx_;
+  std::vector<graph::VertexId> idom_, ipdom_;
+  std::vector<std::uint32_t> domTin_, domTout_, pdomTin_, pdomTout_;
+  DynamicBitset ctrlCritical_;        ///< dominates a reachable ctrl reg
+  std::vector<std::uint64_t> stuckSafe_;  ///< sel-layout (mux, branch) mask
+};
+
+// ------------------------------------------------------------ reports
+
+/// Two-row (read / write) verdict tally for CLI output.
+TextTable summaryTable(const CertifySummary& s);
+
+/// Itemization of the first `limit` Vulnerable / Unknown cells, with
+/// witness names resolved against the network.
+TextTable vulnerabilityTable(const rsn::Network& net,
+                             const CertificationResult& result,
+                             std::size_t limit = 20);
+
+/// Canonical JSON document (sorted keys, no timestamps): summary,
+/// per-instrument reachability, per-fault verdict rows, itemized
+/// witnesses.  Byte-equality of two reports proves determinism.
+json::Value reportJson(const rsn::Network& net,
+                       const CertificationResult& result);
+
+/// SARIF 2.1.0 document via the shared emitter: verify.unreachable /
+/// verify.single-fault / verify.control-safety / verify.unknown rules,
+/// one result per affected (fault, instrument).
+json::Value sarifReport(const rsn::Network& net,
+                        const CertificationResult& result,
+                        const std::string& artifactUri);
+
+}  // namespace rrsn::verify

@@ -6,6 +6,10 @@
 
 #include <algorithm>
 
+#include "benchgen/generators.hpp"
+#include "benchgen/registry.hpp"
+#include "campaign/campaign.hpp"
+#include "diag/batched.hpp"
 #include "graph/digraph.hpp"
 #include "lint/lint.hpp"
 #include "rsn/flat.hpp"
@@ -13,7 +17,9 @@
 #include "rsn/spec.hpp"
 #include "sim/simulator.hpp"
 #include "sp/decomposition.hpp"
+#include "support/parallel.hpp"
 #include "test_util.hpp"
+#include "verify/certifier.hpp"
 
 namespace rrsn {
 namespace {
@@ -237,6 +243,79 @@ TEST_P(FlatRoundTrip, LowerSerializeReloadCompare) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FlatRoundTrip,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+/// Certifier verdicts vs the campaign accessibility oracle on the
+/// faults in `sample` (stride over the universe; 1 = exhaustive), at
+/// every thread count in {1, 2, 4}.  The verdict rows must also be
+/// byte-identical across thread counts.
+void expectCertifierMatchesOracle(const rsn::Network& net,
+                                  std::size_t stride) {
+  const std::size_t saved = threadCount();
+  std::vector<std::string> rowsPerThreadCount;
+  verify::CertificationResult result;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    setThreadCount(threads);
+    verify::CertifyOptions options;
+    options.crossCheck = false;  // this test is the independent check
+    result = verify::Certifier(net).run(options);
+    std::string rows;
+    for (std::size_t fi = 0; fi < result.universe.size(); ++fi) {
+      rows += result.readRow(fi);
+      rows += result.writeRow(fi);
+    }
+    rowsPerThreadCount.push_back(std::move(rows));
+  }
+  setThreadCount(saved);
+  ASSERT_EQ(rowsPerThreadCount.size(), 3u);
+  EXPECT_EQ(rowsPerThreadCount[0], rowsPerThreadCount[1]);
+  EXPECT_EQ(rowsPerThreadCount[0], rowsPerThreadCount[2]);
+
+  ASSERT_EQ(result.summary().unknownCells(), 0u);
+  const diag::BatchedSyndromeEngine oracle(net);
+  for (std::size_t fi = 0; fi < result.universe.size(); fi += stride) {
+    const fault::Fault& f = result.universe[fi];
+    const campaign::Expectation expect = campaign::expectedAccessibility(
+        oracle, result.instruments, f, /*worker=*/0);
+    for (std::size_t i = 0; i < result.instruments; ++i) {
+      ASSERT_EQ(result.read(fi, i) == verify::Verdict::Proven,
+                expect.observable.test(i))
+          << net.name() << ": " << fault::describe(net, f) << " read @" << i;
+      ASSERT_EQ(result.write(fi, i) == verify::Verdict::Proven,
+                expect.settable.test(i))
+          << net.name() << ": " << fault::describe(net, f) << " write @" << i;
+    }
+  }
+}
+
+TEST(CertifierOracleSweep, TableOneBenchmarksExhaustive) {
+  for (const char* name : {"TreeFlat", "TreeUnbalanced", "q12710"}) {
+    expectCertifierMatchesOracle(benchgen::buildBenchmark(name),
+                                 /*stride=*/1);
+  }
+}
+
+TEST(CertifierOracleSweep, MbistClassExhaustive) {
+  expectCertifierMatchesOracle(benchgen::buildBenchmark("MBIST_1_5_5"),
+                               /*stride=*/1);
+}
+
+TEST(CertifierOracleSweep, HugeShapeSampled) {
+  // The HUGE_* generator shape at a test-sized scale: a 16-ary SIB tree
+  // with long control chains.  Sampled fault subset (every 17th row)
+  // keeps the oracle replay affordable.
+  const rsn::Network net = benchgen::makeHuge("huge2k", 2048, 128, 16);
+  expectCertifierMatchesOracle(net, /*stride=*/17);
+}
+
+class CertifierRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CertifierRandomSweep, RandomNetworkExhaustive) {
+  Rng rng(GetParam() * 131 + 7);
+  expectCertifierMatchesOracle(test::randomNetwork(rng), /*stride=*/1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertifierRandomSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
 
 }  // namespace
 }  // namespace rrsn

@@ -8,6 +8,8 @@
 // immunity of the tools).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -148,6 +150,98 @@ TEST(ArtifactCache, VerifierRejectionCountsCollisionAndEvicts) {
   // The slot is free for the verified content now.
   cache.put(7, "net", std::make_shared<std::string>("contentB"), 8);
   EXPECT_NE(cache.get(7, "net", reject), nullptr);
+}
+
+TEST(ArtifactCache, GetOrComputeCoalescesConcurrentMisses) {
+  ArtifactCache cache(0);
+  std::atomic<int> invocations{0};
+  std::atomic<int> inFlight{0};
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const void>> values(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      values[static_cast<std::size_t>(t)] = cache.getOrCompute(
+          42, "slow", [&]() {
+            invocations.fetch_add(1);
+            inFlight.fetch_add(1);
+            // Park long enough that the other threads all arrive while
+            // this compute is still in flight.
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            inFlight.fetch_sub(1);
+            return std::pair<std::shared_ptr<const void>, std::size_t>{
+                std::make_shared<std::string>("artifact"), 8};
+          });
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(invocations.load(), 1)
+      << "identical in-flight misses must coalesce onto one compute";
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(values[static_cast<std::size_t>(t)], values[0])
+        << "every waiter must receive the winner's value";
+  }
+  const ArtifactCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.coalesced, kThreads - 1u);
+}
+
+TEST(ArtifactCache, GetOrComputeExceptionReachesEveryWaiter) {
+  ArtifactCache cache(0);
+  std::atomic<int> invocations{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      try {
+        (void)cache.getOrCompute(7, "boom", [&]() {
+          invocations.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(30));
+          throw Error("compute failed");
+          return std::pair<std::shared_ptr<const void>, std::size_t>{};
+        });
+      } catch (const Error&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GE(invocations.load(), 1);
+  EXPECT_EQ(failures.load(), 4)
+      << "a compute failure must propagate to every coalesced waiter";
+  EXPECT_EQ(cache.get(7, "boom"), nullptr) << "failures are never cached";
+}
+
+TEST(ArtifactCache, GetOrComputeServesCachedEntryWithoutComputing) {
+  ArtifactCache cache(0);
+  cache.put(9, "k", std::make_shared<std::string>("cached"), 8);
+  bool computed = false;
+  const auto value = cache.getOrCompute(9, "k", [&]() {
+    computed = true;
+    return std::pair<std::shared_ptr<const void>, std::size_t>{
+        std::make_shared<std::string>("fresh"), 8};
+  });
+  EXPECT_FALSE(computed);
+  EXPECT_EQ(*std::static_pointer_cast<const std::string>(value), "cached");
+}
+
+TEST(ArtifactCache, GetOrComputeVerifierRejectionRecomputes) {
+  ArtifactCache cache(0);
+  cache.put(5, "net", std::make_shared<std::string>("impostor"), 8);
+  const auto wantFresh = [](const std::shared_ptr<const void>& v) {
+    return *static_cast<const std::string*>(v.get()) == "fresh";
+  };
+  const auto value = cache.getOrCompute(
+      5, "net",
+      [] {
+        return std::pair<std::shared_ptr<const void>, std::size_t>{
+            std::make_shared<std::string>("fresh"), 8};
+      },
+      wantFresh);
+  EXPECT_EQ(*std::static_pointer_cast<const std::string>(value), "fresh");
+  EXPECT_EQ(cache.stats().collisions, 1u);
+  // The verified content replaced the impostor.
+  EXPECT_NE(cache.get(5, "net", wantFresh), nullptr);
 }
 
 TEST(ArtifactCache, SharedPtrSurvivesEviction) {
@@ -302,6 +396,76 @@ TEST(Server, CampaignDeadlineExpiresAsTypedError) {
   EXPECT_EQ(resp.at("error").at("code").asString(), "DEADLINE_EXCEEDED");
 }
 
+TEST(Server, WhatifValidatesBeforeStubbing) {
+  Server server;
+  StreamClient client(server);
+
+  // Missing params are INVALID_ARGUMENT, not a stub acknowledgement.
+  const json::Value noNetlist = client.call("whatif", json::Object{});
+  ASSERT_FALSE(noNetlist.at("ok").asBool());
+  EXPECT_EQ(noNetlist.at("error").at("code").asString(), "INVALID_ARGUMENT");
+
+  json::Object noChange = netlistParams(fig1Text());
+  const json::Value resp2 = client.call("whatif", std::move(noChange));
+  ASSERT_FALSE(resp2.at("ok").asBool());
+  EXPECT_EQ(resp2.at("error").at("code").asString(), "INVALID_ARGUMENT");
+
+  json::Object badNetlist = netlistParams("segment s1 length=banana");
+  badNetlist["change"] = json::Value("break:s1");
+  const json::Value resp3 = client.call("whatif", std::move(badNetlist));
+  ASSERT_FALSE(resp3.at("ok").asBool());
+  EXPECT_EQ(resp3.at("error").at("code").asString(), "INVALID_ARGUMENT");
+
+  json::Object badChange = netlistParams(fig1Text());
+  badChange["change"] = json::Value("explode:everything");
+  const json::Value resp4 = client.call("whatif", std::move(badChange));
+  ASSERT_FALSE(resp4.at("ok").asBool());
+  EXPECT_EQ(resp4.at("error").at("code").asString(), "INVALID_ARGUMENT");
+
+  json::Object unknownSeg = netlistParams(fig1Text());
+  unknownSeg["change"] = json::Value("break:no_such_segment");
+  const json::Value resp5 = client.call("whatif", std::move(unknownSeg));
+  ASSERT_FALSE(resp5.at("ok").asBool());
+  EXPECT_EQ(resp5.at("error").at("code").asString(), "INVALID_ARGUMENT");
+
+  // A well-formed request still gets the honest stub.
+  json::Object good = netlistParams(fig1Text());
+  good["change"] = json::Value("break:c0");
+  const json::Value ok = client.call("whatif", std::move(good));
+  ASSERT_TRUE(ok.at("ok").asBool()) << json::serialize(ok);
+  EXPECT_TRUE(ok.at("result").at("stub").asBool());
+  EXPECT_EQ(ok.at("result").at("change").asString(), "break:c0");
+}
+
+TEST(Server, CertifyEndpointIsCachedAndByteIdentical) {
+  Server server;
+  StreamClient client(server);
+  const std::string text = fig1Text();
+  const json::Value first = client.call("certify", netlistParams(text), 1);
+  ASSERT_TRUE(first.at("ok").asBool()) << json::serialize(first);
+  const json::Value& summary = first.at("result").at("summary");
+  EXPECT_GT(summary.at("faults").asUnsigned(), 0u);
+  EXPECT_EQ(summary.at("unknown_read").asUnsigned(), 0u);
+  EXPECT_EQ(summary.at("unknown_write").asUnsigned(), 0u);
+
+  const std::uint64_t missesAfterFirst =
+      client.call("stats").at("result").at("cache").at("misses").asUnsigned();
+  const json::Value second = client.call("certify", netlistParams(text), 2);
+  ASSERT_TRUE(second.at("ok").asBool());
+  EXPECT_EQ(json::serialize(first.at("result")),
+            json::serialize(second.at("result")));
+  // The repeat was served from the artifact cache: no new certify miss.
+  EXPECT_EQ(
+      client.call("stats").at("result").at("cache").at("misses").asUnsigned(),
+      missesAfterFirst);
+
+  // Malformed netlist text stays a typed argument error.
+  const json::Value bad =
+      client.call("certify", netlistParams("segment s1 length=banana"));
+  ASSERT_FALSE(bad.at("ok").asBool());
+  EXPECT_EQ(bad.at("error").at("code").asString(), "INVALID_ARGUMENT");
+}
+
 TEST(Server, ConcurrentClientsThreadCountInvariance) {
   const std::string text = fig1Text();
   std::vector<std::string> perThreadCount;
@@ -314,10 +478,10 @@ TEST(Server, ConcurrentClientsThreadCountInvariance) {
     std::vector<std::string> results(4);
     {
       std::vector<std::unique_ptr<StreamClient>> clients;
-      for (int c = 0; c < 4; ++c)
+      for (std::size_t c = 0; c < 4; ++c)
         clients.push_back(std::make_unique<StreamClient>(server));
       std::vector<std::thread> drivers;
-      for (int c = 0; c < 4; ++c) {
+      for (std::size_t c = 0; c < 4; ++c) {
         drivers.emplace_back([&, c] {
           std::string acc;
           acc += json::serialize(
@@ -334,7 +498,7 @@ TEST(Server, ConcurrentClientsThreadCountInvariance) {
       }
       for (auto& d : drivers) d.join();
     }
-    for (int c = 1; c < 4; ++c) EXPECT_EQ(results[0], results[c]);
+    for (std::size_t c = 1; c < 4; ++c) EXPECT_EQ(results[0], results[c]);
     perThreadCount.push_back(results[0]);
   }
   setThreadCount(1);

@@ -42,6 +42,17 @@
 //                                                --max-reroutes N, --no-reroute
 //   rrsn_tool bench   <name>                     emit a Table-I benchmark as a
 //                                                netlist on stdout
+//   rrsn_tool certify <netlist> [options]        static robustness certifier:
+//                                                fixpoint dataflow proof of
+//                                                per-instrument accessibility
+//                                                under every single structural
+//                                                fault.  --plan f excludes the
+//                                                hardened primitives from the
+//                                                fault universe, --top K bounds
+//                                                the itemized witness table,
+//                                                --json f / --sarif f export
+//                                                the verdicts.  Exit 1 when
+//                                                any verdict stayed Unknown.
 //   rrsn_tool lint    <netlist> [options]        static verification: run the
 //                                                rrsn_lint rule registry and
 //                                                print a compiler-style report
@@ -81,6 +92,7 @@
 #include "rsn/netlist_io.hpp"
 #include "sim/retarget.hpp"
 #include "sp/decomposition.hpp"
+#include "verify/certifier.hpp"
 #include "sp/sp_reduce.hpp"
 #include "support/io.hpp"
 #include "support/strings.hpp"
@@ -125,7 +137,8 @@ struct Options {
 const char* usageText() {
   return
       "usage: rrsn_tool <info|dot|tree|analyze|harden|access|diagnose|"
-      "campaign|bench|lint> <netlist|name> [args] [--spec file] [--fault F] "
+      "campaign|bench|lint|certify> <netlist|name> [args] [--spec file] "
+      "[--fault F] "
       "[--seed N] [--generations N] [--population N] [--top K] "
       "[--plan-out file] [--pairs] [--transient] [--transient-rounds list] "
       "[--sample N] [--sample-fraction F] [--deadline-ms N] "
@@ -569,6 +582,84 @@ int cmdLint(const Options& opt) {
   return result.clean() ? 0 : 1;
 }
 
+/// Resolves a hardening plan (one primitive name per line, the
+/// harden::writePlan format) to the linear-id exclusion bitset the
+/// certifier expects: a hardened primitive cannot fail, so its faults
+/// leave the universe.
+DynamicBitset loadExclusions(const rsn::Network& net,
+                             const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open plan '" + path + "'");
+  DynamicBitset excluded(net.primitiveCount());
+  for (const std::string& name : lint::readPlanNames(in)) {
+    const rsn::SegmentId seg = net.findSegment(name);
+    if (seg != rsn::kNone) {
+      excluded.set(net.linearId({rsn::PrimitiveRef::Kind::Segment, seg}));
+      continue;
+    }
+    const rsn::MuxId mux = net.findMux(name);
+    RRSN_CHECK(mux != rsn::kNone,
+               "plan names unknown primitive '" + name + "'");
+    excluded.set(net.linearId({rsn::PrimitiveRef::Kind::Mux, mux}));
+  }
+  return excluded;
+}
+
+int cmdCertify(const Options& opt) {
+  const rsn::Network net = loadNetwork(opt.positional[0]);
+  if (!opt.noLint) lint::enforceClean(net, "certification");
+
+  verify::CertifyOptions options;
+  if (opt.planIn) options.excludePrimitives = loadExclusions(net, *opt.planIn);
+  options.crossCheck = verify::crossCheckDefault();
+
+  const verify::Certifier certifier(net);
+  const verify::CertificationResult result = certifier.run(options);
+  const verify::CertifySummary s = result.summary();
+
+  std::cout << "network: " << net.name() << " — "
+            << withThousands(std::uint64_t{s.faults}) << " faults x "
+            << withThousands(std::uint64_t{s.instruments})
+            << " instruments, " << s.reachableInstruments << "/"
+            << s.instruments << " reachable fault-free\n"
+            << "tiers: " << withThousands(std::uint64_t{s.fastRows})
+            << " rows fast, " << withThousands(std::uint64_t{s.fixpointRows})
+            << " rows fixpoint, "
+            << withThousands(std::uint64_t{s.crossCheckedRows})
+            << " rows cross-checked against the syndrome oracle\n\n"
+            << verify::summaryTable(s).render();
+  if (s.vulnerableRead + s.vulnerableWrite + s.unknownCells() > 0) {
+    std::cout << '\n'
+              << verify::vulnerabilityTable(net, result, opt.top).render();
+  }
+  if (s.unknownCells() > 0) {
+    std::cout << "\nWARNING: " << s.unknownCells()
+              << " verdicts exhausted the fixpoint budget (Unknown) — the "
+                 "certification is incomplete\n";
+  }
+
+  if (opt.jsonOut) {
+    std::ofstream out(*opt.jsonOut);
+    RRSN_CHECK(static_cast<bool>(out),
+               "cannot write json '" + *opt.jsonOut + "'");
+    out << json::serialize(verify::reportJson(net, result), 1) << '\n';
+    checkStreamWrite(out, "json '" + *opt.jsonOut + "'");
+    std::cout << "report written to " << *opt.jsonOut << '\n';
+  }
+  if (opt.sarifOut) {
+    std::ofstream out(*opt.sarifOut);
+    RRSN_CHECK(static_cast<bool>(out),
+               "cannot write sarif '" + *opt.sarifOut + "'");
+    const std::string artifact =
+        opt.positional[0] == "-" ? "<stdin>" : opt.positional[0];
+    out << json::serialize(verify::sarifReport(net, result, artifact), 1)
+        << '\n';
+    checkStreamWrite(out, "sarif '" + *opt.sarifOut + "'");
+    std::cout << "sarif written to " << *opt.sarifOut << '\n';
+  }
+  return s.unknownCells() == 0 ? 0 : 1;
+}
+
 int dispatch(const Options& opt) {
   if (opt.command == "info") return cmdInfo(opt);
   if (opt.command == "dot") return cmdDot(opt);
@@ -580,6 +671,7 @@ int dispatch(const Options& opt) {
   if (opt.command == "campaign") return cmdCampaign(opt);
   if (opt.command == "bench") return cmdBench(opt);
   if (opt.command == "lint") return cmdLint(opt);
+  if (opt.command == "certify") return cmdCertify(opt);
   usage();
 }
 
